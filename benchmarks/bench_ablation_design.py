@@ -1,0 +1,81 @@
+"""Ablations of CODA's design choices (DESIGN.md Sec. 6).
+
+Not figures from the paper — these probe the constants the paper fixes
+without ablating: the GPU-array core reservation, the tuning-improvement
+epsilon, and the eliminator's bandwidth threshold.
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import (
+    epsilon_sweep,
+    reservation_sweep,
+    threshold_sweep,
+)
+from repro.metrics.report import render_table
+
+
+def test_reservation_sweep(benchmark, emit):
+    rows = once(benchmark, reservation_sweep)
+    emit(
+        "ablation_reservation",
+        render_table(
+            ["reserved cores", "gpu util", "gpu no-queue", "cpu <=3min"],
+            [
+                (reserved, f"{util:.3f}", f"{gpu:.3f}", f"{cpu:.3f}")
+                for reserved, util, gpu, cpu in rows
+            ],
+            title="Ablation: GPU-array CPU reservation per node",
+        ),
+    )
+    by_reserved = {r: (util, gpu, cpu) for r, util, gpu, cpu in rows}
+    # More reservation never hurts training starts...
+    assert by_reserved[20][1] >= by_reserved[8][1] - 0.03
+    # ...and the default (16) keeps CPU jobs fast too.
+    assert by_reserved[16][2] >= 0.85
+
+
+def test_epsilon_sweep(benchmark, emit):
+    rows = once(benchmark, epsilon_sweep)
+    emit(
+        "ablation_epsilon",
+        render_table(
+            ["epsilon", "model", "settled cores", "steps", "util vs peak"],
+            [
+                (eps, model, cores, steps, f"{ratio:.3f}")
+                for eps, model, cores, steps, ratio in rows
+            ],
+            title="Ablation: tuning-improvement epsilon",
+        ),
+    )
+    # At the default epsilon every model settles within 1 % of its peak.
+    default = [r for r in rows if r[0] == 0.01]
+    assert default
+    assert all(ratio >= 0.99 for _, _, _, _, ratio in default)
+    # A huge epsilon under-allocates at least one model below 95 %.
+    sloppy = [r for r in rows if r[0] == 0.15]
+    assert any(ratio < 0.95 for _, _, _, _, ratio in sloppy)
+    # Steps never exceed the probe range regardless of epsilon.
+    assert all(steps <= 8 for _, _, _, steps, _ in rows)
+
+
+def test_threshold_sweep(benchmark, emit):
+    rows = once(benchmark, threshold_sweep)
+    emit(
+        "ablation_threshold",
+        render_table(
+            ["bandwidth threshold", "trainer slowdown", "heat throttle level"],
+            [
+                (f"{threshold:.2f}", f"{slowdown:.2f}x", f"{level:.1f}")
+                for threshold, slowdown, level in rows
+            ],
+            title="Ablation: eliminator bandwidth threshold (NLP + HEAT)",
+        ),
+    )
+    by_threshold = {t: (s, level) for t, s, level in rows}
+    # The default threshold protects the trainer...
+    assert by_threshold[0.75][0] <= 1.1
+    # ...a lax threshold lets it suffer...
+    assert by_threshold[0.95][0] > by_threshold[0.75][0]
+    # ...and a strict one throttles HEAT harder for no additional benefit.
+    assert by_threshold[0.55][1] < by_threshold[0.75][1]

@@ -1,0 +1,56 @@
+"""Fig. 2 — trace characteristics and status-quo queueing.
+
+Shape expectations from Sec. III: ~75 % CPU jobs / 25 % GPU jobs; 76.1 % of
+GPU jobs request 1-2 cores per GPU and 15.3 % more than 10; under FIFO the
+GPU jobs queue for minutes-to-hours while most CPU jobs start in seconds.
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fig2_job_characteristics
+from repro.metrics.report import render_cdf, render_table
+
+
+def test_fig2_job_characteristics(benchmark, emit):
+    stats = once(benchmark, fig2_job_characteristics)
+    table = render_table(
+        ["metric", "value", "paper"],
+        [
+            ("CPU-job share", f"{stats['cpu_job_fraction']:.3f}", "0.75"),
+            ("GPU-job share", f"{stats['gpu_job_fraction']:.3f}", "0.25"),
+            ("request 1-2 cores/GPU", f"{stats['requested_1_2']:.3f}", "0.761"),
+            ("request >10 cores/GPU", f"{stats['requested_over_10']:.3f}", "0.153"),
+            ("GPU wait > 3 min (FIFO)", f"{stats['gpu_wait_over_3min']:.3f}", "0.481"),
+            ("GPU wait > 10 min (FIFO)", f"{stats['gpu_wait_over_10min']:.3f}", "0.413"),
+            ("CPU start <= 10 s (FIFO)", f"{stats['cpu_within_10s']:.3f}", "~0.874"),
+        ],
+        title="Fig. 2: job characteristics and FIFO queueing",
+    )
+    groups = render_table(
+        ["tenant group", "gpu jobs", "cpu jobs"],
+        [
+            (group, counts["gpu"], counts["cpu"])
+            for group, counts in sorted(stats["group_breakdown"].items())
+        ],
+        title="Fig. 2a: job-type breakdown per tenant group",
+    )
+    cdfs = "\n\n".join(
+        (
+            render_cdf("gpu queueing (s)", stats["gpu_queue_cdf"]),
+            render_cdf("cpu queueing (s)", stats["cpu_queue_cdf"]),
+        )
+    )
+    emit("fig02_job_characteristics", table + "\n\n" + groups + "\n\n" + cdfs)
+
+    assert abs(stats["cpu_job_fraction"] - 0.75) < 0.05
+    assert abs(stats["requested_1_2"] - 0.761) < 0.05
+    assert stats["gpu_wait_over_3min"] > 0.4
+    assert stats["cpu_within_10s"] > 0.85
+    # Fig. 2a: the research lab contributes most GPU jobs; companies and
+    # CPU-only users contribute most CPU jobs.
+    breakdown = stats["group_breakdown"]
+    assert breakdown["research_lab"]["gpu"] > breakdown["ai_company"]["gpu"]
+    assert (
+        breakdown["ai_company"]["cpu"] + breakdown["cpu_only"]["cpu"]
+        > 5 * breakdown["research_lab"]["cpu"]
+    )

@@ -1,0 +1,43 @@
+"""Fig. 3 — training speed and GPU utilization vs. allocated cores.
+
+Regenerates the per-model (cores, speed, utilization) series for the 1N1G
+and 1N4G configurations.  Shape expectations: utilization rises to a
+model-specific knee and declines gently after it; Transformer is the one
+model already optimal at two cores in 1N1G.
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fig3_core_sweep
+from repro.metrics.report import render_table
+
+
+def test_fig3_core_sweep(benchmark, emit):
+    sweep = once(benchmark, fig3_core_sweep)
+    rows = []
+    for model, by_setup in sweep.items():
+        for label, series in by_setup.items():
+            best = max(series, key=lambda row: row[1])
+            for cores, speed, util in series:
+                if cores in (1, 2, 4, 8, 12, 16):
+                    rows.append(
+                        (
+                            model,
+                            label,
+                            cores,
+                            f"{speed:.4f}",
+                            f"{util:.3f}",
+                            "*" if cores == best[0] else "",
+                        )
+                    )
+    emit(
+        "fig03_cores_sweep",
+        render_table(
+            ["model", "config", "cores", "iters/s", "gpu util", "opt"],
+            rows,
+            title="Fig. 3: training speed & GPU utilization vs CPU cores",
+        ),
+    )
+    assert sweep["transformer"]["1N1G"][1][2] == max(
+        util for _, _, util in sweep["transformer"]["1N1G"]
+    )

@@ -1,0 +1,32 @@
+"""Fig. 5 — the optimal CPU core count per model, configuration, and batch.
+
+Shape expectations (Sec. IV-B): simpler CV nets need more cores; every
+model but AlexNet is batch-independent; single-node demand scales linearly
+with GPU count; multi-node configurations need at most two cores.
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fig5_optimal_cores
+from repro.metrics.report import render_table
+
+
+def test_fig5_optimal_cores(benchmark, emit):
+    rows = once(benchmark, fig5_optimal_cores)
+    emit(
+        "fig05_optimal_cores",
+        render_table(
+            ["model", "config", "batch", "optimal cores"],
+            rows,
+            title="Fig. 5: optimal CPU core count",
+        ),
+    )
+    by_key = {(m, c, b): cores for m, c, b, cores in rows}
+    assert by_key[("alexnet", "1N1G", "default")] == 8
+    assert by_key[("transformer", "1N1G", "default")] == 2
+    assert all(
+        by_key[(m, "2N4G", b)] <= 2
+        for m, c, b, _ in rows
+        if c == "2N4G"
+        for b in ("default",)
+    )

@@ -1,0 +1,31 @@
+"""Fig. 6 — memory-bandwidth demand per model, configuration, and batch.
+
+Shape expectations (Sec. IV-C1): CV demand anti-correlates with model
+complexity; NLP demand is tiny; Wavenet grows with batch while DeepSpeech
+does not; demand scales linearly with local GPU count.
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fig6_bandwidth_demand
+from repro.metrics.report import render_table
+
+
+def test_fig6_bandwidth_demand(benchmark, emit):
+    rows = once(benchmark, fig6_bandwidth_demand)
+    emit(
+        "fig06_bandwidth_demand",
+        render_table(
+            ["model", "config", "batch", "GB/s"],
+            [(m, c, b, f"{v:.2f}") for m, c, b, v in rows],
+            title="Fig. 6: peak memory-bandwidth demand at the optimum",
+        ),
+    )
+    by_key = {(m, c, b): v for m, c, b, v in rows}
+    assert by_key[("alexnet", "1N1G", "default")] > by_key[
+        ("resnet50", "1N1G", "default")
+    ]
+    assert by_key[("bat", "1N1G", "default")] < 1.0
+    assert by_key[("wavenet", "1N1G", "max")] > by_key[
+        ("wavenet", "1N1G", "default")
+    ]

@@ -1,0 +1,34 @@
+"""Fig. 7 — normalized 1N1G performance under LLC/bandwidth pressure.
+
+The HEAT co-runner's thread count sweeps the pressure.  Shape expectations:
+NLP models lose >= 50 % at high pressure; AlexNet is the only sensitive CV
+model; DeepSpeech is more sensitive than Wavenet; LLC pressure alone moves
+nobody (implicitly covered: HEAT's LLC footprint rides along and the CV
+models still do not budge).
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fig7_contention
+from repro.metrics.report import render_table
+
+
+def test_fig7_contention(benchmark, emit):
+    rows = once(benchmark, fig7_contention)
+    emit(
+        "fig07_contention",
+        render_table(
+            ["model", "heat threads", "node pressure", "normalized perf"],
+            [
+                (m, t, f"{p:.3f}", f"{perf:.3f}")
+                for m, t, p, perf in rows
+            ],
+            title="Fig. 7: normalized performance under HEAT pressure",
+        ),
+    )
+    at_peak = {m: perf for m, t, _, perf in rows if t == 16}
+    assert at_peak["bat"] <= 0.55
+    assert at_peak["transformer"] <= 0.55
+    assert at_peak["vgg16"] >= 0.9
+    assert at_peak["deepspeech"] < at_peak["wavenet"]
+    assert at_peak["alexnet"] < 0.8

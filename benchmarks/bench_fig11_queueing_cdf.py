@@ -1,0 +1,47 @@
+"""Fig. 11 — job queueing-time CDFs under FIFO, DRF, and CODA.
+
+Shape expectations against the paper: FIFO's >10-minute GPU tail exceeds
+DRF's (43.1 % vs 28.9 %); CODA starts ~92 % of GPU jobs without queueing
+and ~94.5 % of CPU jobs within three minutes.
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fig11_queueing
+from repro.metrics.report import render_cdf, render_table
+
+
+def test_fig11_queueing_cdf(benchmark, emit):
+    summary = once(benchmark, fig11_queueing)
+    table = render_table(
+        [
+            "policy",
+            "gpu >10min",
+            "gpu >1h",
+            "gpu no-queue",
+            "cpu <=10s",
+            "cpu <=3min",
+        ],
+        [
+            (
+                name,
+                f"{stats['gpu_over_10min']:.3f}",
+                f"{stats['gpu_over_1h']:.3f}",
+                f"{stats['gpu_no_queue']:.3f}",
+                f"{stats['cpu_within_10s']:.3f}",
+                f"{stats['cpu_within_3min']:.3f}",
+            )
+            for name, stats in summary.items()
+        ],
+        title="Fig. 11: queueing-time summary per policy",
+    )
+    cdfs = "\n\n".join(
+        f"[{name}]\n" + render_cdf("gpu queueing (s)", stats["gpu_cdf"])
+        for name, stats in summary.items()
+    )
+    emit("fig11_queueing_cdf", table + "\n\n" + cdfs)
+
+    assert summary["coda"]["gpu_no_queue"] >= 0.85
+    assert summary["drf"]["gpu_over_10min"] < summary["fifo"]["gpu_over_10min"]
+    assert summary["coda"]["cpu_within_3min"] >= 0.9
+    assert summary["coda"]["gpu_over_1h"] < 0.1

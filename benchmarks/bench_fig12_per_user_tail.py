@@ -1,0 +1,44 @@
+"""Fig. 12 — per-user 99 %-ile queueing time under FIFO, DRF, and CODA.
+
+Shape expectations: CODA's tails sit below both baselines for most users;
+DRF is fairer than FIFO (a lower worst-user tail); the CPU-only users
+(ids 15-20) pay a modest premium under CODA versus DRF for the reserved
+GPU-array cores — "still not much different from the DRF" (Sec. VI-C).
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fig12_per_user_tail
+from repro.metrics.report import render_table
+from repro.metrics.stats import mean, percentile
+
+
+def test_fig12_per_user_tail(benchmark, emit):
+    rows = once(benchmark, fig12_per_user_tail)
+    emit(
+        "fig12_per_user_tail",
+        render_table(
+            ["user", "fifo p99 (s)", "drf p99 (s)", "coda p99 (s)"],
+            [
+                (user, f"{fifo:.0f}", f"{drf:.0f}", f"{coda:.0f}")
+                for user, fifo, drf, coda in rows
+            ],
+            title="Fig. 12: per-user 99%-ile queueing time",
+        ),
+    )
+    # GPU-submitting users (1-14): CODA's tail beats FIFO's essentially
+    # everywhere (Fig. 12's main message).
+    gpu_users = [(u, f, d, c) for u, f, d, c in rows if u <= 14]
+    coda_better = sum(1 for _, f, _, c in gpu_users if c <= f + 1.0)
+    assert coda_better >= 0.85 * len(gpu_users)
+    # DRF's fairness: *most* users see lighter tails than under FIFO, at
+    # the cost of the heaviest submitters ("users who submit a large
+    # number of jobs have longer queuing time", Sec. VI-C).
+    fifo_p99s = sorted(f for _, f, _, _ in rows)
+    drf_p99s = sorted(d for _, _, d, _ in rows)
+    assert percentile(drf_p99s, 50) <= percentile(fifo_p99s, 50)
+    # CPU-only users (15-20) pay for the reserved GPU-array cores but stay
+    # "not much different from the DRF" (Sec. VI-C).
+    cpu_only_coda = mean([c for u, _, _, c in rows if u >= 15])
+    cpu_only_drf = mean([d for u, _, d, _ in rows if u >= 15])
+    assert cpu_only_coda <= max(5 * cpu_only_drf, cpu_only_drf + 900.0)

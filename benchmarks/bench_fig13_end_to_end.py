@@ -1,0 +1,39 @@
+"""Fig. 13 — end-to-end latency of representative GPU jobs, FIFO vs CODA.
+
+Shape expectations: CODA reduces queueing and processing time
+simultaneously for most jobs; a few very short jobs may not amortize the
+profiling overhead, but their queueing savings still win end-to-end.
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fig13_end_to_end
+from repro.metrics.report import render_table
+
+
+def test_fig13_end_to_end(benchmark, emit):
+    rows = once(benchmark, fig13_end_to_end)
+    emit(
+        "fig13_end_to_end",
+        render_table(
+            [
+                "job",
+                "fifo queue (s)",
+                "fifo proc (s)",
+                "coda queue (s)",
+                "coda proc (s)",
+            ],
+            [
+                (job, f"{fq:.0f}", f"{fp:.0f}", f"{cq:.0f}", f"{cp:.0f}")
+                for job, fq, fp, cq, cp in rows
+            ],
+            title="Fig. 13: end-to-end latency of representative GPU jobs",
+        ),
+    )
+    assert rows, "no jobs finished under both policies"
+    wins = sum(
+        1 for _, fq, fp, cq, cp in rows if (cq + cp) <= (fq + fp) * 1.05
+    )
+    assert wins >= 0.7 * len(rows)
+    queue_wins = sum(1 for _, fq, _, cq, _ in rows if cq <= fq + 1.0)
+    assert queue_wins >= 0.7 * len(rows)

@@ -1,0 +1,34 @@
+"""Fig. 14 — how the adaptive allocator adjusts owner-requested cores.
+
+Shape expectations against the paper: "57.1 % of the GPU jobs are
+allocated 1-5 more cores, and 33.6 % of the GPU jobs are allocated 1-20
+fewer cores" — i.e., the 1-2-core majority is topped up and the >10-core
+tail is slimmed down.
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fig14_tuning_histogram
+from repro.metrics.report import render_table
+
+
+def test_fig14_tuning_histogram(benchmark, emit):
+    hist = once(benchmark, fig14_tuning_histogram)
+    emit(
+        "fig14_tuning_histogram",
+        render_table(
+            ["bucket", "fraction", "paper"],
+            [
+                ("1-5 more cores", f"{hist['more_1_5']:.3f}", "0.571"),
+                (">5 more cores", f"{hist['more_over_5']:.3f}", "-"),
+                ("1-20 fewer cores", f"{hist['fewer_1_20']:.3f}", "0.336"),
+                ("unchanged", f"{hist['unchanged']:.3f}", "-"),
+                ("jobs measured", f"{hist['count']:.0f}", "-"),
+            ],
+            title="Fig. 14: core-count adjustment vs owner request (CODA)",
+        ),
+    )
+    more = hist["more_1_5"] + hist["more_over_5"]
+    assert more >= 0.40
+    assert 0.10 <= hist["fewer_1_20"] <= 0.45
+    assert more > hist["fewer_1_20"]

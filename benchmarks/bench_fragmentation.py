@@ -1,0 +1,45 @@
+"""Sec. VI-C — GPU fragmentation per policy.
+
+Shape expectations against the paper's 14.3 % (FIFO), 14.6 % (DRF), and
+<1 % (CODA): the baselines strand GPUs by an order of magnitude more than
+CODA, and they do so while GPU jobs are queued most of the time.
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import fragmentation_summary
+from repro.metrics.report import render_table
+
+PAPER = {"fifo": 0.143, "drf": 0.146, "coda": 0.01}
+
+
+def test_fragmentation(benchmark, emit):
+    rows = once(benchmark, fragmentation_summary)
+    emit(
+        "fragmentation",
+        render_table(
+            [
+                "policy",
+                "frag while queueing",
+                "average frag",
+                "time contended",
+                "paper avg",
+            ],
+            [
+                (
+                    name,
+                    f"{contended:.3f}",
+                    f"{average:.3f}",
+                    f"{share:.3f}",
+                    f"{PAPER[name]:.3f}" if name != "coda" else "<0.010",
+                )
+                for name, contended, average, share in rows
+            ],
+            title="Sec. VI-C: GPU fragmentation rate",
+        ),
+    )
+    by_name = {name: (contended, average, share) for name, contended, average, share in rows}
+    assert by_name["coda"][1] < 0.01
+    assert by_name["fifo"][1] > 5 * max(by_name["coda"][1], 1e-4)
+    assert by_name["drf"][1] > 5 * max(by_name["coda"][1], 1e-4)
+    assert by_name["fifo"][2] > 0.5

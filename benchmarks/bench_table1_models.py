@@ -1,0 +1,58 @@
+"""Table I — the representative DNN models.
+
+Renders the catalog against the paper's table (model, scenario, type,
+dataset) plus the calibration anchors each model carries.
+"""
+
+from bench_util import once
+
+from repro.metrics.report import render_table
+from repro.perfmodel.catalog import ALL_MODEL_NAMES, get_model
+
+PAPER_TABLE1 = {
+    "alexnet": ("CV", "CNN", "ImageNet"),
+    "vgg16": ("CV", "CNN", "ImageNet"),
+    "inception3": ("CV", "CNN", "ImageNet"),
+    "resnet50": ("CV", "CNN", "ImageNet"),
+    "bat": ("NLP", "RNN", "SQUAD"),
+    "transformer": ("NLP", "-", "WMT16"),
+    "wavenet": ("Speech", "CNN", "VCTK"),
+    "deepspeech": ("Speech", "RNN", "Common Voice"),
+}
+
+
+def test_table1_models(benchmark, emit):
+    profiles = once(
+        benchmark, lambda: [get_model(name) for name in ALL_MODEL_NAMES]
+    )
+    emit(
+        "table1_models",
+        render_table(
+            [
+                "model",
+                "scenario",
+                "type",
+                "dataset",
+                "default BS",
+                "iter time (s)",
+                "optimum (1N1G)",
+            ],
+            [
+                (
+                    p.name,
+                    p.domain.value,
+                    p.arch,
+                    p.dataset,
+                    p.default_batch,
+                    f"{p.iter_time_s:.2f}",
+                    p.optimal_cores_1g,
+                )
+                for p in profiles
+            ],
+            title="Table I: representative DNN models",
+        ),
+    )
+    for profile in profiles:
+        scenario, _, _ = PAPER_TABLE1[profile.name]
+        assert profile.domain.value.lower() == scenario.lower()
+    assert len(profiles) == 8

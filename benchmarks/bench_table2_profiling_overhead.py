@@ -1,0 +1,67 @@
+"""Table II — profiling steps and iterations to find the optimal cores.
+
+Shape expectations: every model converges in 3-4 profiling steps of 90
+seconds, training tens to hundreds of iterations in the process (the paper
+reports 4/4/3/3/4/3/3/3 steps and ~260/70/180/150/35/260/28/45 iterations).
+"""
+
+from bench_util import once
+
+from repro.experiments.figures import table2_profiling_overhead
+from repro.metrics.report import render_table
+
+PAPER_STEPS = {
+    "alexnet": 4,
+    "vgg16": 4,
+    "inception3": 3,
+    "resnet50": 3,
+    "bat": 4,
+    "transformer": 3,
+    "wavenet": 3,
+    "deepspeech": 3,
+}
+PAPER_ITERATIONS = {
+    "alexnet": 260,
+    "vgg16": 70,
+    "inception3": 180,
+    "resnet50": 150,
+    "bat": 35,
+    "transformer": 260,
+    "wavenet": 28,
+    "deepspeech": 45,
+}
+
+
+def test_table2_profiling_overhead(benchmark, emit):
+    rows = once(benchmark, table2_profiling_overhead)
+    emit(
+        "table2_profiling_overhead",
+        render_table(
+            [
+                "model",
+                "N_start",
+                "optimum",
+                "profiling steps",
+                "iterations",
+                "paper steps",
+                "paper iters",
+            ],
+            [
+                (
+                    r.model,
+                    r.n_start,
+                    r.optimal,
+                    r.profiling_steps,
+                    r.training_iterations,
+                    PAPER_STEPS[r.model],
+                    f"~{PAPER_ITERATIONS[r.model]}",
+                )
+                for r in rows
+            ],
+            title="Table II: overhead of identifying the optimal core number",
+        ),
+    )
+    for row in rows:
+        assert row.profiling_steps == PAPER_STEPS[row.model], row.model
+        assert row.training_iterations <= PAPER_ITERATIONS[row.model] * 1.15
+        assert row.training_iterations >= PAPER_ITERATIONS[row.model] * 0.75

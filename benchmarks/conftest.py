@@ -1,0 +1,26 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper figure/table, prints its rows, and
+writes them to ``results/<name>.txt`` so the regenerated evaluation can be
+diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import RESULTS_DIR
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print a rendered figure and persist it under results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        with capsys.disabled():
+            print(f"\n=== {name} ===")
+            print(text)
+
+    return _emit

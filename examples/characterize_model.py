@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Characterize a DNN model's CPU-side resource demands (the Sec. IV study).
+
+For a chosen Table-I model this walks the paper's characterization:
+utilization vs. cores (Fig. 3), the optimal core count across training
+configurations and batch sizes (Fig. 5), memory-bandwidth demand (Fig. 6),
+and sensitivity to memory-bandwidth contention (Fig. 7).
+
+Run:  python examples/characterize_model.py [model]
+      (default model: alexnet; try bat, wavenet, transformer, ...)
+"""
+
+import sys
+
+from repro import TrainSetup, get_model, training_speed
+from repro.metrics.report import render_table
+from repro.perfmodel import (
+    ALL_MODEL_NAMES,
+    ContentionState,
+    memory_bandwidth_demand,
+    optimal_cores,
+)
+from repro.perfmodel.utilization import utilization_curve
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "alexnet"
+    profile = get_model(name)
+    print(
+        f"{profile.name}: {profile.domain.value} / {profile.arch} on "
+        f"{profile.dataset}, default batch {profile.default_batch}, "
+        f"{profile.weight_mb:.0f} MB of weights"
+    )
+
+    setup = TrainSetup(1, 1)
+    best = optimal_cores(profile, setup)
+    print(
+        render_table(
+            ["cores", "GPU utilization", "iters/s"],
+            [
+                (cores, f"{util:.3f}",
+                 f"{training_speed(profile, setup, cores):.4f}")
+                for cores, util in utilization_curve(profile, setup, 12)
+            ],
+            title=f"\nFig. 3 view — 1N1G utilization vs cores (optimum: {best}):",
+        )
+    )
+
+    rows = []
+    for label in ("1N1G", "1N2G", "1N4G", "2N4G"):
+        for kind, batch in (
+            ("default", profile.default_batch),
+            ("max", profile.max_batch),
+        ):
+            config = TrainSetup.parse(label, batch=batch)
+            opt = optimal_cores(profile, config)
+            rows.append(
+                (
+                    label,
+                    f"{kind} ({batch})",
+                    opt,
+                    f"{memory_bandwidth_demand(profile, config, opt):.1f}",
+                )
+            )
+    print(
+        render_table(
+            ["config", "batch", "optimal cores", "bandwidth (GB/s)"],
+            rows,
+            title="\nFig. 5 / Fig. 6 view — optimum and bandwidth demand:",
+        )
+    )
+
+    quiet = training_speed(profile, setup, best)
+    rows = []
+    for pressure in (0.5, 0.75, 0.85, 0.95, 1.0):
+        state = ContentionState(node_bw_pressure=pressure)
+        loud = training_speed(profile, setup, best, state)
+        rows.append((f"{pressure:.2f}", f"{loud / quiet:.3f}"))
+    print(
+        render_table(
+            ["node bandwidth pressure", "normalized performance"],
+            rows,
+            title="\nFig. 7 view — sensitivity to bandwidth contention:",
+        )
+    )
+    print(f"\nKnown models: {', '.join(ALL_MODEL_NAMES)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a day of jobs on a small cluster with CODA.
+
+Builds an 8-node GPU cluster, generates a quarter-day synthetic
+multi-tenant trace (scaled to the cluster size), runs it under CODA, and
+prints what happened — including what the adaptive allocator did to each
+training job's core count.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CodaScheduler, SimulationRunner
+from repro.experiments.scenarios import small_scenario
+from repro.metrics.report import render_table
+from repro.metrics.stats import fraction_at_most, mean
+from repro.sim.clock import fmt_duration
+from repro.workload.job import JobKind
+
+
+def main() -> None:
+    scenario = small_scenario(duration_days=0.25, nodes=8, seed=7)
+    trace = scenario.build_trace()
+    print(
+        f"Trace: {len(trace.jobs)} jobs "
+        f"({len(trace.gpu_jobs)} DNN training, {len(trace.cpu_jobs)} CPU) "
+        f"over {fmt_duration(scenario.trace_config.duration_s)} "
+        f"on {scenario.cluster_config.num_nodes} nodes / "
+        f"{scenario.cluster_config.total_gpus} GPUs"
+    )
+
+    scheduler = CodaScheduler()
+    runner = SimulationRunner(scenario.build_cluster(), scheduler, trace)
+    result = runner.run(until=scenario.horizon_s)
+    collector = result.collector
+
+    print(
+        f"\nFinished {result.finished_gpu_jobs} training jobs and "
+        f"{result.finished_cpu_jobs} CPU jobs "
+        f"({result.events_fired} simulation events)."
+    )
+    print(f"Mean GPU utilization (active GPUs): "
+          f"{collector.gpu_utilization.mean():.1%}")
+    gpu_queue = collector.queueing_times(JobKind.GPU)
+    cpu_queue = collector.queueing_times(JobKind.CPU)
+    print(f"Training jobs started without queueing: "
+          f"{fraction_at_most(gpu_queue, 1.0):.1%}")
+    print(f"CPU jobs started within 10 s: "
+          f"{fraction_at_most(cpu_queue, 10.0):.1%}")
+
+    rows = []
+    for outcome in list(scheduler.allocator.outcomes.values())[:12]:
+        rows.append(
+            (
+                outcome.job_id,
+                outcome.model_name,
+                outcome.requested_cpus,
+                outcome.n_start,
+                outcome.tuned_cores,
+                outcome.profiling_steps,
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["job", "model", "owner asked", "N_start", "tuned", "steps"],
+            rows,
+            title="Adaptive CPU allocation (first 12 tuned jobs):",
+        )
+    )
+    adjustments = [
+        outcome.tuned_cores - outcome.requested_cpus
+        for outcome in scheduler.allocator.outcomes.values()
+    ]
+    if adjustments:
+        print(f"\nMean core adjustment vs owner request: "
+              f"{mean(adjustments):+.1f} cores")
+
+
+if __name__ == "__main__":
+    main()

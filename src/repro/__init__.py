@@ -1,0 +1,82 @@
+"""repro — a reproduction of CODA (ICDCS 2020).
+
+CODA: Improving Resource Utilization by Slimming and Co-locating DNN and
+CPU Jobs (Zhao et al.).  This library implements the complete system on a
+simulated multi-tenant GPU cluster:
+
+* :mod:`repro.core` — CODA itself: adaptive CPU allocator, multi-array job
+  scheduler, real-time contention eliminator;
+* :mod:`repro.schedulers` — the FIFO and DRF baselines;
+* :mod:`repro.perfmodel` — the calibrated DNN-training performance model;
+* :mod:`repro.cluster` — the cluster resource substrate (nodes, GPUs,
+  memory bandwidth with MBM/MBA, PCIe, interconnect);
+* :mod:`repro.workload` — tenants, jobs, and synthetic trace generation;
+* :mod:`repro.sim` — the discrete-event engine;
+* :mod:`repro.experiments` — the harness regenerating every paper figure.
+
+Quickstart::
+
+    from repro import (
+        Cluster, CodaScheduler, SimulationRunner, generate_trace,
+        TraceConfig, small_cluster,
+    )
+
+    cluster = Cluster(small_cluster(nodes=8))
+    trace = generate_trace(TraceConfig(duration_days=0.5, seed=7))
+    runner = SimulationRunner(cluster, CodaScheduler(), trace)
+    result = runner.run(until=trace.config.duration_s)
+    print(result.collector.gpu_utilization.mean())
+"""
+
+from repro.cluster import Cluster
+from repro.config import ClusterConfig, NodeConfig, paper_cluster, small_cluster
+from repro.core import CodaConfig, CodaScheduler
+from repro.experiments import RunResult, SimulationRunner
+from repro.perfmodel import (
+    ALL_MODEL_NAMES,
+    TrainSetup,
+    get_model,
+    gpu_utilization,
+    optimal_cores,
+    training_speed,
+)
+from repro.schedulers import DrfScheduler, FifoScheduler
+from repro.workload import (
+    CpuJob,
+    GpuJob,
+    Trace,
+    TraceConfig,
+    generate_trace,
+    load_trace,
+    save_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_MODEL_NAMES",
+    "Cluster",
+    "ClusterConfig",
+    "CodaConfig",
+    "CodaScheduler",
+    "CpuJob",
+    "DrfScheduler",
+    "FifoScheduler",
+    "GpuJob",
+    "NodeConfig",
+    "RunResult",
+    "SimulationRunner",
+    "Trace",
+    "TraceConfig",
+    "TrainSetup",
+    "generate_trace",
+    "get_model",
+    "gpu_utilization",
+    "load_trace",
+    "optimal_cores",
+    "paper_cluster",
+    "save_trace",
+    "small_cluster",
+    "training_speed",
+    "__version__",
+]

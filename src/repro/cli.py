@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Three subcommands mirroring how a downstream user would drive the library:
+
+* ``repro-sim run`` — simulate a scenario under a policy and print the
+  evaluation summary;
+* ``repro-sim trace`` — generate a synthetic trace and write it to JSONL;
+* ``repro-sim characterize`` — print a model's Sec.-IV characterization.
+
+All output is plain text; exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.coda import CodaConfig, CodaScheduler
+from repro.experiments.scenarios import (
+    Scenario,
+    paper_scale_scenario,
+    run_scenario,
+    small_scenario,
+)
+from repro.metrics.report import render_table
+from repro.metrics.stats import fraction_at_most, fraction_exceeding
+from repro.perfmodel.bandwidth import memory_bandwidth_demand
+from repro.perfmodel.catalog import ALL_MODEL_NAMES, get_model
+from repro.perfmodel.stages import TrainSetup
+from repro.perfmodel.utilization import optimal_cores, utilization_curve
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.workload.job import JobKind
+from repro.workload.tracegen import TraceConfig, generate_trace
+from repro.workload.traceio import save_trace
+
+_POLICIES = {
+    "fifo": FifoScheduler,
+    "drf": DrfScheduler,
+    "coda": lambda: CodaScheduler(CodaConfig()),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="CODA (ICDCS 2020) reproduction — cluster simulator CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a scenario under a policy")
+    run.add_argument(
+        "--policy", choices=sorted(_POLICIES), default="coda",
+        help="scheduling policy (default: coda)",
+    )
+    run.add_argument(
+        "--scale", choices=("small", "paper"), default="small",
+        help="cluster scale (default: small = 6 nodes)",
+    )
+    run.add_argument("--days", type=float, default=0.25, help="trace length")
+    run.add_argument("--seed", type=int, default=0, help="trace seed")
+
+    compare = sub.add_parser(
+        "compare", help="run FIFO, DRF, and CODA on the same trace"
+    )
+    compare.add_argument(
+        "--scale", choices=("small", "paper"), default="small"
+    )
+    compare.add_argument("--days", type=float, default=0.25)
+    compare.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser("trace", help="generate a synthetic trace (JSONL)")
+    trace.add_argument("output", help="output path, e.g. trace.jsonl")
+    trace.add_argument("--days", type=float, default=1.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--gpu-jobs-per-day", type=float, default=25000.0 / 30.0)
+    trace.add_argument("--cpu-jobs-per-day", type=float, default=75000.0 / 30.0)
+
+    character = sub.add_parser(
+        "characterize", help="print a model's CPU-demand characterization"
+    )
+    character.add_argument(
+        "model", nargs="?", default="resnet50",
+        help=f"one of: {', '.join(ALL_MODEL_NAMES)}",
+    )
+    character.add_argument("--max-cores", type=int, default=12)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scale == "paper":
+        scenario: Scenario = paper_scale_scenario(
+            duration_days=args.days, seed=args.seed
+        )
+    else:
+        scenario = small_scenario(duration_days=args.days, seed=args.seed)
+    print(
+        f"Simulating {scenario.trace_config.duration_days:g} day(s) on "
+        f"{scenario.cluster_config.num_nodes} nodes / "
+        f"{scenario.cluster_config.total_gpus} GPUs under "
+        f"{args.policy.upper()} (seed {args.seed}) ..."
+    )
+    result = run_scenario(scenario, _POLICIES[args.policy]())
+    collector = result.collector
+    gpu_queue = collector.queueing_times(
+        JobKind.GPU, include_unstarted_until=result.horizon_s
+    )
+    cpu_queue = collector.queueing_times(
+        JobKind.CPU, include_unstarted_until=result.horizon_s
+    )
+    tracker = collector.fragmentation
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ("finished GPU jobs", result.finished_gpu_jobs),
+                ("finished CPU jobs", result.finished_cpu_jobs),
+                ("GPU utilization", f"{collector.gpu_utilization.mean():.3f}"),
+                ("GPU active rate", f"{collector.gpu_active_rate.mean():.3f}"),
+                (
+                    "avg fragmentation",
+                    f"{tracker.fragmentation_rate() * tracker.contended_fraction():.3f}",
+                ),
+                (
+                    "GPU jobs queued >10 min",
+                    f"{fraction_exceeding(gpu_queue, 600.0):.3f}",
+                ),
+                (
+                    "CPU jobs started <=3 min",
+                    f"{fraction_at_most(cpu_queue, 180.0):.3f}",
+                ),
+                ("preemptions", result.preemptions),
+                ("simulation events", result.events_fired),
+            ],
+            title=f"\n{args.policy.upper()} summary:",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.scale == "paper":
+        scenario: Scenario = paper_scale_scenario(
+            duration_days=args.days, seed=args.seed
+        )
+    else:
+        scenario = small_scenario(duration_days=args.days, seed=args.seed)
+    rows = []
+    for name in ("fifo", "drf", "coda"):
+        result = run_scenario(scenario, _POLICIES[name]())
+        collector = result.collector
+        gpu_queue = collector.queueing_times(
+            JobKind.GPU, include_unstarted_until=result.horizon_s
+        )
+        tracker = collector.fragmentation
+        rows.append(
+            (
+                name,
+                f"{collector.gpu_utilization.mean():.3f}",
+                f"{collector.gpu_active_rate.mean():.3f}",
+                f"{tracker.fragmentation_rate() * tracker.contended_fraction():.3f}",
+                f"{fraction_at_most(gpu_queue, 1.0):.3f}",
+                result.finished_gpu_jobs,
+            )
+        )
+    print(
+        render_table(
+            [
+                "policy",
+                "gpu util",
+                "active rate",
+                "avg frag",
+                "gpu no-queue",
+                "gpu done",
+            ],
+            rows,
+            title="FIFO vs DRF vs CODA:",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = TraceConfig(
+        duration_days=args.days,
+        gpu_jobs_per_day=args.gpu_jobs_per_day,
+        cpu_jobs_per_day=args.cpu_jobs_per_day,
+        seed=args.seed,
+    )
+    trace = generate_trace(config)
+    save_trace(trace, args.output)
+    print(
+        f"Wrote {len(trace.jobs)} jobs ({len(trace.gpu_jobs)} GPU, "
+        f"{len(trace.cpu_jobs)} CPU) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    profile = get_model(args.model)
+    setup = TrainSetup(1, 1)
+    best = optimal_cores(profile, setup)
+    print(
+        f"{profile.name} ({profile.domain.value}/{profile.arch}, "
+        f"{profile.dataset}) — 1N1G optimum: {best} cores, bandwidth "
+        f"{memory_bandwidth_demand(profile, setup, best):.1f} GB/s"
+    )
+    print(
+        render_table(
+            ["cores", "GPU utilization"],
+            [
+                (cores, f"{util:.3f}")
+                for cores, util in utilization_curve(
+                    profile, setup, args.max_cores
+                )
+            ],
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "characterize":
+        return _cmd_characterize(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Cluster resource substrate.
+
+Models the paper's testbed: ~80 PCIe multi-GPU servers, each with two CPU
+sockets (2 x 14 cores of Xeon Gold 6132), a shared memory system with finite
+bandwidth and last-level cache, a PCIe fabric to the GPUs, and a NIC for
+multi-node training.  The scheduler-visible resources are **CPU cores** and
+**GPUs**; memory bandwidth, LLC, and PCIe are *contention* resources that the
+node tracks for the performance model and the contention eliminator.
+"""
+
+from repro.cluster.allocation import Allocation, NodeShare
+from repro.cluster.cluster import Cluster
+from repro.cluster.gpu import Gpu
+from repro.cluster.interconnect import Interconnect
+from repro.cluster.mba import MbaController
+from repro.cluster.mbm import BandwidthMonitor, BandwidthUsage
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+from repro.cluster.topology import RackedInterconnect, RackTopology
+
+__all__ = [
+    "Allocation",
+    "BandwidthMonitor",
+    "BandwidthUsage",
+    "Cluster",
+    "Gpu",
+    "Interconnect",
+    "MbaController",
+    "Node",
+    "NodeShare",
+    "RackTopology",
+    "RackedInterconnect",
+    "ResourceVector",
+]

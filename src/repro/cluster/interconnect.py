@@ -1,0 +1,44 @@
+"""Inter-node network for multi-node training.
+
+The testbed uses 10 Gb/s Infiniband (Sec. IV-B2).  Multi-node data-parallel
+training synchronizes gradients every iteration; with a parameter server the
+traffic per worker per iteration is one push (gradients) plus one pull
+(updated weights), each the size of the model.  The paper observes that this
+costs every model 25-30 % versus 1N4G and pins the per-node CPU demand at
+<=2 cores — both of which fall out of this timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Cluster network fabric (bandwidth in GB/s per node link)."""
+
+    link_gbps: float = 1.25  # 10 Gb/s
+    latency_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.link_gbps <= 0:
+            raise ValueError(f"link bandwidth must be positive: {self.link_gbps}")
+        if self.latency_s < 0:
+            raise ValueError(f"negative latency: {self.latency_s}")
+
+    def sync_time(self, model_bytes: float, num_nodes: int) -> float:
+        """Per-iteration gradient-synchronization time across ``num_nodes``.
+
+        Single-node jobs synchronize over PCIe/QPI, which the paper treats
+        as negligible ("the impact of local communication on the overall
+        process is small"), so this returns 0 for ``num_nodes <= 1``.
+        """
+        if num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1: {num_nodes}")
+        if model_bytes < 0:
+            raise ValueError(f"negative model size: {model_bytes}")
+        if num_nodes == 1:
+            return 0.0
+        push_pull_bytes = 2.0 * model_bytes
+        transfer = push_pull_bytes / (self.link_gbps * 1e9)
+        return transfer + 2 * self.latency_s

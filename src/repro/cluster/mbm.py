@@ -1,0 +1,168 @@
+"""Memory-bandwidth monitoring (the simulated Intel MBM).
+
+The paper's contention eliminator uses Intel Memory Bandwidth Monitoring to
+read, per node, (a) the total memory bandwidth in use and (b) each job's
+contribution (Sec. V-D).  Here the monitor is also the arbiter: given each
+job's *demand* (from the performance model) and any per-job caps (from the
+simulated MBA, :mod:`repro.cluster.mba`), it computes each job's *granted*
+bandwidth by max-min fair water-filling over the node's capacity.
+
+A job whose grant is below its demand runs its memory-bound work slower by
+the ratio ``granted / demand`` — that is how contention reaches the
+performance model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class BandwidthUsage:
+    """One job's bandwidth state on one node (all values in GB/s)."""
+
+    job_id: str
+    demand: float
+    is_cpu_job: bool
+    is_inference: bool = False
+    cap: Optional[float] = None
+    granted: float = 0.0
+
+    @property
+    def effective_demand(self) -> float:
+        """Demand after applying any MBA cap."""
+        if self.cap is None:
+            return self.demand
+        return min(self.demand, self.cap)
+
+
+class BandwidthMonitor:
+    """Per-node bandwidth accounting and fair-share arbitration."""
+
+    def __init__(self, capacity_gbps: float) -> None:
+        if capacity_gbps <= 0:
+            raise ValueError(f"bandwidth capacity must be positive: {capacity_gbps}")
+        self.capacity_gbps = float(capacity_gbps)
+        self._usages: Dict[str, BandwidthUsage] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+
+    def register(
+        self,
+        job_id: str,
+        demand_gbps: float,
+        *,
+        is_cpu_job: bool,
+        is_inference: bool = False,
+    ) -> None:
+        """Start tracking ``job_id`` with the given bandwidth demand."""
+        if demand_gbps < 0:
+            raise ValueError(f"negative bandwidth demand for {job_id}: {demand_gbps}")
+        if job_id in self._usages:
+            raise RuntimeError(f"job {job_id} already registered on this monitor")
+        self._usages[job_id] = BandwidthUsage(
+            job_id=job_id,
+            demand=float(demand_gbps),
+            is_cpu_job=is_cpu_job,
+            is_inference=is_inference,
+        )
+        self._arbitrate()
+
+    def update_demand(self, job_id: str, demand_gbps: float) -> None:
+        """Change a registered job's demand (e.g., the model changed phase)."""
+        if demand_gbps < 0:
+            raise ValueError(f"negative bandwidth demand for {job_id}: {demand_gbps}")
+        self._usages[job_id].demand = float(demand_gbps)
+        self._arbitrate()
+
+    def unregister(self, job_id: str) -> None:
+        """Stop tracking ``job_id``; silently ignores unknown ids so release
+        paths do not have to know whether a job ever touched memory."""
+        if self._usages.pop(job_id, None) is not None:
+            self._arbitrate()
+
+    # ------------------------------------------------------------------ #
+    # Throttling (driven by the MBA controller)
+
+    def set_cap(self, job_id: str, cap_gbps: Optional[float]) -> None:
+        """Apply (or with ``None``, lift) an MBA throttle on ``job_id``."""
+        if cap_gbps is not None and cap_gbps < 0:
+            raise ValueError(f"negative bandwidth cap for {job_id}: {cap_gbps}")
+        self._usages[job_id].cap = cap_gbps
+        self._arbitrate()
+
+    # ------------------------------------------------------------------ #
+    # Readings (what the eliminator sees)
+
+    @property
+    def total_demand(self) -> float:
+        return sum(usage.effective_demand for usage in self._usages.values())
+
+    @property
+    def total_granted(self) -> float:
+        return sum(usage.granted for usage in self._usages.values())
+
+    @property
+    def pressure(self) -> float:
+        """Total granted bandwidth as a fraction of capacity, in [0, 1]."""
+        return self.total_granted / self.capacity_gbps
+
+    def usage_of(self, job_id: str) -> BandwidthUsage:
+        return self._usages[job_id]
+
+    def has(self, job_id: str) -> bool:
+        return job_id in self._usages
+
+    def cpu_job_usages(self) -> Dict[str, BandwidthUsage]:
+        """CPU jobs' usages, sorted view for the eliminator to pick victims."""
+        return {
+            job_id: usage
+            for job_id, usage in self._usages.items()
+            if usage.is_cpu_job
+        }
+
+    def grant_ratio(self, job_id: str) -> float:
+        """granted / demand for ``job_id`` — 1.0 means uncontended.
+
+        Jobs with zero demand are by definition uncontended.
+        """
+        usage = self._usages[job_id]
+        if usage.demand <= 0:
+            return 1.0
+        return usage.granted / usage.demand
+
+    # ------------------------------------------------------------------ #
+    # Arbitration
+
+    def _arbitrate(self) -> None:
+        """Max-min fair water-filling of capacity over effective demands.
+
+        Classic algorithm: repeatedly split the remaining capacity equally
+        among unsatisfied jobs; jobs whose demand is below the equal share
+        are granted their demand exactly and leave the pool.
+        """
+        pending = [u for u in self._usages.values() if u.effective_demand > 0]
+        for usage in self._usages.values():
+            usage.granted = 0.0
+        remaining = self.capacity_gbps
+        while pending and remaining > 1e-12:
+            fair_share = remaining / len(pending)
+            satisfied = [u for u in pending if u.effective_demand <= fair_share]
+            if satisfied:
+                for usage in satisfied:
+                    usage.granted = usage.effective_demand
+                    remaining -= usage.effective_demand
+                pending = [u for u in pending if u.effective_demand > fair_share]
+            else:
+                for usage in pending:
+                    usage.granted = fair_share
+                remaining = 0.0
+                pending = []
+        # Guard against float drift producing grants epsilon above demand.
+        for usage in self._usages.values():
+            usage.granted = min(usage.granted, usage.effective_demand)
+            if math.isnan(usage.granted):
+                raise ArithmeticError(f"NaN bandwidth grant for {usage.job_id}")

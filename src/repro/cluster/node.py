@@ -1,0 +1,238 @@
+"""One server of the cluster.
+
+A node owns its CPU cores, its GPUs, and the shared memory-system resources
+(bandwidth monitor + MBA throttle, PCIe meter, LLC occupancy).  All resource
+state transitions are guarded: over-allocation, double release, or resizing
+a job that is not present raise immediately rather than corrupting the
+bookkeeping on which every experiment result depends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.allocation import NodeShare
+from repro.cluster.gpu import Gpu
+from repro.cluster.mba import MbaController
+from repro.cluster.mbm import BandwidthMonitor
+from repro.cluster.resources import ResourceVector
+from repro.config import NodeConfig
+
+
+@dataclass
+class PcieMeter:
+    """Host PCIe fabric accounting (all values in GB/s).
+
+    PCIe is not schedulable; the meter only answers "by how much is H2D
+    traffic stretched".  Demands beyond capacity degrade everyone
+    proportionally (fair-share ratio), which is what the co-location
+    measurements of Sec. IV-C3 show: two light jobs coexist freely, and a
+    heavy CV model inflicts a uniform 5-10 % penalty.
+    """
+
+    capacity_gbps: float
+    demands: Dict[str, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.demands is None:
+            self.demands = {}
+
+    def register(self, job_id: str, demand_gbps: float) -> None:
+        if demand_gbps < 0:
+            raise ValueError(f"negative PCIe demand for {job_id}")
+        self.demands[job_id] = float(demand_gbps)
+
+    def unregister(self, job_id: str) -> None:
+        self.demands.pop(job_id, None)
+
+    @property
+    def total_demand(self) -> float:
+        return sum(self.demands.values())
+
+    def grant_ratio(self) -> float:
+        """Fraction of demanded PCIe throughput actually achieved (<=1)."""
+        total = self.total_demand
+        if total <= self.capacity_gbps:
+            return 1.0
+        return self.capacity_gbps / total
+
+
+class Node:
+    """A single multi-GPU server."""
+
+    def __init__(self, node_id: int, config: NodeConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.gpus: List[Gpu] = [Gpu(gpu_id=i) for i in range(config.gpus)]
+        self.bandwidth = BandwidthMonitor(config.mem_bandwidth_gbps)
+        self.mba = MbaController(
+            monitor=self.bandwidth, supported=config.mba_supported
+        )
+        self.pcie = PcieMeter(capacity_gbps=config.pcie_gbps)
+        self.llc_occupancy_mb: Dict[str, float] = {}
+        self._shares: Dict[str, NodeShare] = {}
+        self._used_cpus = 0
+
+    # ------------------------------------------------------------------ #
+    # Capacity queries
+
+    @property
+    def total_cpus(self) -> int:
+        return self.config.cores
+
+    @property
+    def total_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def used_cpus(self) -> int:
+        return self._used_cpus
+
+    @property
+    def free_cpus(self) -> int:
+        return self.config.cores - self._used_cpus
+
+    @property
+    def free_gpu_ids(self) -> List[int]:
+        return [gpu.gpu_id for gpu in self.gpus if gpu.is_free]
+
+    @property
+    def free_gpus(self) -> int:
+        return len(self.free_gpu_ids)
+
+    @property
+    def used_gpus(self) -> int:
+        return self.total_gpus - self.free_gpus
+
+    @property
+    def free_vector(self) -> ResourceVector:
+        return ResourceVector(cpus=self.free_cpus, gpus=self.free_gpus)
+
+    def can_fit(self, cpus: int, gpus: int) -> bool:
+        return cpus <= self.free_cpus and gpus <= self.free_gpus
+
+    def jobs_here(self) -> List[str]:
+        return list(self._shares)
+
+    def share_of(self, job_id: str) -> NodeShare:
+        return self._shares[job_id]
+
+    def holds(self, job_id: str) -> bool:
+        return job_id in self._shares
+
+    # ------------------------------------------------------------------ #
+    # Allocation lifecycle
+
+    def allocate(self, job_id: str, cpus: int, gpus: int) -> NodeShare:
+        """Grant ``cpus`` cores and ``gpus`` specific GPUs to ``job_id``."""
+        if job_id in self._shares:
+            raise RuntimeError(f"job {job_id} already placed on node {self.node_id}")
+        if cpus < 0 or gpus < 0:
+            raise ValueError(f"negative request from {job_id}: {cpus}c/{gpus}g")
+        if not self.can_fit(cpus, gpus):
+            raise RuntimeError(
+                f"node {self.node_id} cannot fit {cpus}c/{gpus}g for {job_id} "
+                f"(free: {self.free_cpus}c/{self.free_gpus}g)"
+            )
+        granted_ids: Tuple[int, ...] = tuple(self.free_gpu_ids[:gpus])
+        for gpu_id in granted_ids:
+            self.gpus[gpu_id].assign(job_id)
+        self._used_cpus += cpus
+        share = NodeShare(node_id=self.node_id, cpus=cpus, gpu_ids=granted_ids)
+        self._shares[job_id] = share
+        return share
+
+    def release(self, job_id: str) -> NodeShare:
+        """Return everything ``job_id`` holds here, including contention
+        registrations, so a released job leaves no residue behind."""
+        share = self._shares.pop(job_id, None)
+        if share is None:
+            raise RuntimeError(f"job {job_id} holds nothing on node {self.node_id}")
+        for gpu_id in share.gpu_ids:
+            self.gpus[gpu_id].release(job_id)
+        self._used_cpus -= share.cpus
+        self.mba.release(job_id)
+        self.bandwidth.unregister(job_id)
+        self.pcie.unregister(job_id)
+        self.llc_occupancy_mb.pop(job_id, None)
+        return share
+
+    def resize_cpus(self, job_id: str, new_cpus: int) -> NodeShare:
+        """Change the core count of a resident job (adaptive allocator)."""
+        share = self._shares.get(job_id)
+        if share is None:
+            raise RuntimeError(f"job {job_id} holds nothing on node {self.node_id}")
+        if new_cpus < 0:
+            raise ValueError(f"negative core count for {job_id}: {new_cpus}")
+        delta = new_cpus - share.cpus
+        if delta > self.free_cpus:
+            raise RuntimeError(
+                f"node {self.node_id} cannot grow {job_id} by {delta} cores "
+                f"(free: {self.free_cpus})"
+            )
+        self._used_cpus += delta
+        new_share = NodeShare(
+            node_id=self.node_id, cpus=new_cpus, gpu_ids=share.gpu_ids
+        )
+        self._shares[job_id] = new_share
+        return new_share
+
+    # ------------------------------------------------------------------ #
+    # Contention-resource registration
+
+    def register_memory_traffic(
+        self,
+        job_id: str,
+        demand_gbps: float,
+        *,
+        is_cpu_job: bool,
+        is_inference: bool = False,
+        llc_mb: float = 0.0,
+        pcie_gbps: float = 0.0,
+    ) -> None:
+        """Declare a resident job's memory-system footprint."""
+        if not self.holds(job_id):
+            raise RuntimeError(
+                f"job {job_id} must be placed on node {self.node_id} before "
+                "registering memory traffic"
+            )
+        self.bandwidth.register(
+            job_id, demand_gbps, is_cpu_job=is_cpu_job, is_inference=is_inference
+        )
+        if llc_mb > 0:
+            self.llc_occupancy_mb[job_id] = llc_mb
+        if pcie_gbps > 0:
+            self.pcie.register(job_id, pcie_gbps)
+
+    @property
+    def llc_pressure(self) -> float:
+        """Total requested LLC occupancy over capacity (can exceed 1)."""
+        total = sum(self.llc_occupancy_mb.values())
+        return total / self.config.llc_mb
+
+    # ------------------------------------------------------------------ #
+    # GPU utilization (for metrics and the eliminator)
+
+    def set_gpu_utilization(self, job_id: str, utilization: float) -> None:
+        """Record the owning job's current utilization on its GPUs."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization out of range: {utilization}")
+        share = self._shares.get(job_id)
+        if share is None:
+            raise RuntimeError(f"job {job_id} holds nothing on node {self.node_id}")
+        for gpu_id in share.gpu_ids:
+            self.gpus[gpu_id].utilization = utilization
+
+    def mean_active_gpu_utilization(self) -> Optional[float]:
+        """Average utilization across this node's *owned* GPUs, or None."""
+        utils = [gpu.utilization for gpu in self.gpus if not gpu.is_free]
+        if not utils:
+            return None
+        return sum(utils) / len(utils)
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(id={self.node_id}, cpus={self.used_cpus}/{self.total_cpus}, "
+            f"gpus={self.used_gpus}/{self.total_gpus})"
+        )

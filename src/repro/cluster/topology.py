@@ -1,0 +1,107 @@
+"""Rack topology.
+
+The paper's testbed interconnects its ~80 servers with 10 Gb/s Infiniband
+(Sec. IV-B2) and says nothing further about structure; production clusters
+of that size are racked, with inter-rack links oversubscribed relative to
+intra-rack ones.  This module adds that structure as an *optional* layer:
+a flat topology (every node in one rack) reproduces the paper's setting
+exactly, while a racked topology lets the scheduler's rack-aware gang
+placement (an extension) and the interconnect's oversubscription model be
+studied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.cluster.interconnect import Interconnect
+
+
+@dataclass(frozen=True)
+class RackTopology:
+    """Assignment of node ids to racks."""
+
+    rack_of_node: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node_id, rack_id in self.rack_of_node.items():
+            if node_id < 0 or rack_id < 0:
+                raise ValueError(
+                    f"negative id in topology: node {node_id} rack {rack_id}"
+                )
+
+    @classmethod
+    def flat(cls, num_nodes: int) -> "RackTopology":
+        """Everything in one rack — the paper's (unstated) structure."""
+        return cls(rack_of_node={node_id: 0 for node_id in range(num_nodes)})
+
+    @classmethod
+    def uniform(cls, num_nodes: int, nodes_per_rack: int) -> "RackTopology":
+        """Consecutive node ids fill racks of ``nodes_per_rack``."""
+        if nodes_per_rack < 1:
+            raise ValueError(f"nodes_per_rack must be >= 1: {nodes_per_rack}")
+        return cls(
+            rack_of_node={
+                node_id: node_id // nodes_per_rack
+                for node_id in range(num_nodes)
+            }
+        )
+
+    def rack_of(self, node_id: int) -> int:
+        rack = self.rack_of_node.get(node_id)
+        if rack is None:
+            raise KeyError(f"node {node_id} not in topology")
+        return rack
+
+    def racks(self) -> List[int]:
+        return sorted(set(self.rack_of_node.values()))
+
+    def nodes_in_rack(self, rack_id: int) -> Set[int]:
+        return {
+            node_id
+            for node_id, rack in self.rack_of_node.items()
+            if rack == rack_id
+        }
+
+    def same_rack(self, node_ids: Iterable[int]) -> bool:
+        """True when every given node shares one rack (or none given)."""
+        racks = {self.rack_of(node_id) for node_id in node_ids}
+        return len(racks) <= 1
+
+    @property
+    def num_racks(self) -> int:
+        return len(set(self.rack_of_node.values()))
+
+
+@dataclass(frozen=True)
+class RackedInterconnect:
+    """Two-tier fabric: full-speed links inside a rack, an oversubscribed
+    core between racks.
+
+    ``oversubscription`` is the classic ratio: an inter-rack flow sees
+    ``link_gbps / oversubscription``.  1.0 degenerates to the flat fabric.
+    """
+
+    topology: RackTopology
+    intra_rack: Interconnect = field(default_factory=Interconnect)
+    oversubscription: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1: {self.oversubscription}"
+            )
+
+    @property
+    def inter_rack(self) -> Interconnect:
+        return Interconnect(
+            link_gbps=self.intra_rack.link_gbps / self.oversubscription,
+            latency_s=self.intra_rack.latency_s * 2,
+        )
+
+    def for_nodes(self, node_ids: Sequence[int]) -> Interconnect:
+        """The fabric a gang spanning ``node_ids`` synchronizes over."""
+        if self.topology.same_rack(node_ids):
+            return self.intra_rack
+        return self.inter_rack

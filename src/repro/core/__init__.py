@@ -1,0 +1,46 @@
+"""CODA — the paper's contribution.
+
+Three cooperating components (Fig. 8):
+
+* :class:`~repro.core.allocator.AdaptiveCpuAllocator` — picks each DNN
+  training job's starting core count from its category, its owner's
+  history, and optional hints, then feedback-tunes it in 90-second
+  profiling steps (Sec. V-B);
+* :class:`~repro.core.multiarray.MultiArrayScheduler` — splits resources
+  into a CPU array and a GPU array (itself split into 1-GPU and 4-GPU
+  sub-arrays), runs DRF inside each, and lets arrays preempt each other's
+  idle resources (Sec. V-C);
+* :class:`~repro.core.eliminator.ContentionEliminator` — watches per-node
+  memory bandwidth and throttles offending CPU jobs via MBA, falling back
+  to halving their cores on nodes without MBA (Sec. V-D).
+
+:class:`~repro.core.coda.CodaScheduler` wires them together behind the
+standard :class:`~repro.schedulers.base.Scheduler` interface.
+"""
+
+from repro.core.allocator import AdaptiveCpuAllocator
+from repro.core.coda import CodaConfig, CodaScheduler
+from repro.core.eliminator import ContentionEliminator, EliminatorConfig
+from repro.core.historylog import TenantHistory
+from repro.core.multiarray import MultiArrayScheduler
+from repro.core.nstart import CATEGORY_DEFAULTS, determine_n_start
+from repro.core.provisioning import (
+    suggest_four_gpu_fraction,
+    suggest_reservation,
+)
+from repro.core.tuning import TuningSession
+
+__all__ = [
+    "AdaptiveCpuAllocator",
+    "CATEGORY_DEFAULTS",
+    "CodaConfig",
+    "CodaScheduler",
+    "ContentionEliminator",
+    "EliminatorConfig",
+    "MultiArrayScheduler",
+    "TenantHistory",
+    "TuningSession",
+    "determine_n_start",
+    "suggest_four_gpu_fraction",
+    "suggest_reservation",
+]

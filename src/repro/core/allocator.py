@@ -1,0 +1,224 @@
+"""The adaptive CPU allocator (Sec. V-B).
+
+Responsibilities:
+
+* pick N_start for every arriving DNN training job (category + owner
+  history + hints, :mod:`repro.core.nstart`);
+* after the job starts, run 90-second profiling steps: measure GPU
+  utilization, feed the :class:`~repro.core.tuning.TuningSession`, and
+  retune the job's cores through the scheduler context until the session
+  settles;
+* on completion, write the tuned outcome into the tenant history log so
+  the owner's next similar job starts at (or next to) the optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.historylog import TenantHistory
+from repro.core.nstart import determine_n_start
+from repro.core.tuning import DEFAULT_EPSILON, TuningSession
+from repro.schedulers.base import SchedulerContext
+from repro.workload.job import GpuJob
+
+#: Sec. VI-F: "we sample the GPU utilization for each profiling step that
+#: lasts 90 seconds".
+PROFILING_STEP_S = 90.0
+
+
+@dataclass
+class _ActiveSession:
+    job: GpuJob
+    session: TuningSession
+    event_handle: object = None
+
+
+@dataclass
+class TuningOutcome:
+    """Recorded per job, for Table II and Fig. 14."""
+
+    job_id: str
+    model_name: str
+    n_start: int
+    tuned_cores: int
+    profiling_steps: int
+    requested_cpus: int
+
+
+class AdaptiveCpuAllocator:
+    """Feedback-based per-job CPU allocation."""
+
+    def __init__(
+        self,
+        *,
+        profiling_step_s: float = PROFILING_STEP_S,
+        epsilon: float = DEFAULT_EPSILON,
+        max_cores_per_job: int = 24,
+        history_window: int = 20,
+    ) -> None:
+        if profiling_step_s <= 0:
+            raise ValueError(f"non-positive profiling step: {profiling_step_s}")
+        if max_cores_per_job < 1:
+            raise ValueError(f"max_cores_per_job must be >= 1")
+        self.profiling_step_s = profiling_step_s
+        self.epsilon = epsilon
+        self.max_cores_per_job = max_cores_per_job
+        self.history = TenantHistory(window=history_window)
+        self.outcomes: Dict[str, TuningOutcome] = {}
+        self._active: Dict[str, _ActiveSession] = {}
+        self._known_cores: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Placement-time: what cores should this job start with?
+
+    def initial_cores(self, job: GpuJob, *, node_cores: int) -> int:
+        """The per-node core count to place ``job`` with.
+
+        A job already tuned in this run (e.g., migrated by the multi-array
+        scheduler) restarts at its tuned allocation; otherwise N_start.
+        """
+        known = self._known_cores.get(job.job_id)
+        if known is not None:
+            return min(known, node_cores)
+        return determine_n_start(
+            job,
+            self.history,
+            max_cores=min(self.max_cores_per_job, node_cores),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Runtime: profiling-step loop
+
+    def on_job_started(
+        self, job: GpuJob, cores_per_node: int, context: SchedulerContext
+    ) -> None:
+        """Begin (or skip) tuning for a job that just started running."""
+        if job.job_id in self._known_cores:
+            return  # migrated back in at its tuned allocation
+        if job.job_id in self._active:
+            return
+        session = TuningSession(
+            n_start=cores_per_node,
+            min_cores=1,
+            max_cores=self.max_cores_per_job,
+            epsilon=self.epsilon,
+        )
+        active = _ActiveSession(job=job, session=session)
+        self._active[job.job_id] = active
+        self._arm_step(active, context)
+
+    def on_job_finished(self, job: GpuJob, final_cores: Optional[int]) -> None:
+        """Record the outcome and tear down any in-flight session."""
+        active = self._active.pop(job.job_id, None)
+        if active is not None and active.event_handle is not None:
+            active.event_handle.cancel()
+        tuned = self._known_cores.pop(job.job_id, None)
+        if tuned is None:
+            if active is not None:
+                tuned = active.session.best_cores
+            elif final_cores is not None:
+                tuned = final_cores
+            else:
+                return
+        steps = active.session.steps_taken if active is not None else 0
+        self.outcomes.setdefault(
+            job.job_id,
+            TuningOutcome(
+                job_id=job.job_id,
+                model_name=job.model_name,
+                n_start=active.session.n_start if active else tuned,
+                tuned_cores=tuned,
+                profiling_steps=steps,
+                requested_cpus=job.requested_cpus,
+            ),
+        )
+        self._record_history(job, tuned)
+
+    def on_job_preempted(self, job: GpuJob, current_cores: int) -> None:
+        """A running job was migrated; remember where tuning stood."""
+        active = self._active.pop(job.job_id, None)
+        if active is not None:
+            if active.event_handle is not None:
+                active.event_handle.cancel()
+            self._known_cores[job.job_id] = active.session.best_cores
+        else:
+            self._known_cores.setdefault(job.job_id, current_cores)
+
+    def tuned_cores(self, job_id: str) -> Optional[int]:
+        return self._known_cores.get(job_id)
+
+    def is_tuning(self, job_id: str) -> bool:
+        return job_id in self._active
+
+    # ------------------------------------------------------------------ #
+    # Internals
+
+    def _arm_step(self, active: _ActiveSession, context: SchedulerContext) -> None:
+        active.event_handle = context.schedule_event(
+            self.profiling_step_s,
+            lambda: self._on_step(active.job.job_id, context),
+            tag=f"profile:{active.job.job_id}",
+        )
+
+    def _on_step(self, job_id: str, context: SchedulerContext) -> None:
+        active = self._active.get(job_id)
+        if active is None:
+            return  # job finished or was preempted before the step fired
+        session = active.session
+        cores = session.next_cores
+        if cores is None:
+            self._finish_session(job_id, context)
+            return
+        try:
+            utilization = context.gpu_job_utilization(job_id)
+        except KeyError:
+            # The job is no longer running; the finish/preempt hooks will
+            # (or already did) clean up.
+            return
+        next_cores = session.record(cores, utilization)
+        if next_cores is None:
+            self._finish_session(job_id, context)
+            return
+        if not context.resize_gpu_job_cores(job_id, next_cores):
+            # The node cannot grow the job right now; settle for the best
+            # allocation seen and fall back to it.
+            session.abort()
+            context.resize_gpu_job_cores(job_id, session.best_cores)
+            self._finish_session(job_id, context)
+            return
+        self._arm_step(active, context)
+
+    def _finish_session(self, job_id: str, context: SchedulerContext) -> None:
+        active = self._active.pop(job_id, None)
+        if active is None:
+            return
+        session = active.session
+        best = session.best_cores
+        self._known_cores[job_id] = best
+        context.resize_gpu_job_cores(job_id, best)
+        self.outcomes[job_id] = TuningOutcome(
+            job_id=job_id,
+            model_name=active.job.model_name,
+            n_start=session.n_start,
+            tuned_cores=best,
+            profiling_steps=session.steps_taken,
+            requested_cpus=active.job.requested_cpus,
+        )
+
+    def _record_history(self, job: GpuJob, tuned_cores: int) -> None:
+        """Single-node outcomes feed the history, normalized per GPU so a
+        future 4-GPU job scales a 1-GPU precedent correctly.  Multi-node
+        outcomes are excluded: their 2-core network-bound allocations say
+        nothing about the model's real appetite."""
+        if job.setup.num_nodes > 1:
+            return
+        per_gpu = max(1, round(tuned_cores / job.setup.gpus_per_node))
+        self.history.record(
+            tenant_id=job.tenant_id,
+            job_id=job.job_id,
+            model_name=job.model_name,
+            category=job.category,
+            tuned_cores=per_gpu,
+        )

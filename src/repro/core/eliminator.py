@@ -1,0 +1,198 @@
+"""The real-time contention eliminator (Sec. V-D).
+
+Control loop, per node, every monitoring tick:
+
+1. read total memory-bandwidth usage (the simulated MBM);
+2. if it exceeds the threshold (75 % of capacity by default) *and* a
+   co-located DNN training job's GPU utilization has dropped below its
+   observed peak, pick the CPU job granted the most bandwidth and throttle
+   it one MBA level;
+3. on nodes without MBA support, halve that CPU job's cores instead.
+
+Only CPU jobs are ever throttled: "DNN training jobs have higher priority
+than all CPU jobs", and trainers do not contend with each other severely
+(Sec. IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.perfmodel.contention import BANDWIDTH_PRESSURE_THRESHOLD
+from repro.schedulers.base import SchedulerContext
+
+
+@dataclass(frozen=True)
+class EliminatorConfig:
+    """Knobs of the eliminator loop."""
+
+    bandwidth_threshold: float = BANDWIDTH_PRESSURE_THRESHOLD
+    monitor_interval_s: float = 30.0
+    utilization_drop: float = 0.01
+    #: Only CPU jobs granted at least this share of node bandwidth count as
+    #: "bandwidth-intensive programs" (Sec. VI-E) worth restricting; below
+    #: it the pressure is the trainers' own, which Sec. IV-C deems benign.
+    min_victim_share: float = 0.08
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.bandwidth_threshold <= 1.0:
+            raise ValueError(
+                f"bandwidth threshold out of (0, 1]: {self.bandwidth_threshold}"
+            )
+        if self.monitor_interval_s <= 0:
+            raise ValueError(
+                f"non-positive monitor interval: {self.monitor_interval_s}"
+            )
+        if self.utilization_drop < 0:
+            raise ValueError(f"negative utilization drop: {self.utilization_drop}")
+        if not 0.0 <= self.min_victim_share <= 1.0:
+            raise ValueError(
+                f"min_victim_share out of [0, 1]: {self.min_victim_share}"
+            )
+
+
+@dataclass
+class ContentionEliminator:
+    """Per-cluster bandwidth-contention policeman."""
+
+    config: EliminatorConfig = field(default_factory=EliminatorConfig)
+    throttle_actions: int = 0
+    halving_actions: int = 0
+    _peak_util: Dict[str, float] = field(default_factory=dict)
+    _armed: bool = field(default=False)
+
+    def start(self, context: SchedulerContext) -> None:
+        """Arm the periodic monitor (idempotent, no-op when disabled)."""
+        if not self.config.enabled or self._armed:
+            return
+        self._armed = True
+        self._arm(context)
+
+    def _arm(self, context: SchedulerContext) -> None:
+        context.schedule_event(
+            self.config.monitor_interval_s,
+            lambda: self._tick(context),
+            tag="eliminator-tick",
+        )
+
+    def _tick(self, context: SchedulerContext) -> None:
+        for node in context.cluster.nodes:
+            self._check_node(node, context)
+        self._arm(context)
+
+    # ------------------------------------------------------------------ #
+
+    def _check_node(self, node, context: SchedulerContext) -> None:
+        pressure = node.bandwidth.pressure
+        if pressure < self.config.bandwidth_threshold:
+            self._relax_node(node, context)
+            return
+        if not self._training_degraded(node, context):
+            return
+        victim = self._pick_victim(
+            node, self.config.min_victim_share * node.bandwidth.capacity_gbps
+        )
+        if victim is None:
+            return
+        if node.mba.supported:
+            steps = self._throttle_steps_needed(node, victim)
+            throttled = False
+            for _ in range(steps):
+                if not context.throttle_cpu_job(victim, node.node_id):
+                    break
+                throttled = True
+            if throttled:
+                self.throttle_actions += 1
+        else:
+            context.halve_cpu_job_cores(victim)
+            self.halving_actions += 1
+
+    def _relax_node(self, node, context: SchedulerContext) -> None:
+        """Lift throttles whose reason has passed.
+
+        A throttle is released when the node no longer hosts any training
+        job, or when the node's *unthrottled* demand would stay below the
+        threshold anyway.  Keeping a hog throttled after the trainers left
+        only stretches the hog (and its core occupancy) for nobody's
+        benefit.
+        """
+        throttled = node.mba.throttled_jobs()
+        if not throttled:
+            return
+        has_trainers = any(gpu.owner is not None for gpu in node.gpus)
+        if has_trainers:
+            unthrottled_demand = sum(
+                usage.demand for usage in node.bandwidth._usages.values()
+            )
+            target = self.config.bandwidth_threshold * node.bandwidth.capacity_gbps
+            if unthrottled_demand > target:
+                return
+        for job_id in throttled:
+            context.release_cpu_throttle(job_id, node.node_id)
+
+    def _throttle_steps_needed(self, node, victim: str) -> int:
+        """MBA levels to step down so the node lands below the threshold.
+
+        One throttle *action* may span several 10 % levels: leaving the
+        hog saturating the bus for another interval only stretches both
+        the contention window and the hog itself.
+        """
+        usage = node.bandwidth.usage_of(victim)
+        if usage.demand <= 0:
+            return 1
+        target_total = self.config.bandwidth_threshold * node.bandwidth.capacity_gbps
+        others = node.bandwidth.total_granted - usage.granted
+        desired_cap = max(0.0, target_total - others)
+        desired_level = desired_cap / usage.demand
+        current_level = node.mba.throttle_level(victim)
+        if desired_level >= current_level:
+            return 1
+        # MBA levels are 10 % apart.
+        steps = int(round((current_level - desired_level) / 0.1 + 0.499))
+        return max(1, min(steps, 9))
+
+    def _training_degraded(self, node, context: SchedulerContext) -> bool:
+        """True when some training job on the node runs below what it would
+        reach on a quiet node (the paper's second trigger condition).
+
+        The reference comes from the job's profiling history rather than
+        its observed peak: a trainer placed onto an *already* contended
+        node never exhibits a drop, but is degraded all the same.
+        """
+        for gpu in node.gpus:
+            owner = gpu.owner
+            if owner is None:
+                continue
+            if gpu.utilization > self._peak_util.get(owner, 0.0):
+                self._peak_util[owner] = gpu.utilization
+            try:
+                expected = context.gpu_job_expected_utilization(owner)
+            except KeyError:
+                expected = self._peak_util.get(owner, 0.0)
+            if gpu.utilization < expected - self.config.utilization_drop:
+                return True
+        return False
+
+    @staticmethod
+    def _pick_victim(node, min_granted_gbps: float = 0.0) -> Optional[str]:
+        """The bandwidth-hungriest CPU job on this node, if any qualifies.
+
+        User-facing inference jobs are exempt: they outrank training
+        (Sec. V-A), so they are never throttled.
+        """
+        best: Optional[Tuple[float, str]] = None
+        for job_id, usage in node.bandwidth.cpu_job_usages().items():
+            if usage.is_inference:
+                continue
+            key = (usage.granted, job_id)
+            if best is None or key > best:
+                best = key
+        if best is None or best[0] <= 0 or best[0] < min_granted_gbps:
+            return None
+        return best[1]
+
+    def forget_job(self, job_id: str) -> None:
+        """Drop the peak-utilization memory of a finished job."""
+        self._peak_util.pop(job_id, None)

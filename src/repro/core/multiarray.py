@@ -1,0 +1,683 @@
+"""The multi-array job scheduler (Sec. V-C, Fig. 9).
+
+Queue structure:
+
+* one DRF-scheduled **CPU job array** (dominant resource: CPU cores) whose
+  jobs normally live on the unreserved cores of every node;
+* one DRF-scheduled **GPU job array** (dominant resource: GPUs) whose jobs
+  receive their core counts from the adaptive CPU allocator, split into a
+  **4-GPU sub-array** (jobs demanding >= 4 GPUs, on the GPU-densest nodes)
+  and a **1-GPU sub-array** (everything else).
+
+Cross-array elasticity:
+
+* when every GPU queue is empty, CPU jobs may *borrow* the reserved cores
+  of the GPU array; an arriving GPU job that needs them aborts the
+  borrowers, which "re-enter the array head" losing their progress;
+* a small GPU job may borrow 4-GPU sub-array nodes when its own sub-array
+  is full; when a big job needs the node back, the borrower is *migrated*
+  (preempted with progress preserved — containerized checkpoint/restore)
+  and re-queued at its array head;
+* a big GPU job overflows into the 1-GPU sub-array when its own is full.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.core.allocator import AdaptiveCpuAllocator
+from repro.core.arrays import (
+    DEFAULT_FOUR_GPU_FRACTION,
+    DEFAULT_RESERVED_CORES,
+    FOUR_GPU_THRESHOLD,
+    ArrayLayout,
+    build_layout,
+)
+from repro.schedulers.base import (
+    Decision,
+    PreemptDecision,
+    Scheduler,
+    SchedulerContext,
+    StartDecision,
+    UsageLedger,
+)
+from repro.schedulers.placement import (
+    FreeState,
+    Placement,
+    place_cpu_job,
+    place_gpu_job,
+)
+from repro.workload.job import CpuJob, GpuJob, Job
+
+
+class MultiArrayScheduler(Scheduler):
+    """CODA's queue-and-placement policy."""
+
+    name = "multi-array"
+
+    def __init__(
+        self,
+        allocator: Optional[AdaptiveCpuAllocator] = None,
+        *,
+        reserved_cores: int = DEFAULT_RESERVED_CORES,
+        four_gpu_fraction: float = DEFAULT_FOUR_GPU_FRACTION,
+        contention_aware: bool = False,
+        rack_aware: bool = False,
+    ) -> None:
+        self.allocator = allocator or AdaptiveCpuAllocator()
+        self._reserved_cores = reserved_cores
+        self._four_gpu_fraction = four_gpu_fraction
+        #: Extension (off by default, not part of the paper's design): when
+        #: enabled, GPU placement prefers nodes whose memory-bandwidth and
+        #: PCIe budgets can absorb the new job without crossing the
+        #: contention threshold.
+        self.contention_aware = contention_aware
+        #: Extension: prefer keeping a multi-node gang inside one rack so
+        #: its gradient sync rides the full-speed intra-rack fabric.
+        self.rack_aware = rack_aware
+        self._topology = None
+        self._layout: Optional[ArrayLayout] = None
+        self._context: Optional[SchedulerContext] = None
+
+        #: Separate sub-array queues (Fig. 9): a blocked 4-GPU job must not
+        #: head-of-line block its tenant's 1-GPU jobs, and vice versa.
+        self._gpu_queues_small: Dict[int, Deque[GpuJob]] = {}
+        self._gpu_queues_big: Dict[int, Deque[GpuJob]] = {}
+        self._cpu_queues: Dict[int, Deque[CpuJob]] = {}
+        #: User-facing inference jobs outrank everything (Sec. V-A): their
+        #: own queues drain first and may use any free cores.
+        self._inference_queues: Dict[int, Deque[CpuJob]] = {}
+        self._gpu_ledger = UsageLedger()
+        self._cpu_ledger = UsageLedger()
+
+        self._running: Dict[str, Job] = {}
+        #: CPU jobs sitting on reserved (GPU-array) cores: job_id -> node_id.
+        self._borrowed_cpu: Dict[str, int] = {}
+        #: Small GPU jobs sitting on 4-GPU sub-array nodes: job_id -> node_id.
+        self._borrowed_gpu: Dict[str, int] = {}
+        self._pending_borrow_cpu: Set[str] = set()
+        self._pending_borrow_gpu: Set[str] = set()
+
+    # ------------------------------------------------------------------ #
+    # Scheduler interface
+
+    def attach(self, context: SchedulerContext) -> None:
+        self._context = context
+
+    @property
+    def layout(self) -> Optional[ArrayLayout]:
+        return self._layout
+
+    def submit(self, job: Job, now: float) -> None:
+        if isinstance(job, GpuJob):
+            self._gpu_queue_for(job).append(job)
+        elif isinstance(job, CpuJob):
+            queues = (
+                self._inference_queues if job.is_inference else self._cpu_queues
+            )
+            queues.setdefault(job.tenant_id, deque()).append(job)
+        else:
+            raise TypeError(f"unknown job type: {type(job).__name__}")
+
+    def _gpu_queue_for(self, job: GpuJob) -> Deque[GpuJob]:
+        queues = (
+            self._gpu_queues_big
+            if job.setup.total_gpus >= FOUR_GPU_THRESHOLD
+            else self._gpu_queues_small
+        )
+        return queues.setdefault(job.tenant_id, deque())
+
+    def job_started(
+        self, job: Job, placements: Sequence[Tuple[int, int, int]], now: float
+    ) -> None:
+        # DRF shares were charged at decision time (so one pass stays fair
+        # across tenants); here only the placement-dependent state lands.
+        self._running[job.job_id] = job
+        if isinstance(job, GpuJob):
+            if job.job_id in self._pending_borrow_gpu:
+                self._pending_borrow_gpu.discard(job.job_id)
+                self._borrowed_gpu[job.job_id] = placements[0][0]
+        else:
+            if job.job_id in self._pending_borrow_cpu:
+                self._pending_borrow_cpu.discard(job.job_id)
+                self._borrowed_cpu[job.job_id] = placements[0][0]
+
+    def job_finished(self, job: Job, now: float) -> None:
+        self._forget(job.job_id)
+
+    def job_preempted(self, job: Job, now: float, *, preserve_progress: bool) -> None:
+        self._forget(job.job_id)
+        if isinstance(job, GpuJob):
+            self._gpu_queue_for(job).appendleft(job)
+        elif job.is_inference:
+            self._inference_queues.setdefault(job.tenant_id, deque()).appendleft(job)
+        else:
+            self._cpu_queues.setdefault(job.tenant_id, deque()).appendleft(job)
+
+    def _forget(self, job_id: str) -> None:
+        self._running.pop(job_id, None)
+        self._gpu_ledger.finish(job_id)
+        self._cpu_ledger.finish(job_id)
+        self._borrowed_cpu.pop(job_id, None)
+        self._borrowed_gpu.pop(job_id, None)
+        self._pending_borrow_cpu.discard(job_id)
+        self._pending_borrow_gpu.discard(job_id)
+
+    def pending_jobs(self) -> List[Job]:
+        pending: List[Job] = []
+        for queues in (
+            self._gpu_queues_big,
+            self._gpu_queues_small,
+            self._inference_queues,
+            self._cpu_queues,
+        ):
+            for queue in queues.values():
+                pending.extend(queue)
+        pending.sort(key=lambda job: (job.submit_time, job.job_id))
+        return pending
+
+    def gpu_queue_empty(self) -> bool:
+        return all(
+            not queue for queue in self._gpu_queues_big.values()
+        ) and all(not queue for queue in self._gpu_queues_small.values())
+
+    # ------------------------------------------------------------------ #
+    # The scheduling pass
+
+    def schedule(self, cluster: Cluster, now: float) -> List[Decision]:
+        if self._layout is None:
+            self._layout = build_layout(
+                cluster,
+                reserved_cores=self._reserved_cores,
+                four_gpu_fraction=self._four_gpu_fraction,
+            )
+            self._topology = cluster.topology
+        decisions: List[Decision] = []
+        free = FreeState.of(cluster)
+        preempted: Set[str] = set()
+        self._schedule_gpu_array(cluster, free, decisions, preempted)
+        self._schedule_cpu_array(cluster, free, decisions, preempted)
+        return decisions
+
+    # -------------------------- GPU array ----------------------------- #
+
+    def _schedule_gpu_array(
+        self,
+        cluster: Cluster,
+        free: FreeState,
+        decisions: List[Decision],
+        preempted: Set[str],
+    ) -> None:
+        # Big jobs first: they are the hardest to place and small jobs
+        # backfill around them.  The DRF ledger is shared, so fairness is
+        # still judged on each tenant's total GPU usage.
+        self._schedule_gpu_subarray(
+            self._gpu_queues_big, cluster, free, decisions, preempted
+        )
+        self._schedule_gpu_subarray(
+            self._gpu_queues_small, cluster, free, decisions, preempted
+        )
+
+    #: How far past a tenant's blocked queue head the scheduler may look
+    #: for a placeable job (bounded backfill; skipped jobs keep their
+    #: position, and DRF shares keep backfilling tenants honest).
+    BACKFILL_DEPTH = 4
+
+    def _schedule_gpu_subarray(
+        self,
+        queues: Dict[int, Deque[GpuJob]],
+        cluster: Cluster,
+        free: FreeState,
+        decisions: List[Decision],
+        preempted: Set[str],
+    ) -> None:
+        total = cluster.total
+        biggest_node = max(node.total_cpus for node in cluster.nodes)
+        blocked: Set[int] = set()
+        while True:
+            tenant_id = self._next_tenant(
+                queues, self._gpu_ledger, total.cpus, total.gpus, blocked
+            )
+            if tenant_id is None:
+                return
+            queue = queues[tenant_id]
+            placed_index = None
+            placements = None
+            for index, job in enumerate(queue):
+                if index >= self.BACKFILL_DEPTH:
+                    break
+                cores = self.allocator.initial_cores(
+                    job, node_cores=biggest_node
+                )
+                placements = self._try_place_gpu(
+                    job, cores, cluster, free, decisions, preempted
+                )
+                if placements is not None:
+                    placed_index = index
+                    break
+            if placed_index is None:
+                blocked.add(tenant_id)
+                continue
+            job = queue[placed_index]
+            free.commit(placements)
+            del queue[placed_index]
+            # DRF inside the GPU array goes "according to the usage of GPU"
+            # (Sec. V-C), so cores are not counted against the share.
+            self._gpu_ledger.start(
+                job.job_id, job.tenant_id, 0, job.setup.total_gpus
+            )
+            decisions.append(StartDecision(job=job, placements=tuple(placements)))
+
+    def _try_place_gpu(
+        self,
+        job: GpuJob,
+        cores: int,
+        cluster: Cluster,
+        free: FreeState,
+        decisions: List[Decision],
+        preempted: Set[str],
+    ) -> Optional[List[Placement]]:
+        """The full placement cascade for one job: slimming ladder over
+        undisturbing placements first, then over borrower reclaims."""
+        ladder = self._core_ladder(job, cores)
+        if (
+            self.rack_aware
+            and job.setup.num_nodes > 1
+            and self._topology is not None
+            and self._topology.num_racks > 1
+        ):
+            # Try to keep the gang inside one rack at the full core count.
+            for rack_id in self._topology.racks():
+                placements = self._place_gpu_plain(
+                    job,
+                    ladder[0],
+                    free,
+                    restrict_to=self._topology.nodes_in_rack(rack_id),
+                )
+                if placements is not None:
+                    return placements
+        if self.contention_aware:
+            # Prefer a clean node — but only at the full core count: a
+            # well-fed placement on a hot node still beats a starved one
+            # on a clean node.
+            friendly = self._contention_friendly_nodes(job, cores, cluster)
+            placements = self._place_gpu_plain(
+                job, ladder[0], free, restrict_to=friendly
+            )
+            if placements is not None:
+                return placements
+        # At each rung: an undisturbing placement first, then reclaim of
+        # borrowed resources.  Training outranks (non-inference) CPU
+        # borrowers, so a well-fed placement via reclaim beats running
+        # starved at fewer cores.
+        for attempt in ladder:
+            placements = self._place_gpu_plain(job, attempt, free)
+            if placements is not None:
+                return placements
+            placements = self._place_gpu_reclaim(
+                job, attempt, cluster, free, decisions, preempted
+            )
+            if placements is not None:
+                return placements
+        return None
+
+    def _contention_friendly_nodes(
+        self, job: GpuJob, cores: int, cluster: Cluster
+    ) -> Set[int]:
+        """Nodes that can absorb this job's memory and PCIe footprint
+        without crossing the bandwidth threshold or the PCIe fabric."""
+        from repro.perfmodel.bandwidth import memory_bandwidth_demand
+        from repro.perfmodel.catalog import get_model
+        from repro.perfmodel.contention import BANDWIDTH_PRESSURE_THRESHOLD
+        from repro.perfmodel.pcie import pcie_peak_demand
+
+        profile = get_model(job.model_name)
+        bw_demand = memory_bandwidth_demand(profile, job.setup, cores)
+        pcie_demand = pcie_peak_demand(profile, job.setup)
+        friendly: Set[int] = set()
+        for node in cluster.nodes:
+            bw_budget = (
+                BANDWIDTH_PRESSURE_THRESHOLD * node.bandwidth.capacity_gbps
+            )
+            if node.bandwidth.total_granted + bw_demand > bw_budget:
+                continue
+            if node.pcie.total_demand + pcie_demand > node.config.pcie_gbps:
+                continue
+            friendly.add(node.node_id)
+        return friendly
+
+    @staticmethod
+    def _core_ladder(job: GpuJob, cores: int) -> List[int]:
+        """Slimming ladder: if the tuned/N_start core count does not fit
+        anywhere, place the job slimmer rather than leave GPUs idle — the
+        profiling loop grows it back once cores free up.  Floor: one core
+        per local GPU."""
+        floor = max(1, job.setup.gpus_per_node)
+        ladder = [cores]
+        step = cores
+        while step > floor:
+            step = max(floor, step // 2)
+            ladder.append(step)
+        return ladder
+
+    def _place_gpu_plain(
+        self,
+        job: GpuJob,
+        cores: int,
+        free: FreeState,
+        restrict_to: Optional[Set[int]] = None,
+    ) -> Optional[List[Placement]]:
+        """Placement without disturbing anyone: primary sub-array first,
+        then the other one (a small job landing there becomes a borrower).
+
+        ``restrict_to`` optionally intersects every candidate set (the
+        contention-aware extension passes its friendly nodes here).
+        """
+        layout = self._layout
+        assert layout is not None
+        total_gpus = job.setup.total_gpus
+
+        def narrowed(nodes: frozenset) -> Set[int]:
+            if restrict_to is None:
+                return set(nodes)
+            return set(nodes) & restrict_to
+
+        placements = place_gpu_job(
+            job,
+            free,
+            cpus_per_node=cores,
+            among=narrowed(layout.primary_nodes(total_gpus)),
+        )
+        if placements is not None:
+            return placements
+        placements = place_gpu_job(
+            job,
+            free,
+            cpus_per_node=cores,
+            among=narrowed(layout.fallback_nodes(total_gpus)),
+        )
+        if placements is not None:
+            if total_gpus < FOUR_GPU_THRESHOLD:
+                self._pending_borrow_gpu.add(job.job_id)
+            return placements
+        if job.setup.num_nodes > 1:
+            # A multi-node gang may have to straddle both sub-arrays when
+            # neither alone has enough suitable nodes.
+            among = None if restrict_to is None else restrict_to
+            placements = place_gpu_job(
+                job, free, cpus_per_node=cores, among=among
+            )
+        return placements
+
+    def _place_gpu_reclaim(
+        self,
+        job: GpuJob,
+        cores: int,
+        cluster: Cluster,
+        free: FreeState,
+        decisions: List[Decision],
+        preempted: Set[str],
+    ) -> Optional[List[Placement]]:
+        """Placement by reclaiming borrowed resources: big jobs may migrate
+        small GPU borrowers off their own sub-array; every GPU job may
+        abort CPU borrowers sitting on reserved cores."""
+        layout = self._layout
+        assert layout is not None
+        total_gpus = job.setup.total_gpus
+        primary = layout.primary_nodes(total_gpus)
+        fallback = layout.fallback_nodes(total_gpus)
+        small = total_gpus < FOUR_GPU_THRESHOLD
+        attempts = [
+            (primary, not small, False),
+            (fallback, False, True),
+        ]
+        if job.setup.num_nodes > 1:
+            # Multi-node gangs may need to straddle both sub-arrays.
+            attempts.append((primary | fallback, False, False))
+        for node_set, allow_gpu_reclaim, is_fallback in attempts:
+            placements = self._place_with_reclaim(
+                job,
+                cores,
+                cluster,
+                free,
+                node_set,
+                allow_gpu_reclaim,
+                decisions,
+                preempted,
+            )
+            if placements is not None:
+                if small and is_fallback:
+                    self._pending_borrow_gpu.add(job.job_id)
+                return placements
+        return None
+
+    def _place_with_reclaim(
+        self,
+        job: GpuJob,
+        cores: int,
+        cluster: Cluster,
+        free: FreeState,
+        node_set,
+        allow_gpu_reclaim: bool,
+        decisions: List[Decision],
+        preempted: Set[str],
+    ) -> Optional[List[Placement]]:
+        gpus_needed = job.setup.gpus_per_node
+        nodes_needed = job.setup.num_nodes
+        candidates: List[Tuple[int, int, int, int, List[str], List[str]]] = []
+        for node_id in node_set:
+            free_cpus, free_gpus = free.free_of(node_id)
+            cpu_borrowers = self._borrowers_on(
+                cluster, node_id, self._borrowed_cpu, preempted
+            )
+            gpu_borrowers = (
+                self._borrowers_on(
+                    cluster, node_id, self._borrowed_gpu, preempted
+                )
+                if allow_gpu_reclaim
+                else []
+            )
+            reclaim_cpus = sum(c for _, c, _ in cpu_borrowers) + sum(
+                c for _, c, _ in gpu_borrowers
+            )
+            reclaim_gpus = sum(g for _, _, g in gpu_borrowers)
+            if (
+                free_gpus + reclaim_gpus >= gpus_needed
+                and free_cpus + reclaim_cpus >= cores
+            ):
+                candidates.append(
+                    (
+                        node_id,
+                        free_cpus,
+                        free_gpus,
+                        reclaim_cpus + reclaim_gpus,  # prefer least disruption
+                        [j for j, _, _ in cpu_borrowers],
+                        [j for j, _, _ in gpu_borrowers],
+                    )
+                )
+        if len(candidates) < nodes_needed:
+            return None
+        candidates.sort(key=lambda c: (c[3], c[2], c[1], c[0]))
+        chosen = candidates[:nodes_needed]
+        placements: List[Placement] = []
+        for node_id, free_cpus, free_gpus, _, cpu_victims, gpu_victims in chosen:
+            # Migrate small GPU borrowers first (they free both GPUs and
+            # cores), then abort CPU borrowers for the remaining cores.
+            for victim in gpu_victims:
+                if free_gpus >= gpus_needed and free_cpus >= cores:
+                    break
+                share = cluster.node(node_id).share_of(victim)
+                decisions.append(
+                    PreemptDecision(
+                        job_id=victim,
+                        reason="4-GPU job reclaims sub-array node",
+                        preserve_progress=True,
+                    )
+                )
+                preempted.add(victim)
+                free.add(node_id, share.cpus, share.gpus)
+                free_cpus += share.cpus
+                free_gpus += share.gpus
+            for victim in cpu_victims:
+                if free_cpus >= cores:
+                    break
+                share = cluster.node(node_id).share_of(victim)
+                decisions.append(
+                    PreemptDecision(
+                        job_id=victim,
+                        reason="GPU job reclaims reserved cores",
+                        preserve_progress=False,
+                    )
+                )
+                preempted.add(victim)
+                free.add(node_id, share.cpus, 0)
+                free_cpus += share.cpus
+            if free_gpus < gpus_needed or free_cpus < cores:
+                raise RuntimeError(
+                    f"reclaim accounting failed on node {node_id} for "
+                    f"{job.job_id}"
+                )
+            placements.append((node_id, cores, gpus_needed))
+        return placements
+
+    def _borrowers_on(
+        self,
+        cluster: Cluster,
+        node_id: int,
+        borrow_map: Dict[str, int],
+        preempted: Set[str],
+    ) -> List[Tuple[str, int, int]]:
+        """Live (job_id, cores, gpus) of borrowers on a node, largest first."""
+        found: List[Tuple[str, int, int]] = []
+        for job_id, home in borrow_map.items():
+            if home != node_id or job_id in preempted:
+                continue
+            if not cluster.node(node_id).holds(job_id):
+                continue
+            share = cluster.node(node_id).share_of(job_id)
+            found.append((job_id, share.cpus, share.gpus))
+        found.sort(key=lambda item: (-item[1], item[0]))
+        return found
+
+    # -------------------------- CPU array ----------------------------- #
+
+    def _schedule_cpu_array(
+        self,
+        cluster: Cluster,
+        free: FreeState,
+        decisions: List[Decision],
+        preempted: Set[str],
+    ) -> None:
+        layout = self._layout
+        assert layout is not None
+        total = cluster.total
+        # Normal CPU-array headroom per node: unreserved cores minus what
+        # non-borrowing CPU jobs already hold there (measured live, so the
+        # eliminator's core-halvings free capacity immediately).
+        normal_used: Dict[int, int] = {}
+        for node in cluster.nodes:
+            used = 0
+            for job_id in node.jobs_here():
+                job = self._running.get(job_id)
+                if (
+                    isinstance(job, CpuJob)
+                    and not job.is_inference
+                    and job_id not in self._borrowed_cpu
+                    and job_id not in preempted
+                ):
+                    used += node.share_of(job_id).cpus
+            normal_used[node.node_id] = used
+
+        # User-facing inference first: it outranks training, so it may use
+        # any free cores (reserved or not) and is never a borrower.
+        blocked: Set[int] = set()
+        while True:
+            tenant_id = self._next_tenant(
+                self._inference_queues, self._cpu_ledger, total.cpus,
+                total.gpus, blocked,
+            )
+            if tenant_id is None:
+                break
+            queue = self._inference_queues[tenant_id]
+            job = queue[0]
+            placement = place_cpu_job(job, free)
+            if placement is None:
+                blocked.add(tenant_id)
+                continue
+            free.commit(placement)
+            queue.popleft()
+            self._cpu_ledger.start(job.job_id, job.tenant_id, job.cores, 0)
+            decisions.append(StartDecision(job=job, placements=tuple(placement)))
+
+        gpu_idle = self.gpu_queue_empty()
+        blocked: Set[int] = set()
+        while True:
+            tenant_id = self._next_tenant(
+                self._cpu_queues, self._cpu_ledger, total.cpus, total.gpus, blocked
+            )
+            if tenant_id is None:
+                return
+            queue = self._cpu_queues[tenant_id]
+            job = queue[0]
+            placement = self._place_cpu_normal(job, cluster, free, normal_used)
+            borrowed = False
+            if placement is None and gpu_idle:
+                placement = place_cpu_job(job, free)
+                borrowed = placement is not None
+            if placement is None:
+                blocked.add(tenant_id)
+                continue
+            free.commit(placement)
+            node_id = placement[0][0]
+            if borrowed:
+                self._pending_borrow_cpu.add(job.job_id)
+            else:
+                normal_used[node_id] += job.cores
+            queue.popleft()
+            self._cpu_ledger.start(job.job_id, job.tenant_id, job.cores, 0)
+            decisions.append(StartDecision(job=job, placements=tuple(placement)))
+
+    def _place_cpu_normal(
+        self,
+        job: CpuJob,
+        cluster: Cluster,
+        free: FreeState,
+        normal_used: Dict[int, int],
+    ) -> Optional[List[Placement]]:
+        """Best-fit within the CPU array's unreserved per-node capacity."""
+        layout = self._layout
+        assert layout is not None
+        best: Optional[Tuple[int, int]] = None  # (headroom, node_id)
+        for node in cluster.nodes:
+            capacity = layout.cpu_array_capacity(node.total_cpus, node.total_gpus)
+            headroom = capacity - normal_used[node.node_id]
+            free_cpus, _ = free.free_of(node.node_id)
+            if headroom < job.cores or free_cpus < job.cores:
+                continue
+            key = (headroom, node.node_id)
+            if best is None or key < best:
+                best = key
+        if best is None:
+            return None
+        return [(best[1], job.cores, 0)]
+
+    # --------------------------- shared ------------------------------- #
+
+    @staticmethod
+    def _next_tenant(
+        queues: Dict[int, Deque],
+        ledger: UsageLedger,
+        total_cpus: int,
+        total_gpus: int,
+        blocked: Set[int],
+    ) -> Optional[int]:
+        best_id, best_share = None, None
+        for tenant_id, queue in queues.items():
+            if not queue or tenant_id in blocked:
+                continue
+            share = ledger.dominant_share(tenant_id, total_cpus, total_gpus)
+            if best_share is None or (share, tenant_id) < (best_share, best_id):
+                best_id, best_share = tenant_id, share
+        return best_id

@@ -1,0 +1,82 @@
+"""N_start determination (Sec. V-B1).
+
+The search start point is chosen in priority order:
+
+1. the largest tuned core count among the owner's recent jobs in the same
+   category;
+2. failing that (no same-category history), the owner's history across all
+   categories — "it is also sufficient to find a reasonable N_start based
+   only on the owner's historical job execution information";
+3. failing that, the category defaults from the Sec. IV-B characterization:
+   3 for CV, 5 for NLP, 5 for Speech;
+4. with no category either, a neutral global default.
+
+When the start comes from category defaults (not history, which already
+reflects tuned outcomes), the optional hints refine it: pipeline
+optimization -1, a large weight count -1, complex inter-iteration
+processing +1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.historylog import TenantHistory
+from repro.workload.job import GpuJob
+
+#: Sec. V-B1: "we choose 3 for CV models, 5 for NLP models, and 5 for
+#: SPEECH models empirically".
+CATEGORY_DEFAULTS = {"CV": 3, "NLP": 5, "SPEECH": 5}
+
+#: Start point when the tenant provided nothing and has no history.
+GLOBAL_DEFAULT = 4
+
+
+def determine_n_start(
+    job: GpuJob,
+    history: TenantHistory,
+    *,
+    max_cores: int,
+    min_cores: int = 1,
+) -> int:
+    """Pick the profiling start point for ``job``, clamped to the node."""
+    if max_cores < min_cores:
+        raise ValueError(f"max_cores {max_cores} below min_cores {min_cores}")
+
+    category: Optional[str] = (
+        job.category if job.hints.category_provided else None
+    )
+
+    start: Optional[int] = None
+    if category is not None:
+        start = history.best_cores(job.tenant_id, category)
+    if start is None:
+        start = history.best_cores_any_category(job.tenant_id)
+
+    if start is None:
+        if category is not None:
+            start = CATEGORY_DEFAULTS.get(category, GLOBAL_DEFAULT)
+        else:
+            start = GLOBAL_DEFAULT
+        start = _apply_hints(job, start)
+
+    # Multi-GPU single-node jobs need proportionally more prep workers
+    # (Sec. IV-B2: demand is linear in the local GPU count); multi-node
+    # jobs need no more than two cores per node.
+    if job.setup.num_nodes > 1:
+        start = min(start, 2)
+    else:
+        start = start * job.setup.gpus_per_node
+
+    return max(min_cores, min(start, max_cores))
+
+
+def _apply_hints(job: GpuJob, start: int) -> int:
+    hints = job.hints
+    if hints.uses_pipeline:
+        start -= 1
+    if hints.many_weights:
+        start -= 1
+    if hints.complex_inter_iteration:
+        start += 1
+    return max(1, start)

@@ -1,0 +1,83 @@
+"""Array provisioning from historical statistics (Sec. V-C).
+
+The paper sizes both multi-array divisions from history rather than fixing
+them: the GPU array's reserved CPU cores per node are "derived from
+historical statistical information", and the 4-GPU sub-array's share comes
+from "the maximum GPU number required by 4-GPU jobs in the historical
+statistics".  This module computes both from a set of (historical or
+anticipated) GPU jobs, using the performance model's per-job optima — the
+same signal the adaptive allocator would have logged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.config import ClusterConfig
+from repro.core.arrays import FOUR_GPU_THRESHOLD
+from repro.metrics.stats import mean, percentile
+from repro.perfmodel.catalog import get_model
+from repro.perfmodel.utilization import optimal_cores
+from repro.workload.job import GpuJob
+
+#: Keep at least this many cores per node in the CPU array.
+MIN_CPU_ARRAY_CORES = 4
+
+
+def optimal_cores_per_gpu(jobs: Sequence[GpuJob]) -> List[float]:
+    """Per-GPU tuned core demand of each historical single-node job.
+
+    Multi-node jobs are excluded for the same reason the allocator's
+    history excludes them: their network-bound 2-core allocations say
+    nothing about CPU appetite.
+    """
+    samples: List[float] = []
+    for job in jobs:
+        if job.setup.num_nodes > 1:
+            continue
+        profile = get_model(job.model_name)
+        best = optimal_cores(profile, job.setup)
+        samples.append(best / job.setup.gpus_per_node)
+    return samples
+
+
+def suggest_reservation(
+    jobs: Sequence[GpuJob],
+    cluster_config: ClusterConfig,
+    *,
+    quantile: float = 75.0,
+) -> int:
+    """Reserved CPU cores per node for the GPU array.
+
+    Sized so a node whose GPUs are fully occupied by jobs at the
+    ``quantile``-th per-GPU core demand still finds its cores reserved,
+    clamped to leave :data:`MIN_CPU_ARRAY_CORES` for the CPU array on the
+    *smallest* node.
+    """
+    samples = optimal_cores_per_gpu(jobs)
+    if not samples:
+        raise ValueError("no single-node GPU jobs in the history")
+    per_gpu = percentile(samples, quantile)
+    nodes = cluster_config.expand()
+    typical_gpus = mean([node.gpus for node in nodes if node.gpus > 0])
+    smallest_cores = min(node.cores for node in nodes)
+    reservation = round(per_gpu * typical_gpus)
+    return max(1, min(reservation, smallest_cores - MIN_CPU_ARRAY_CORES))
+
+
+def suggest_four_gpu_fraction(jobs: Iterable[GpuJob]) -> float:
+    """Share of the cluster's GPUs to dedicate to the 4-GPU sub-array.
+
+    The big jobs' share of historical GPU demand, clamped to [0.1, 0.8]
+    (the same clamp :func:`repro.core.arrays.build_layout` applies).
+    """
+    total = 0
+    big = 0
+    for job in jobs:
+        gpus = job.setup.total_gpus
+        total += gpus
+        if gpus >= FOUR_GPU_THRESHOLD:
+            big += gpus
+    if total == 0:
+        raise ValueError("no GPU jobs in the history")
+    return min(0.8, max(0.1, big / total))

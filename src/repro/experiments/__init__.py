@@ -1,0 +1,23 @@
+"""Experiment harness.
+
+:mod:`repro.experiments.runner` drives a trace through a scheduler on a
+simulated cluster; :mod:`repro.experiments.scenarios` holds canonical
+configurations; :mod:`repro.experiments.figures` exposes one entry point
+per paper figure/table, which the benchmark suite and the examples call.
+"""
+
+from repro.experiments.auditlog import AuditLog, AuditRecord
+from repro.experiments.runner import RunResult, SimulationRunner
+from repro.experiments.scenarios import (
+    paper_scale_scenario,
+    small_scenario,
+)
+
+__all__ = [
+    "AuditLog",
+    "AuditRecord",
+    "RunResult",
+    "SimulationRunner",
+    "paper_scale_scenario",
+    "small_scenario",
+]

@@ -1,0 +1,603 @@
+"""The simulation driver.
+
+:class:`SimulationRunner` executes a job trace under a scheduling policy on
+a simulated cluster:
+
+* arrivals and completions are discrete events;
+* every running DNN training job carries (work_done, speed); *any* change
+  of conditions on its nodes — a CPU job starting or finishing, a throttle,
+  a core retune, a new co-located trainer — re-prices its speed from the
+  performance model and reschedules its completion event.  This
+  progress-based execution is what lets contention and adaptive allocation
+  show up in end-to-end latencies;
+* the runner implements :class:`~repro.schedulers.base.SchedulerContext`,
+  the runtime-control surface CODA's allocator and eliminator act through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.cluster.cluster import Cluster
+from repro.metrics.collector import MetricsCollector
+from repro.perfmodel.bandwidth import memory_bandwidth_demand
+from repro.perfmodel.catalog import ModelProfile, get_model
+from repro.perfmodel.contention import (
+    BANDWIDTH_PRESSURE_THRESHOLD,
+    ContentionState,
+)
+from repro.perfmodel.pcie import pcie_peak_demand
+from repro.perfmodel.speed import iteration_time
+from repro.schedulers.base import (
+    Decision,
+    PreemptDecision,
+    Scheduler,
+    SchedulerContext,
+    StartDecision,
+)
+from repro.sim.engine import Engine
+from repro.sim.events import EventHandle, EventPriority
+from repro.experiments.auditlog import AuditLog
+from repro.workload.job import CpuJob, GpuJob, Job, JobKind
+from repro.workload.tracegen import Trace
+
+#: LLC footprint a training job's CPU-side workers occupy (MB per node).
+GPU_JOB_LLC_MB = 2.0
+
+#: Fraction of an ordinary (non-HEAT) CPU job's work that stalls on memory
+#: bandwidth; the rest is compute and ignores throttling.
+ORDINARY_CPU_BW_BOUND = 0.15
+
+#: Default cluster-state sampling cadence (the paper samples utilization
+#: continuously; five minutes keeps week-long runs cheap and smooth).
+DEFAULT_SAMPLE_INTERVAL_S = 300.0
+
+
+@dataclass
+class _RunningGpu:
+    job: GpuJob
+    profile: ModelProfile
+    cores_per_node: int
+    work_done: float
+    speed: float
+    utilization: float
+    last_update: float
+    completion: EventHandle
+
+
+@dataclass
+class _RunningCpu:
+    job: CpuJob
+    node_id: int
+    cores: int
+    work_done: float
+    speed: float
+    last_update: float
+    completion: EventHandle
+
+
+@dataclass
+class RunResult:
+    """What a completed run hands to the figures layer."""
+
+    scheduler_name: str
+    collector: MetricsCollector
+    horizon_s: float
+    finished_gpu_jobs: int = 0
+    finished_cpu_jobs: int = 0
+    preemptions: int = 0
+    events_fired: int = 0
+
+
+class SimulationRunner(SchedulerContext):
+    """Drives one (trace, scheduler, cluster) simulation."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: Scheduler,
+        trace: Optional[Trace] = None,
+        *,
+        sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
+        engine: Optional[Engine] = None,
+        collector: Optional[MetricsCollector] = None,
+        audit: Optional["AuditLog"] = None,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError(f"non-positive sample interval: {sample_interval_s}")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.engine = engine or Engine()
+        self.collector = collector or MetricsCollector()
+        self.audit = audit
+        self._sample_interval_s = sample_interval_s
+        self._running_gpu: Dict[str, _RunningGpu] = {}
+        self._running_cpu: Dict[str, _RunningCpu] = {}
+        self._stashed_progress: Dict[str, float] = {}
+        self._pass_pending = False
+        self._preemptions = 0
+        self._sampling = False
+        scheduler.attach(self)
+        if trace is not None:
+            self.load_trace(trace)
+
+    # ------------------------------------------------------------------ #
+    # Setup
+
+    def load_trace(self, trace: Trace) -> None:
+        """Schedule every trace job's arrival event."""
+        for job in trace.jobs:
+            self.submit_at(job.submit_time, job)
+
+    def submit_at(self, when: float, job: Job) -> None:
+        self.engine.schedule(
+            when,
+            lambda job=job: self._on_arrival(job),
+            priority=EventPriority.ARRIVAL,
+            tag=f"arrival:{job.job_id}",
+        )
+
+    def enable_sampling(self) -> None:
+        """Start the periodic cluster-state sampler (idempotent)."""
+        if self._sampling:
+            return
+        self._sampling = True
+        self.engine.schedule(
+            self.engine.now,
+            self._on_sample,
+            priority=EventPriority.MONITOR,
+            tag="sample",
+        )
+
+    def run(self, until: float) -> RunResult:
+        """Run the simulation to the ``until`` horizon (seconds)."""
+        self.enable_sampling()
+        self.engine.run(until=until)
+        return RunResult(
+            scheduler_name=self.scheduler.name,
+            collector=self.collector,
+            horizon_s=until,
+            finished_gpu_jobs=len(self.collector.finished_records(JobKind.GPU)),
+            finished_cpu_jobs=len(self.collector.finished_records(JobKind.CPU)),
+            preemptions=self._preemptions,
+            events_fired=self.engine.fired,
+        )
+
+    def _audit(self, event: str, job: Job, **detail: object) -> None:
+        if self.audit is None:
+            return
+        self.audit.record(
+            self.engine.now,
+            event,
+            job.job_id,
+            job.tenant_id,
+            job.kind.value,
+            **detail,
+        )
+
+    # ------------------------------------------------------------------ #
+    # SchedulerContext (the surface CODA acts through)
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def schedule_event(
+        self, delay_s: float, action: Callable[[], None], tag: str = ""
+    ) -> EventHandle:
+        return self.engine.schedule_in(
+            delay_s, action, priority=EventPriority.MONITOR, tag=tag
+        )
+
+    def resize_gpu_job_cores(self, job_id: str, cpus_per_node: int) -> bool:
+        record = self._running_gpu.get(job_id)
+        if record is None:
+            return False
+        if cpus_per_node < 1:
+            raise ValueError(f"{job_id}: need at least one core per node")
+        allocation = self.cluster.allocation_of(job_id)
+        for share in allocation.shares:
+            node = self.cluster.node(share.node_id)
+            if cpus_per_node - share.cpus > node.free_cpus:
+                return False
+        self.cluster.resize_cpus(
+            job_id, {share.node_id: cpus_per_node for share in allocation.shares}
+        )
+        record.cores_per_node = cpus_per_node
+        self.collector.job_resized(job_id, cpus_per_node)
+        self._audit("resized", record.job, cores_per_node=cpus_per_node)
+        demand = memory_bandwidth_demand(
+            record.profile, record.job.setup, cpus_per_node
+        )
+        touched = set()
+        for share in allocation.shares:
+            self.cluster.node(share.node_id).bandwidth.update_demand(
+                job_id, demand
+            )
+            touched.add(share.node_id)
+        self._refresh_nodes(touched)
+        return True
+
+    def gpu_job_utilization(self, job_id: str) -> float:
+        record = self._running_gpu.get(job_id)
+        if record is None:
+            raise KeyError(f"job {job_id} is not a running GPU job")
+        return record.utilization
+
+    def gpu_job_expected_utilization(self, job_id: str) -> float:
+        record = self._running_gpu.get(job_id)
+        if record is None:
+            raise KeyError(f"job {job_id} is not a running GPU job")
+        allocation = self.cluster.allocation_of(job_id)
+        quiet = iteration_time(
+            record.profile,
+            record.job.setup,
+            record.cores_per_node,
+            interconnect=self.cluster.fabric.for_nodes(allocation.node_ids),
+        )
+        return quiet.utilization
+
+    def throttle_cpu_job(self, job_id: str, node_id: int) -> bool:
+        node = self.cluster.node(node_id)
+        if not node.mba.supported:
+            return False
+        node.mba.throttle_down(job_id)
+        self.collector.throttle_events += 1
+        record = self._running_cpu.get(job_id)
+        if record is not None:
+            self._audit(
+                "throttled",
+                record.job,
+                node_id=node_id,
+                level=node.mba.throttle_level(job_id),
+            )
+        self._refresh_nodes({node_id})
+        return True
+
+    def release_cpu_throttle(self, job_id: str, node_id: int) -> None:
+        node = self.cluster.node(node_id)
+        node.mba.release(job_id)
+        self._refresh_nodes({node_id})
+
+    def halve_cpu_job_cores(self, job_id: str) -> None:
+        record = self._running_cpu.get(job_id)
+        if record is None:
+            raise KeyError(f"job {job_id} is not a running CPU job")
+        new_cores = max(1, record.cores // 2)
+        if new_cores == record.cores:
+            return
+        node = self.cluster.node(record.node_id)
+        self.cluster.resize_cpus(job_id, {record.node_id: new_cores})
+        scale = new_cores / record.cores
+        record.cores = new_cores
+        usage = node.bandwidth.usage_of(job_id)
+        node.bandwidth.update_demand(job_id, usage.demand * scale)
+        self.collector.core_halving_events += 1
+        self._audit("halved", record.job, cores=new_cores)
+        self._refresh_nodes({record.node_id})
+        self.request_schedule()
+
+    def preempt_job(
+        self, job_id: str, *, preserve_progress: bool, reason: str
+    ) -> None:
+        self._execute_preempt(
+            PreemptDecision(
+                job_id=job_id, reason=reason, preserve_progress=preserve_progress
+            )
+        )
+        self.request_schedule()
+
+    # ------------------------------------------------------------------ #
+    # Scheduling passes
+
+    def request_schedule(self) -> None:
+        """Coalesce pass requests: at most one pass per simulation instant."""
+        if self._pass_pending:
+            return
+        self._pass_pending = True
+        self.engine.schedule(
+            self.engine.now,
+            self._run_pass,
+            priority=EventPriority.SCHEDULE,
+            tag="schedule-pass",
+        )
+
+    def _run_pass(self) -> None:
+        self._pass_pending = False
+        decisions = self.scheduler.schedule(self.cluster, self.engine.now)
+        for decision in decisions:
+            self._execute(decision)
+
+    def _execute(self, decision: Decision) -> None:
+        if isinstance(decision, StartDecision):
+            self._start_job(decision.job, list(decision.placements))
+        elif isinstance(decision, PreemptDecision):
+            self._execute_preempt(decision)
+        else:
+            raise TypeError(f"unknown decision type: {type(decision).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Arrivals and starts
+
+    def _on_arrival(self, job: Job) -> None:
+        self.collector.job_submitted(job, self.engine.now)
+        self._audit("submitted", job)
+        self.scheduler.submit(job, self.engine.now)
+        self.request_schedule()
+
+    def _start_job(self, job: Job, placements: List) -> None:
+        allocation = self.cluster.allocate(
+            job.job_id, [(n, c, g) for n, c, g in placements]
+        )
+        now = self.engine.now
+        if isinstance(job, GpuJob):
+            self._start_gpu_job(job, allocation, now)
+        elif isinstance(job, CpuJob):
+            self._start_cpu_job(job, allocation, now)
+        else:
+            raise TypeError(f"unknown job type: {type(job).__name__}")
+        self.scheduler.job_started(job, placements, now)
+
+    def _start_gpu_job(self, job: GpuJob, allocation, now: float) -> None:
+        profile = get_model(job.model_name)
+        cores = allocation.shares[0].cpus
+        demand = memory_bandwidth_demand(profile, job.setup, cores)
+        pcie = pcie_peak_demand(profile, job.setup)
+        for share in allocation.shares:
+            self.cluster.node(share.node_id).register_memory_traffic(
+                job.job_id,
+                demand,
+                is_cpu_job=False,
+                llc_mb=GPU_JOB_LLC_MB,
+                pcie_gbps=pcie,
+            )
+        work_done = self._stashed_progress.pop(job.job_id, 0.0)
+        record = _RunningGpu(
+            job=job,
+            profile=profile,
+            cores_per_node=cores,
+            work_done=work_done,
+            speed=0.0,
+            utilization=0.0,
+            last_update=now,
+            completion=None,  # type: ignore[arg-type]
+        )
+        self._running_gpu[job.job_id] = record
+        self.collector.job_started(job.job_id, now, cores)
+        self._audit(
+            "started",
+            job,
+            cores_per_node=cores,
+            nodes=list(allocation.node_ids),
+            model=job.model_name,
+        )
+        self._reprice_gpu(record)
+        self._refresh_nodes(set(allocation.node_ids))
+
+    def _start_cpu_job(self, job: CpuJob, allocation, now: float) -> None:
+        share = allocation.shares[0]
+        node = self.cluster.node(share.node_id)
+        node.register_memory_traffic(
+            job.job_id,
+            job.bw_demand_gbps,
+            is_cpu_job=True,
+            is_inference=job.is_inference,
+            llc_mb=job.llc_mb,
+        )
+        record = _RunningCpu(
+            job=job,
+            node_id=share.node_id,
+            cores=share.cpus,
+            work_done=0.0,
+            speed=0.0,
+            last_update=now,
+            completion=None,  # type: ignore[arg-type]
+        )
+        self._running_cpu[job.job_id] = record
+        self.collector.job_started(job.job_id, now, share.cpus)
+        self._audit("started", job, cores=share.cpus, nodes=[share.node_id])
+        self._reprice_cpu(record)
+        self._refresh_nodes({share.node_id})
+
+    # ------------------------------------------------------------------ #
+    # Progress-based execution
+
+    def _gpu_contention(self, job_id: str) -> ContentionState:
+        """Worst-case contention across the job's nodes: iterations are
+        paced by the slowest participant."""
+        allocation = self.cluster.allocation_of(job_id)
+        grant, pressure, llc, pcie = 1.0, 0.0, 0.0, 1.0
+        for share in allocation.shares:
+            node = self.cluster.node(share.node_id)
+            grant = min(grant, node.bandwidth.grant_ratio(job_id))
+            pressure = max(pressure, node.bandwidth.pressure)
+            llc = max(llc, node.llc_pressure)
+            pcie = min(pcie, node.pcie.grant_ratio())
+        grant = max(grant, 1e-6)
+        return ContentionState(
+            bw_grant_ratio=grant,
+            node_bw_pressure=pressure,
+            llc_pressure=llc,
+            pcie_grant_ratio=pcie,
+        )
+
+    def _accrue(self, record, now: float) -> None:
+        span = now - record.last_update
+        if span > 0:
+            record.work_done += record.speed * span
+        record.last_update = now
+
+    def _reprice_gpu(self, record: _RunningGpu) -> None:
+        """Re-price a training job's speed and reschedule its completion."""
+        now = self.engine.now
+        self._accrue(record, now)
+        contention = self._gpu_contention(record.job.job_id)
+        allocation = self.cluster.allocation_of(record.job.job_id)
+        breakdown = iteration_time(
+            record.profile,
+            record.job.setup,
+            record.cores_per_node,
+            contention,
+            interconnect=self.cluster.fabric.for_nodes(allocation.node_ids),
+        )
+        record.speed = 1.0 / breakdown.total_s
+        record.utilization = breakdown.utilization
+        for share in allocation.shares:
+            self.cluster.node(share.node_id).set_gpu_utilization(
+                record.job.job_id, record.utilization
+            )
+        remaining = record.job.total_iterations - record.work_done
+        if record.completion is not None:
+            record.completion.cancel()
+        delay = max(0.0, remaining / record.speed)
+        record.completion = self.engine.schedule_in(
+            delay,
+            lambda job_id=record.job.job_id: self._on_gpu_complete(job_id),
+            priority=EventPriority.COMPLETION,
+            tag=f"gpu-done:{record.job.job_id}",
+        )
+
+    def _reprice_cpu(self, record: _RunningCpu) -> None:
+        now = self.engine.now
+        self._accrue(record, now)
+        node = self.cluster.node(record.node_id)
+        core_factor = record.cores / record.job.cores
+        # HEAT-like jobs are pure bandwidth streamers and slow in direct
+        # proportion to their grant; ordinary CPU jobs are mostly
+        # compute-bound and only a small fraction of their work stalls.
+        grant = node.bandwidth.grant_ratio(record.job.job_id)
+        if record.job.is_heat:
+            bw_factor = grant
+        else:
+            bw_factor = (1.0 - ORDINARY_CPU_BW_BOUND) + ORDINARY_CPU_BW_BOUND * grant
+        record.speed = max(1e-9, core_factor * bw_factor)
+        remaining = record.job.duration_s - record.work_done
+        if record.completion is not None:
+            record.completion.cancel()
+        delay = max(0.0, remaining / record.speed)
+        record.completion = self.engine.schedule_in(
+            delay,
+            lambda job_id=record.job.job_id: self._on_cpu_complete(job_id),
+            priority=EventPriority.COMPLETION,
+            tag=f"cpu-done:{record.job.job_id}",
+        )
+
+    def _refresh_nodes(self, node_ids: Set[int]) -> None:
+        """Re-price every job touching the given nodes."""
+        gpu_ids: Set[str] = set()
+        cpu_ids: Set[str] = set()
+        for node_id in node_ids:
+            for job_id in self.cluster.node(node_id).jobs_here():
+                if job_id in self._running_gpu:
+                    gpu_ids.add(job_id)
+                elif job_id in self._running_cpu:
+                    cpu_ids.add(job_id)
+        for job_id in sorted(gpu_ids):
+            self._reprice_gpu(self._running_gpu[job_id])
+        for job_id in sorted(cpu_ids):
+            self._reprice_cpu(self._running_cpu[job_id])
+
+    # ------------------------------------------------------------------ #
+    # Completions and preemptions
+
+    def _on_gpu_complete(self, job_id: str) -> None:
+        record = self._running_gpu.pop(job_id)
+        allocation = self.cluster.release(job_id)
+        self.collector.job_finished(job_id, self.engine.now)
+        self._audit(
+            "finished",
+            record.job,
+            cores_per_node=record.cores_per_node,
+            queueing_s=self.collector.records[job_id].queueing_time,
+        )
+        self.scheduler.job_finished(record.job, self.engine.now)
+        self._refresh_nodes(set(allocation.node_ids))
+        self.request_schedule()
+
+    def _on_cpu_complete(self, job_id: str) -> None:
+        record = self._running_cpu.pop(job_id)
+        self.cluster.release(job_id)
+        self.collector.job_finished(job_id, self.engine.now)
+        self._audit(
+            "finished",
+            record.job,
+            cores=record.cores,
+            queueing_s=self.collector.records[job_id].queueing_time,
+        )
+        self.scheduler.job_finished(record.job, self.engine.now)
+        self._refresh_nodes({record.node_id})
+        self.request_schedule()
+
+    def _execute_preempt(self, decision: PreemptDecision) -> None:
+        job_id = decision.job_id
+        if job_id in self._running_gpu:
+            record = self._running_gpu.pop(job_id)
+            self._accrue(record, self.engine.now)
+            record.completion.cancel()
+            if decision.preserve_progress:
+                self._stashed_progress[job_id] = record.work_done
+            allocation = self.cluster.release(job_id)
+            touched = set(allocation.node_ids)
+            job: Job = record.job
+            preserve = decision.preserve_progress
+        elif job_id in self._running_cpu:
+            record = self._running_cpu.pop(job_id)
+            record.completion.cancel()
+            allocation = self.cluster.release(job_id)
+            touched = set(allocation.node_ids)
+            job = record.job
+            preserve = False  # aborted CPU jobs restart from scratch
+        else:
+            raise RuntimeError(f"cannot preempt {job_id}: not running")
+        self._preemptions += 1
+        self.collector.job_preempted(job_id, self.engine.now)
+        self._audit(
+            "preempted",
+            job,
+            reason=decision.reason,
+            progress_preserved=preserve,
+        )
+        self.scheduler.job_preempted(
+            job, self.engine.now, preserve_progress=preserve
+        )
+        self._refresh_nodes(touched)
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+
+    def _on_sample(self) -> None:
+        pending = self.scheduler.pending_jobs()
+        gpu_depth = sum(1 for job in pending if job.kind is JobKind.GPU)
+        cpu_depth = len(pending) - gpu_depth
+        total_gpus = self.cluster.total.gpus
+        free_fraction = (
+            (total_gpus - self.cluster.gpu_active_count()) / total_gpus
+            if total_gpus
+            else 0.0
+        )
+        hot_nodes = sum(
+            1
+            for node in self.cluster.nodes
+            if node.used_gpus > 0
+            and node.bandwidth.pressure >= BANDWIDTH_PRESSURE_THRESHOLD
+        )
+        self.collector.sample_cluster(
+            self.engine.now,
+            gpu_active_rate=self.cluster.gpu_active_rate(),
+            gpu_utilization=self.cluster.mean_gpu_utilization(active_only=True),
+            gpu_utilization_overall=self.cluster.mean_gpu_utilization(
+                active_only=False
+            ),
+            cpu_active_rate=self.cluster.cpu_active_rate(),
+            gpu_queue_depth=gpu_depth,
+            cpu_queue_depth=cpu_depth,
+            free_gpu_fraction=free_fraction,
+            hot_nodes=hot_nodes,
+        )
+        self.engine.schedule_in(
+            self._sample_interval_s,
+            self._on_sample,
+            priority=EventPriority.MONITOR,
+            tag="sample",
+        )

@@ -1,0 +1,140 @@
+"""Canonical experiment scenarios.
+
+Two scales:
+
+* **paper scale** — the Sec. III-A testbed (80 nodes / 400 GPUs) with the
+  trace rates of Sec. VI-A, shortened from one month to a configurable
+  number of days so the cluster-level figures regenerate in minutes;
+* **small scale** — a few nodes and hours, for tests and the quickstart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, paper_cluster, small_cluster
+from repro.core.coda import CodaConfig, CodaScheduler
+from repro.experiments.runner import RunResult, SimulationRunner
+from repro.schedulers.base import Scheduler
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.workload.tracegen import Trace, TraceConfig, generate_trace
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reusable (cluster, trace) experiment setting."""
+
+    cluster_config: ClusterConfig
+    trace_config: TraceConfig
+    #: Extra simulated time after the last arrival so in-flight jobs drain.
+    drain_s: float = 0.0
+
+    @property
+    def horizon_s(self) -> float:
+        return self.trace_config.duration_s + self.drain_s
+
+    def build_cluster(self) -> Cluster:
+        return Cluster(self.cluster_config)
+
+    def build_trace(self) -> Trace:
+        return generate_trace(self.trace_config)
+
+
+#: Calibrated arrival rates for the evaluation scenario.  The paper's raw
+#: counts (833 GPU / 2,500 CPU jobs per day) under-load our simulator
+#: relative to the occupancy its own Fig. 1 shows (GPU active rate
+#: consistently above 80 %, CPU active rate peaking at 100 %); these rates
+#: keep the published 3:1 CPU:GPU job ratio while reproducing that
+#: occupancy regime.  See EXPERIMENTS.md.
+CALIBRATED_GPU_JOBS_PER_DAY = 1250.0
+CALIBRATED_CPU_JOBS_PER_DAY = 3750.0
+
+
+def paper_scale_scenario(
+    *,
+    duration_days: float = 2.0,
+    seed: int = 0,
+    drain_hours: float = 6.0,
+    calibrated_load: bool = True,
+) -> Scenario:
+    """The 80-node / 400-GPU cluster under the Sec. VI-A trace.
+
+    ``calibrated_load=False`` uses the paper's raw per-day job counts
+    instead of the occupancy-calibrated rates.
+    """
+    if calibrated_load:
+        trace_config = TraceConfig(
+            duration_days=duration_days,
+            gpu_jobs_per_day=CALIBRATED_GPU_JOBS_PER_DAY,
+            cpu_jobs_per_day=CALIBRATED_CPU_JOBS_PER_DAY,
+            seed=seed,
+        )
+    else:
+        trace_config = TraceConfig(duration_days=duration_days, seed=seed)
+    return Scenario(
+        cluster_config=paper_cluster(),
+        trace_config=trace_config,
+        drain_s=drain_hours * 3600.0,
+    )
+
+
+def small_scenario(
+    *, duration_days: float = 0.25, seed: int = 0, nodes: int = 6
+) -> Scenario:
+    """A laptop-scale setting with proportionally scaled job rates."""
+    scale = nodes / 80.0
+    return Scenario(
+        cluster_config=small_cluster(nodes=nodes),
+        trace_config=TraceConfig(
+            duration_days=duration_days,
+            gpu_jobs_per_day=(25000.0 / 30.0) * scale,
+            cpu_jobs_per_day=(75000.0 / 30.0) * scale,
+            seed=seed,
+        ),
+        drain_s=2 * 3600.0,
+    )
+
+
+def default_schedulers(
+    coda_config: Optional[CodaConfig] = None,
+) -> Dict[str, Callable[[], Scheduler]]:
+    """Factories for the three policies the evaluation compares."""
+    return {
+        "fifo": FifoScheduler,
+        "drf": DrfScheduler,
+        "coda": lambda: CodaScheduler(coda_config),
+    }
+
+
+def run_scenario(
+    scenario: Scenario,
+    scheduler: Scheduler,
+    *,
+    sample_interval_s: float = 300.0,
+) -> RunResult:
+    """Execute one (scenario, policy) run to its horizon."""
+    runner = SimulationRunner(
+        scenario.build_cluster(),
+        scheduler,
+        scenario.build_trace(),
+        sample_interval_s=sample_interval_s,
+    )
+    return runner.run(until=scenario.horizon_s)
+
+
+def run_comparison(
+    scenario: Scenario,
+    *,
+    coda_config: Optional[CodaConfig] = None,
+    sample_interval_s: float = 300.0,
+) -> Dict[str, RunResult]:
+    """Run FIFO, DRF, and CODA on identical traces (the Fig. 10-13 setup)."""
+    results: Dict[str, RunResult] = {}
+    for name, factory in default_schedulers(coda_config).items():
+        results[name] = run_scenario(
+            scenario, factory(), sample_interval_s=sample_interval_s
+        )
+    return results

@@ -1,0 +1,46 @@
+"""GPU fragmentation accounting (Sec. VI-C).
+
+The paper's definition: GPUs sit unused *while GPU jobs are queued* —
+either because the node hosting free GPUs has no CPU cores left for the
+training job, or because a >=4-GPU job cannot find enough co-resident free
+GPUs.  The fragmentation *rate* is the fraction of all GPUs idle at
+moments when at least one GPU job is waiting, averaged over those moments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class FragmentationTracker:
+    """Samples of (free GPU fraction, gpu-queue depth)."""
+
+    samples: List[Tuple[float, float, int]] = field(default_factory=list)
+
+    def record(self, t: float, free_gpu_fraction: float, gpu_queue_depth: int) -> None:
+        if not 0.0 <= free_gpu_fraction <= 1.0:
+            raise ValueError(f"free fraction out of [0, 1]: {free_gpu_fraction}")
+        if gpu_queue_depth < 0:
+            raise ValueError(f"negative queue depth: {gpu_queue_depth}")
+        self.samples.append((t, free_gpu_fraction, gpu_queue_depth))
+
+    def fragmentation_rate(self) -> float:
+        """Mean free-GPU fraction over samples with a non-empty GPU queue.
+
+        Returns 0.0 when the queue was never non-empty: with nobody
+        waiting, idle GPUs are spare capacity, not fragmentation.
+        """
+        contended = [frac for _, frac, depth in self.samples if depth > 0]
+        if not contended:
+            return 0.0
+        return sum(contended) / len(contended)
+
+    def contended_fraction(self) -> float:
+        """Fraction of samples at which at least one GPU job was queued."""
+        if not self.samples:
+            return 0.0
+        return sum(1 for _, _, depth in self.samples if depth > 0) / len(
+            self.samples
+        )

@@ -1,0 +1,74 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    points: Sequence[Tuple[float, float]],
+    *,
+    max_points: int = 24,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render a (t, value) series, thinned to at most ``max_points`` rows."""
+    if not points:
+        return f"{name}: (empty)"
+    step = max(1, len(points) // max_points)
+    thinned = list(points[::step])
+    if thinned[-1] != points[-1]:
+        thinned.append(points[-1])
+    rows = [
+        (f"{t:.0f}", value_format.format(value)) for t, value in thinned
+    ]
+    return render_table(["t(s)", name], rows)
+
+
+def render_cdf(
+    name: str,
+    points: Sequence[Tuple[float, float]],
+    *,
+    fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99),
+) -> str:
+    """Render an empirical CDF at the given cumulative fractions."""
+    if not points:
+        return f"{name}: (empty)"
+    rows = []
+    for target in fractions:
+        value = next(
+            (v for v, frac in points if frac >= target), points[-1][0]
+        )
+        rows.append((f"p{target * 100:.0f}", f"{value:.1f}"))
+    return render_table(["fraction", name], rows)

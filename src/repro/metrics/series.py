@@ -1,0 +1,90 @@
+"""Series primitives.
+
+Two flavours: :class:`SampledSeries` records point-in-time samples (how the
+paper's monitoring collects Fig. 1 and Fig. 10), and
+:class:`TimeWeightedValue` integrates a step function exactly (used for
+resource occupancy where sampling error would be avoidable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class SampledSeries:
+    """(time, value) samples in nondecreasing time order."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, t: float, value: float) -> None:
+        if self.points and t < self.points[-1][0]:
+            raise ValueError(
+                f"series {self.name}: sample at {t} before last "
+                f"{self.points[-1][0]}"
+            )
+        self.points.append((t, value))
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.points]
+
+    def times(self) -> List[float]:
+        return [t for t, _ in self.points]
+
+    def mean(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(v for _, v in self.points) / len(self.points)
+
+    def mean_between(self, start: float, end: float) -> float:
+        window = [v for t, v in self.points if start <= t <= end]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class TimeWeightedValue:
+    """Exact integral of a piecewise-constant signal."""
+
+    name: str
+    _current: float = 0.0
+    _last_t: Optional[float] = None
+    _weighted_sum: float = 0.0
+    _elapsed: float = 0.0
+
+    def set(self, t: float, value: float) -> None:
+        """The signal takes ``value`` from time ``t`` onwards."""
+        if self._last_t is not None:
+            if t < self._last_t:
+                raise ValueError(
+                    f"{self.name}: time moved backwards ({t} < {self._last_t})"
+                )
+            span = t - self._last_t
+            self._weighted_sum += self._current * span
+            self._elapsed += span
+        self._last_t = t
+        self._current = value
+
+    @property
+    def current(self) -> float:
+        return self._current
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean, optionally extending the last value to
+        ``until``."""
+        weighted, elapsed = self._weighted_sum, self._elapsed
+        if until is not None and self._last_t is not None:
+            if until < self._last_t:
+                raise ValueError(f"{self.name}: until precedes last update")
+            span = until - self._last_t
+            weighted += self._current * span
+            elapsed += span
+        if elapsed <= 0:
+            return self._current
+        return weighted / elapsed

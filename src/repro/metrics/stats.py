@@ -1,0 +1,69 @@
+"""Distribution statistics for queueing-time figures.
+
+The paper reports queueing behaviour three ways: full CDFs (Figs. 2c, 11),
+tail fractions ("43.1 % of GPU jobs suffer from queuing time more than ten
+minutes"), and per-user 99 %-iles (Fig. 12).  These helpers compute all
+three from raw value lists.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) by linear interpolation.
+
+    Raises on an empty input: a percentile of nothing is a caller bug, not
+    a zero.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile out of [0, 100]: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        # The equal-value check matters for denormal floats, where the
+        # weighted sum below can underflow and break monotonicity in q.
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def fraction_exceeding(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values strictly greater than ``threshold`` (0 if empty)."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v > threshold) / len(values)
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """Fraction of values less than or equal to ``threshold`` (0 if empty)."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) steps."""
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,48 @@
+"""DNN-training performance model.
+
+This package replaces the paper's real training runs.  It is an analytic
+model of the CPU-GPU collaborative process of Fig. 4 — read, pre-process,
+host-to-device transfer, GPU compute, weight update/synchronization — whose
+constants are calibrated to the paper's measurements:
+
+* per-iteration times from Table II (profiling steps x 90 s / iterations),
+* optimal CPU core counts and their scaling rules from Fig. 5 / Sec. IV-B,
+* memory-bandwidth demand from Fig. 6,
+* contention sensitivity from Fig. 7,
+* PCIe behaviour from Sec. IV-C3.
+
+Everything the schedulers observe (training speed, GPU utilization,
+bandwidth demand) comes out of these functions, so reproducing their shapes
+is what makes the end-to-end cluster results reproduce.
+"""
+
+from repro.perfmodel.catalog import (
+    ALL_MODEL_NAMES,
+    Domain,
+    ModelProfile,
+    get_model,
+    models_in_domain,
+)
+from repro.perfmodel.contention import UNCONTENDED, ContentionState
+from repro.perfmodel.speed import TrainSetup, iteration_time, training_speed
+from repro.perfmodel.utilization import gpu_utilization, optimal_cores
+from repro.perfmodel.bandwidth import memory_bandwidth_demand
+from repro.perfmodel.pcie import pcie_demand, pcie_peak_demand
+
+__all__ = [
+    "ALL_MODEL_NAMES",
+    "ContentionState",
+    "Domain",
+    "ModelProfile",
+    "TrainSetup",
+    "UNCONTENDED",
+    "get_model",
+    "gpu_utilization",
+    "iteration_time",
+    "memory_bandwidth_demand",
+    "models_in_domain",
+    "optimal_cores",
+    "pcie_demand",
+    "pcie_peak_demand",
+    "training_speed",
+]

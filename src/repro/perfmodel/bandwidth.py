@@ -1,0 +1,60 @@
+"""Memory-bandwidth demand (Fig. 6).
+
+The demand is what the job's data-preparation traffic puts on the node's
+memory system at its current allocation.  Calibration rules from
+Sec. IV-C1:
+
+* CV demand anti-correlates with model complexity (same ordering as the
+  core demand);
+* NLP demand is tiny — in-memory datasets, one-hot-sized inputs;
+* Wavenet's demand grows with batch (audio re-cut), DeepSpeech's does not;
+* demand grows linearly with the number of local GPUs;
+* a larger batch raises demand "slightly" for CV models.
+
+Demand also shrinks when the job runs with fewer cores than optimal: the
+prep stage stretches, so the same bytes spread over a longer window.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.perfmodel.catalog import ModelProfile
+from repro.perfmodel.stages import TrainSetup
+
+
+def memory_bandwidth_demand(
+    profile: ModelProfile,
+    setup: TrainSetup,
+    cores_per_node: int,
+) -> float:
+    """Per-node memory-bandwidth demand in GB/s.
+
+    Anchored at ``profile.bw_demand_gbps`` for 1N1G / default batch /
+    optimal cores, then scaled by batch (per-model sensitivity), by local
+    GPU count (linear, Sec. IV-C1), and by the core allocation's effect on
+    the prep duty cycle.
+    """
+    if cores_per_node < 1:
+        raise ValueError(
+            f"{profile.name}: need at least one core, got {cores_per_node}"
+        )
+    batch = setup.batch if setup.batch is not None else profile.default_batch
+    doublings = math.log2(batch / profile.default_batch)
+    batch_factor = max(0.1, 1.0 + profile.bw_batch_sensitivity * doublings)
+
+    # Duty-cycle factor: with fewer cores than the model can use, the prep
+    # window stretches but moves the same bytes, so average pressure on the
+    # memory bus stays near the anchor; with *more* cores prep compresses
+    # and the anchor is already its peak.  We model the mild dilution of
+    # running far under the optimum.
+    reference = profile.optimal_cores_1g * setup.gpus_per_node
+    cap = profile.prep_parallelism_cap
+    if cap is not None:
+        reference = min(reference, cap * setup.gpus_per_node)
+    duty = min(1.0, cores_per_node / reference) ** 0.5
+
+    demand = (
+        profile.bw_demand_gbps * setup.gpus_per_node * batch_factor * duty
+    )
+    return demand

@@ -1,0 +1,400 @@
+"""The Table-I model catalog with calibrated constants.
+
+Each :class:`ModelProfile` carries the constants that make the analytic
+pipeline of :mod:`repro.perfmodel.speed` reproduce the paper's
+measurements.  Calibration anchors (see DESIGN.md Sec. 4):
+
+* ``iter_time_s`` — per-iteration time at the optimal core count, 1N1G,
+  default batch, derived from Table II (profiling steps x 90 s / reported
+  iteration counts).
+* ``optimal_cores_1g`` — the Fig. 5 optimum for 1N1G at default batch.
+  Sec. IV-B: simpler CV nets need more cores (AlexNet > VGG16 >
+  InceptionV3 ~ ResNet-50); Transformer is the one model already optimal at
+  2 cores in 1N1G; Wavenet's audio re-cut makes it hungrier than
+  DeepSpeech.
+* bandwidth / PCIe demands from Fig. 6 and Sec. IV-C3.
+* contention sensitivities reproducing Fig. 7 (CV insensitive except
+  AlexNet; NLP >= 50 % drops; DeepSpeech > Wavenet).
+
+The prep *work* (CPU-seconds per iteration) is derived, not stored: for a
+model whose optimum is ``k`` cores, the prep work is sized so that ``k``
+cores just hide it under the GPU path while ``k - 1`` cannot — which is
+exactly what "optimal core count" means in the paper's pipeline model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: How far below the GPU path the prep path sits at the optimal core count.
+#: 0.3 "virtual cores" of headroom: w_prep = gpu_path * (k_opt - 0.3).
+PREP_HEADROOM = 0.3
+
+#: Seconds of per-allocated-core overhead added to every iteration
+#: (scheduling/affinity interference).  This is what makes GPU utilization
+#: decline gently past the optimum in Fig. 3.
+CORE_OVERHEAD_S = 0.004
+
+
+class Domain(enum.Enum):
+    """The paper's three model categories (Tbl. I)."""
+
+    CV = "CV"
+    NLP = "NLP"
+    SPEECH = "SPEECH"
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Calibrated description of one Table-I model.
+
+    Attributes:
+        name: canonical lower-case model name.
+        domain: CV / NLP / SPEECH category.
+        arch: architecture family, informational (Tbl. I "Type").
+        dataset: dataset name, informational (Tbl. I "Dataset").
+        default_batch: the paper's default batch size.
+        max_batch: the paper's "maximum BS" configuration.
+        iter_time_s: iteration time at the 1N1G optimum (Table II anchor).
+        optimal_cores_1g: Fig. 5 optimum for 1N1G at default batch.
+        pipelined: True when data prep overlaps GPU compute (CV and Speech
+            pipelines); False for the NLP models whose inter-iteration
+            vector preparation serializes with the GPU (Sec. IV-A/IV-B1).
+        in_memory_dataset: NLP models read the whole dataset into memory
+            and skip the disk-read stage (Sec. IV-A).
+        prep_parallelism_cap: max useful prep workers per GPU (None =
+            unbounded).  NLP prep stops scaling at this count, which is
+            what pins their optimum.
+        weight_mb: model size, drives multi-node gradient sync traffic.
+        bw_demand_gbps: per-GPU memory-bandwidth demand at the optimum and
+            default batch (Fig. 6).
+        bw_batch_sensitivity: fractional bandwidth-demand growth when the
+            batch doubles (Wavenet grows, DeepSpeech does not; CV grows
+            slightly).
+        pcie_gbps: average per-GPU host-to-device demand (Sec. IV-C3).
+        pcie_peak_gbps: peak H2D demand, used for co-location arbitration.
+        contention_sensitivity: latency/bus sensitivity coefficient fed to
+            :func:`repro.perfmodel.contention.cpu_work_slowdown`.
+        bw_bound_fraction: fraction of prep work that is bandwidth-bound.
+        llc_sensitivity: LLC-pressure coefficient; zero for every paper
+            model (Fig. 7 finds no LLC sensitivity).
+        prep_batch_exponent: exponent of prep work in batch size.  1.0 keeps
+            the optimum batch-independent (all models but AlexNet); above
+            1.0 the optimum shifts with batch (AlexNet in Fig. 5).
+        multinode_overhead: fractional iteration-time inflation in
+            multi-node configurations (25-30 %, Sec. IV-B2).
+    """
+
+    name: str
+    domain: Domain
+    arch: str
+    dataset: str
+    default_batch: int
+    max_batch: int
+    iter_time_s: float
+    optimal_cores_1g: int
+    pipelined: bool
+    in_memory_dataset: bool
+    prep_parallelism_cap: Optional[int]
+    weight_mb: float
+    bw_demand_gbps: float
+    bw_batch_sensitivity: float
+    pcie_gbps: float
+    pcie_peak_gbps: float
+    contention_sensitivity: float
+    bw_bound_fraction: float
+    llc_sensitivity: float
+    prep_batch_exponent: float
+    multinode_overhead: float
+
+    def __post_init__(self) -> None:
+        if self.iter_time_s <= 0:
+            raise ValueError(f"{self.name}: iteration time must be positive")
+        if self.optimal_cores_1g < 1:
+            raise ValueError(f"{self.name}: optimum must be at least one core")
+        if self.default_batch < 1 or self.max_batch < self.default_batch:
+            raise ValueError(f"{self.name}: invalid batch range")
+        if not 0.0 <= self.bw_bound_fraction <= 1.0:
+            raise ValueError(f"{self.name}: bw_bound_fraction out of [0, 1]")
+        if self.prep_batch_exponent < 1.0:
+            raise ValueError(f"{self.name}: prep_batch_exponent below 1.0")
+
+    # ------------------------------------------------------------------ #
+    # Derived timing anchors
+
+    @property
+    def gpu_time_s(self) -> float:
+        """GPU compute per iteration at default batch.
+
+        At the optimum the iteration equals the GPU path plus per-core
+        overhead (pipelined), or prep + GPU path (serial NLP prep, where
+        the prep contributes ``PREP_HEADROOM``-adjusted share, see
+        :meth:`prep_cpu_seconds`).
+        """
+        overhead = CORE_OVERHEAD_S * self.optimal_cores_1g
+        if self.pipelined:
+            return self.iter_time_s - overhead
+        # Serial prep: iter = prep(k_opt) + gpu + overhead, with prep at the
+        # cap contributing NLP_SERIAL_PREP_SHARE of the iteration.
+        return self.iter_time_s * (1.0 - NLP_SERIAL_PREP_SHARE) - overhead
+
+    def gpu_time_at(self, batch: int) -> float:
+        """GPU compute scales linearly with batch size."""
+        self._check_batch(batch)
+        return self.gpu_time_s * (batch / self.default_batch)
+
+    def prep_cpu_seconds(self, batch: int) -> float:
+        """CPU-seconds of data preparation per iteration, per GPU.
+
+        Sized from the calibration anchors so that the Fig. 5 optimum is
+        exactly ``optimal_cores_1g``:
+
+        * pipelined models: ``k_opt`` cores just hide prep under the GPU
+          path, ``k_opt - 1`` cannot;
+        * serial-prep NLP models: prep at the parallelism cap contributes
+          ``NLP_SERIAL_PREP_SHARE`` of the anchored iteration time.
+        """
+        self._check_batch(batch)
+        batch_factor = (batch / self.default_batch) ** self.prep_batch_exponent
+        if self.pipelined:
+            base = self.gpu_time_s * (self.optimal_cores_1g - PREP_HEADROOM)
+        else:
+            cap = self.prep_parallelism_cap or self.optimal_cores_1g
+            base = self.iter_time_s * NLP_SERIAL_PREP_SHARE * cap
+        return base * batch_factor
+
+    @property
+    def weight_bytes(self) -> float:
+        return self.weight_mb * 1e6
+
+    def _check_batch(self, batch: int) -> None:
+        if batch < 1:
+            raise ValueError(f"{self.name}: batch must be positive, got {batch}")
+
+
+#: Fraction of the (anchored) iteration an NLP model spends in serial
+#: inter-iteration preparation at its optimum.  Large enough that bandwidth
+#: contention on that prep produces the >= 50 % drops of Fig. 7.
+NLP_SERIAL_PREP_SHARE = 0.32
+
+
+def _profiles() -> Tuple[ModelProfile, ...]:
+    return (
+        ModelProfile(
+            name="alexnet",
+            domain=Domain.CV,
+            arch="CNN",
+            dataset="ImageNet",
+            default_batch=256,
+            max_batch=512,
+            iter_time_s=1.385,  # Table II: 4 steps, ~260 iterations
+            optimal_cores_1g=8,  # simplest CV net needs the most cores
+            pipelined=True,
+            in_memory_dataset=False,
+            prep_parallelism_cap=None,
+            weight_mb=240.0,
+            bw_demand_gbps=12.0,  # Fig. 6: highest CV demand
+            bw_batch_sensitivity=0.15,
+            pcie_gbps=8.0,  # Sec. IV-C3: avg 8, peak 12
+            pcie_peak_gbps=12.0,
+            contention_sensitivity=0.9,  # the only bandwidth-sensitive CV net
+            bw_bound_fraction=0.7,
+            llc_sensitivity=0.0,
+            prep_batch_exponent=1.25,  # AlexNet's optimum shifts with batch
+            multinode_overhead=0.28,
+        ),
+        ModelProfile(
+            name="vgg16",
+            domain=Domain.CV,
+            arch="CNN",
+            dataset="ImageNet",
+            default_batch=64,
+            max_batch=128,
+            iter_time_s=5.143,  # Table II: 4 steps, ~70 iterations
+            optimal_cores_1g=5,
+            pipelined=True,
+            in_memory_dataset=False,
+            prep_parallelism_cap=None,
+            weight_mb=528.0,
+            bw_demand_gbps=6.0,
+            bw_batch_sensitivity=0.1,
+            pcie_gbps=4.0,
+            pcie_peak_gbps=6.0,
+            contention_sensitivity=0.08,
+            bw_bound_fraction=0.5,
+            llc_sensitivity=0.0,
+            prep_batch_exponent=1.0,
+            multinode_overhead=0.27,
+        ),
+        ModelProfile(
+            name="inception3",
+            domain=Domain.CV,
+            arch="CNN",
+            dataset="ImageNet",
+            default_batch=64,
+            max_batch=128,
+            iter_time_s=1.5,  # Table II: 3 steps, ~180 iterations
+            optimal_cores_1g=4,
+            pipelined=True,
+            in_memory_dataset=False,
+            prep_parallelism_cap=None,
+            weight_mb=95.0,
+            bw_demand_gbps=4.5,
+            bw_batch_sensitivity=0.1,
+            pcie_gbps=3.0,
+            pcie_peak_gbps=4.5,
+            contention_sensitivity=0.07,
+            bw_bound_fraction=0.5,
+            llc_sensitivity=0.0,
+            prep_batch_exponent=1.0,
+            multinode_overhead=0.26,
+        ),
+        ModelProfile(
+            name="resnet50",
+            domain=Domain.CV,
+            arch="CNN",
+            dataset="ImageNet",
+            default_batch=64,
+            max_batch=128,
+            iter_time_s=1.8,  # Table II: 3 steps, ~150 iterations
+            optimal_cores_1g=3,  # most complex CV net needs the fewest cores
+            pipelined=True,
+            in_memory_dataset=False,
+            prep_parallelism_cap=None,
+            weight_mb=100.0,
+            bw_demand_gbps=3.5,
+            bw_batch_sensitivity=0.1,
+            pcie_gbps=8.0,  # Sec. IV-C3 names ResNet-50 a PCIe heavy hitter
+            pcie_peak_gbps=12.0,
+            contention_sensitivity=0.1,
+            bw_bound_fraction=0.5,
+            llc_sensitivity=0.0,
+            prep_batch_exponent=1.0,
+            multinode_overhead=0.25,
+        ),
+        ModelProfile(
+            name="bat",
+            domain=Domain.NLP,
+            arch="RNN",
+            dataset="SQUAD",
+            default_batch=60,
+            max_batch=120,
+            iter_time_s=10.286,  # Table II: 4 steps, ~35 iterations
+            optimal_cores_1g=5,
+            pipelined=False,  # serial inter-iteration vector preparation
+            in_memory_dataset=True,
+            prep_parallelism_cap=5,
+            weight_mb=40.0,
+            bw_demand_gbps=0.8,  # Fig. 6: NLP demand is tiny
+            bw_batch_sensitivity=0.0,
+            pcie_gbps=0.3,
+            pcie_peak_gbps=0.6,
+            contention_sensitivity=4.0,  # Fig. 7: >= 50 % drop
+            bw_bound_fraction=0.2,
+            llc_sensitivity=0.0,
+            prep_batch_exponent=1.0,
+            multinode_overhead=0.30,
+        ),
+        ModelProfile(
+            name="transformer",
+            domain=Domain.NLP,
+            arch="Attention",
+            dataset="WMT16",
+            default_batch=4096,
+            max_batch=8192,
+            iter_time_s=1.038,  # Table II: 3 steps, ~260 iterations
+            optimal_cores_1g=2,  # the one model already optimal at 2 cores
+            pipelined=False,
+            in_memory_dataset=True,
+            prep_parallelism_cap=2,
+            weight_mb=250.0,
+            bw_demand_gbps=0.5,
+            bw_batch_sensitivity=0.0,
+            pcie_gbps=0.3,
+            pcie_peak_gbps=0.5,
+            contention_sensitivity=4.4,
+            bw_bound_fraction=0.2,
+            llc_sensitivity=0.0,
+            prep_batch_exponent=1.0,
+            multinode_overhead=0.30,
+        ),
+        ModelProfile(
+            name="wavenet",
+            domain=Domain.SPEECH,
+            arch="CNN",
+            dataset="VCTK",
+            default_batch=16,
+            max_batch=32,
+            iter_time_s=9.643,  # Table II: 3 steps, ~28 iterations
+            optimal_cores_1g=6,  # audio re-cut makes it hungrier
+            pipelined=True,
+            in_memory_dataset=False,
+            prep_parallelism_cap=None,
+            weight_mb=20.0,
+            bw_demand_gbps=8.0,
+            bw_batch_sensitivity=0.5,  # re-cut traffic grows with batch
+            pcie_gbps=0.8,
+            pcie_peak_gbps=1.0,
+            contention_sensitivity=0.55,
+            bw_bound_fraction=0.5,
+            llc_sensitivity=0.0,
+            prep_batch_exponent=1.0,
+            multinode_overhead=0.28,
+        ),
+        ModelProfile(
+            name="deepspeech",
+            domain=Domain.SPEECH,
+            arch="RNN",
+            dataset="CommonVoice",
+            default_batch=32,
+            max_batch=64,
+            iter_time_s=6.0,  # Table II: 3 steps, ~45 iterations
+            optimal_cores_1g=4,
+            pipelined=True,
+            in_memory_dataset=False,
+            prep_parallelism_cap=None,
+            weight_mb=150.0,
+            bw_demand_gbps=5.0,
+            bw_batch_sensitivity=0.0,  # flat in batch (Fig. 6)
+            pcie_gbps=0.6,
+            pcie_peak_gbps=0.9,
+            contention_sensitivity=1.6,  # more sensitive than Wavenet
+            bw_bound_fraction=0.5,
+            llc_sensitivity=0.0,
+            prep_batch_exponent=1.0,
+            multinode_overhead=0.29,
+        ),
+    )
+
+
+_CATALOG: Dict[str, ModelProfile] = {
+    profile.name: profile for profile in _profiles()
+}
+
+ALL_MODEL_NAMES: Tuple[str, ...] = tuple(_CATALOG)
+
+#: Aliases the paper uses interchangeably.
+_ALIASES = {
+    "bi-att-flow": "bat",
+    "inceptionv3": "inception3",
+    "resnet-50": "resnet50",
+}
+
+
+def get_model(name: str) -> ModelProfile:
+    """Look up a model profile by (case-insensitive) name or paper alias."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    profile = _CATALOG.get(key)
+    if profile is None:
+        raise KeyError(
+            f"unknown model {name!r}; known models: {', '.join(ALL_MODEL_NAMES)}"
+        )
+    return profile
+
+
+def models_in_domain(domain: Domain) -> List[ModelProfile]:
+    """All catalog models in the given category, in catalog order."""
+    return [p for p in _CATALOG.values() if p.domain is domain]

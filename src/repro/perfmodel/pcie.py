@@ -1,0 +1,48 @@
+"""PCIe demand and co-location effects (Sec. IV-C3).
+
+The paper's findings, all of which this module reproduces:
+
+* no model consumes more than half of a PCIe 3.0 x16 slot (16 GB/s), so two
+  co-located 1N1G jobs never contend;
+* AlexNet and ResNet-50 peak at 12 GB/s (average 8 GB/s); NLP and speech
+  models stay under 1 GB/s;
+* co-locating a heavy CV model in a 1N2G configuration costs the neighbours
+  5-10 %.
+
+Arbitration uses *peak* demands (contention happens at the bursts), while
+the resulting slowdown is scaled by the *average* H2D share — see
+:func:`repro.perfmodel.speed.iteration_time`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.perfmodel.catalog import ModelProfile
+from repro.perfmodel.stages import TrainSetup
+
+
+def pcie_demand(profile: ModelProfile, setup: TrainSetup) -> float:
+    """Average per-node host-to-device demand in GB/s."""
+    return profile.pcie_gbps * setup.gpus_per_node
+
+
+def pcie_peak_demand(profile: ModelProfile, setup: TrainSetup) -> float:
+    """Peak per-node H2D demand in GB/s (what co-location arbitrates on)."""
+    return profile.pcie_peak_gbps * setup.gpus_per_node
+
+
+def pcie_grant_ratio(
+    peak_demands_gbps: Iterable[float], capacity_gbps: float
+) -> float:
+    """Fraction of peak PCIe demand a node can serve, in (0, 1].
+
+    Proportional degradation: once summed peaks exceed the host fabric,
+    everyone's bursts stretch by the same ratio.
+    """
+    if capacity_gbps <= 0:
+        raise ValueError(f"PCIe capacity must be positive: {capacity_gbps}")
+    total = sum(peak_demands_gbps)
+    if total <= capacity_gbps:
+        return 1.0
+    return capacity_gbps / total

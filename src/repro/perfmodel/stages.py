@@ -1,0 +1,102 @@
+"""Training-configuration and iteration-breakdown types.
+
+The paper writes training configurations as ``aNbG`` — ``a`` servers and
+``b`` GPUs total (Sec. IV-B).  :class:`TrainSetup` is that notation plus the
+batch size; :class:`IterationBreakdown` is one priced iteration of the Fig. 4
+collaborative process, stage by stage.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TrainSetup:
+    """One training configuration: nodes, GPUs per node, batch size.
+
+    ``batch=None`` means the model's default batch size.
+    """
+
+    num_nodes: int = 1
+    gpus_per_node: int = 1
+    batch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"need at least one node: {self}")
+        if self.gpus_per_node < 1:
+            raise ValueError(f"need at least one GPU per node: {self}")
+        if self.batch is not None and self.batch < 1:
+            raise ValueError(f"batch must be positive: {self}")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    @property
+    def label(self) -> str:
+        """The paper's aNbG notation (b = *total* GPUs)."""
+        return f"{self.num_nodes}N{self.total_gpus}G"
+
+    @classmethod
+    def parse(cls, label: str, batch: Optional[int] = None) -> "TrainSetup":
+        """Parse an ``aNbG`` label, e.g. ``"1N4G"`` or ``"2N8G"``.
+
+        ``b`` is the total GPU count and must divide evenly across nodes.
+        """
+        match = re.fullmatch(r"(\d+)N(\d+)G", label.strip(), re.IGNORECASE)
+        if not match:
+            raise ValueError(f"not an aNbG configuration label: {label!r}")
+        nodes, total_gpus = int(match.group(1)), int(match.group(2))
+        if nodes < 1 or total_gpus < 1:
+            raise ValueError(f"degenerate configuration: {label!r}")
+        if total_gpus % nodes != 0:
+            raise ValueError(
+                f"{label!r}: {total_gpus} GPUs do not divide across {nodes} nodes"
+            )
+        return cls(
+            num_nodes=nodes, gpus_per_node=total_gpus // nodes, batch=batch
+        )
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """One priced training iteration, per the Fig. 4 stages.
+
+    All times in seconds.  ``prep_s`` covers stages 1+2 (read + pre-process,
+    already contention-adjusted); ``gpu_s`` is stage 4; ``sync_s`` covers
+    stage 5 plus multi-node gradient synchronization; ``pcie_penalty_s`` is
+    the *unhidden* share of stage 3 under PCIe contention (zero on a quiet
+    node); ``overhead_s`` is the per-core allocation overhead.
+    """
+
+    prep_s: float
+    gpu_s: float
+    sync_s: float
+    pcie_penalty_s: float
+    overhead_s: float
+    pipelined: bool
+
+    @property
+    def total_s(self) -> float:
+        """Iteration wall time: prep hides under the GPU path when the
+        model's input pipeline is overlapped, and serializes when not."""
+        gpu_path = self.gpu_s + self.sync_s
+        if self.pipelined:
+            body = max(self.prep_s, gpu_path)
+        else:
+            body = self.prep_s + gpu_path
+        return body + self.pcie_penalty_s + self.overhead_s
+
+    @property
+    def utilization(self) -> float:
+        """GPU busy fraction: compute time over iteration wall time."""
+        return self.gpu_s / self.total_s
+
+    @property
+    def prep_bound(self) -> bool:
+        """True when the CPU side is the bottleneck (starved GPU)."""
+        return self.pipelined and self.prep_s > self.gpu_s + self.sync_s

@@ -1,0 +1,69 @@
+"""GPU utilization and the optimal-core search.
+
+Sec. V-B rests on two characterization findings: a job's GPU utilization and
+training speed move together and peak at the same core count, and the
+relationship between cores and utilization is monotone up to that peak with
+a gentle decline after it.  Both fall out of the iteration model, so the
+"optimal core number" here is simply the speed argmax.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cluster.interconnect import Interconnect
+from repro.perfmodel.catalog import ModelProfile
+from repro.perfmodel.contention import UNCONTENDED, ContentionState
+from repro.perfmodel.speed import iteration_time, training_speed
+from repro.perfmodel.stages import TrainSetup
+
+#: Search ceiling: a job never benefits from more cores than a whole node.
+DEFAULT_MAX_CORES = 28
+
+
+def gpu_utilization(
+    profile: ModelProfile,
+    setup: TrainSetup,
+    cores_per_node: int,
+    contention: ContentionState = UNCONTENDED,
+    interconnect: Optional[Interconnect] = None,
+) -> float:
+    """GPU busy fraction in [0, 1] for the given allocation."""
+    kwargs = {} if interconnect is None else {"interconnect": interconnect}
+    return iteration_time(
+        profile, setup, cores_per_node, contention, **kwargs
+    ).utilization
+
+
+def utilization_curve(
+    profile: ModelProfile,
+    setup: TrainSetup,
+    max_cores: int = DEFAULT_MAX_CORES,
+    contention: ContentionState = UNCONTENDED,
+) -> List[Tuple[int, float]]:
+    """The Fig. 3 series: (cores, utilization) for 1..max_cores."""
+    return [
+        (cores, gpu_utilization(profile, setup, cores, contention))
+        for cores in range(1, max_cores + 1)
+    ]
+
+
+def optimal_cores(
+    profile: ModelProfile,
+    setup: TrainSetup,
+    max_cores: int = DEFAULT_MAX_CORES,
+    contention: ContentionState = UNCONTENDED,
+) -> int:
+    """The core count that maximizes training speed (ties -> fewest cores).
+
+    This is ground truth the adaptive allocator is measured against; the
+    allocator itself only ever sees utilization samples.
+    """
+    if max_cores < 1:
+        raise ValueError(f"max_cores must be at least 1: {max_cores}")
+    best_cores, best_speed = 1, 0.0
+    for cores in range(1, max_cores + 1):
+        speed = training_speed(profile, setup, cores, contention)
+        if speed > best_speed * (1.0 + 1e-12):
+            best_cores, best_speed = cores, speed
+    return best_cores

@@ -1,0 +1,28 @@
+"""Scheduling policies.
+
+The two baselines the paper evaluates against — FIFO (the cluster's SLURM
+policy) and DRF (Dominant Resource Fairness) — plus the interface CODA
+itself implements in :mod:`repro.core`.
+"""
+
+from repro.schedulers.base import (
+    PreemptDecision,
+    Scheduler,
+    SchedulerContext,
+    StartDecision,
+)
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.schedulers.placement import FreeState, place_cpu_job, place_gpu_job
+
+__all__ = [
+    "DrfScheduler",
+    "FifoScheduler",
+    "FreeState",
+    "PreemptDecision",
+    "Scheduler",
+    "SchedulerContext",
+    "StartDecision",
+    "place_cpu_job",
+    "place_gpu_job",
+]

@@ -1,0 +1,204 @@
+"""Scheduler interface.
+
+Schedulers are queue managers: the simulation runner feeds them arrivals
+and completions and asks for *decisions*; the runner executes the
+decisions against the cluster and the job-progress engine.  Keeping
+schedulers pure over an explicit free-state snapshot makes every policy
+unit-testable without a simulation.
+
+CODA additionally needs runtime control (retuning a running job's cores,
+throttling a CPU job, aborting a borrower); those go through the
+:class:`SchedulerContext` the runner passes at attach time, so the baselines
+never see capabilities they must not use.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.cluster import Cluster
+from repro.workload.job import Job
+
+
+@dataclass(frozen=True)
+class StartDecision:
+    """Start ``job`` with ``placements`` = [(node_id, cpus, gpus), ...].
+
+    For GPU jobs the cpus entry is the per-node core allocation the policy
+    chose (the owner's request under FIFO/DRF, the allocator's N_start
+    under CODA).
+    """
+
+    job: Job
+    placements: Tuple[Tuple[int, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.placements:
+            raise ValueError(f"{self.job.job_id}: empty placement")
+
+
+@dataclass(frozen=True)
+class PreemptDecision:
+    """Evict a running job and re-queue it.
+
+    ``preserve_progress`` distinguishes the multi-array scheduler's two
+    eviction flavours: aborted CPU borrowers restart from scratch ("the
+    suspended CPU job re-enters the array head", Sec. V-C), while migrated
+    GPU jobs keep their training progress (container migration).
+    """
+
+    job_id: str
+    reason: str
+    preserve_progress: bool = False
+
+
+Decision = Union[StartDecision, PreemptDecision]
+
+
+class SchedulerContext(abc.ABC):
+    """Runtime-control surface the runner exposes to CODA.
+
+    All mutations go through here so the runner can keep job progress,
+    contention state, and metrics consistent.
+    """
+
+    @property
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current simulation time."""
+
+    #: The cluster under management; concrete contexts expose it as an
+    #: attribute (the eliminator reads node monitors through it).
+    cluster: Cluster
+
+    @abc.abstractmethod
+    def schedule_event(self, delay_s: float, action, tag: str = ""):
+        """Register a future callback; returns a cancellable handle."""
+
+    @abc.abstractmethod
+    def resize_gpu_job_cores(self, job_id: str, cpus_per_node: int) -> bool:
+        """Retune a running training job's per-node cores.  Returns False
+        (without changes) when some node lacks the headroom."""
+
+    @abc.abstractmethod
+    def gpu_job_utilization(self, job_id: str) -> float:
+        """The job's current GPU utilization (the profiling signal)."""
+
+    @abc.abstractmethod
+    def gpu_job_expected_utilization(self, job_id: str) -> float:
+        """The utilization the job would reach at its current allocation on
+        a quiet node — the reference the eliminator compares against (a
+        production system estimates it from the job's profiling history)."""
+
+    @abc.abstractmethod
+    def throttle_cpu_job(self, job_id: str, node_id: int) -> bool:
+        """Step the CPU job's MBA throttle down one level.  Returns False
+        when the node has no MBA support."""
+
+    @abc.abstractmethod
+    def release_cpu_throttle(self, job_id: str, node_id: int) -> None:
+        """Lift any MBA throttle on ``job_id`` (contention has passed)."""
+
+    @abc.abstractmethod
+    def halve_cpu_job_cores(self, job_id: str) -> None:
+        """The no-MBA fallback of Sec. V-D."""
+
+    @abc.abstractmethod
+    def preempt_job(self, job_id: str, *, preserve_progress: bool, reason: str) -> None:
+        """Evict a running job now and hand it back to the scheduler."""
+
+
+class Scheduler(abc.ABC):
+    """Base class for all scheduling policies."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "base"
+
+    def attach(self, context: SchedulerContext) -> None:
+        """Receive the runtime-control surface.  Baselines ignore it."""
+
+    @abc.abstractmethod
+    def submit(self, job: Job, now: float) -> None:
+        """A new job arrived."""
+
+    @abc.abstractmethod
+    def job_finished(self, job: Job, now: float) -> None:
+        """A running job completed (resources already released)."""
+
+    def job_started(
+        self, job: Job, placements: Sequence[Tuple[int, int, int]], now: float
+    ) -> None:
+        """One of this policy's start decisions was executed.  CODA hooks
+        profiling here; the baselines need nothing."""
+
+    def job_preempted(self, job: Job, now: float, *, preserve_progress: bool) -> None:
+        """A running job was evicted; default: treat like a fresh submit."""
+        self.submit(job, now)
+
+    @abc.abstractmethod
+    def schedule(self, cluster: Cluster, now: float) -> List[Decision]:
+        """Produce this pass's decisions given current cluster state."""
+
+    @abc.abstractmethod
+    def pending_jobs(self) -> List[Job]:
+        """Jobs currently queued (for metrics and debugging)."""
+
+    def queue_depth(self) -> int:
+        return len(self.pending_jobs())
+
+
+@dataclass
+class TenantUsage:
+    """Per-tenant running-resource accounting shared by DRF-style policies."""
+
+    cpus: int = 0
+    gpus: int = 0
+
+    def add(self, cpus: int, gpus: int) -> None:
+        self.cpus += cpus
+        self.gpus += gpus
+
+    def remove(self, cpus: int, gpus: int) -> None:
+        self.cpus -= cpus
+        self.gpus -= gpus
+        if self.cpus < 0 or self.gpus < 0:
+            raise RuntimeError(
+                f"tenant usage went negative: cpus={self.cpus}, gpus={self.gpus}"
+            )
+
+
+class UsageLedger:
+    """Tracks per-tenant running usage for dominant-share computations."""
+
+    def __init__(self) -> None:
+        self._usage: Dict[int, TenantUsage] = {}
+        self._job_footprint: Dict[str, Tuple[int, int, int]] = {}
+
+    def start(self, job_id: str, tenant_id: int, cpus: int, gpus: int) -> None:
+        if job_id in self._job_footprint:
+            raise RuntimeError(f"job {job_id} already accounted")
+        self._usage.setdefault(tenant_id, TenantUsage()).add(cpus, gpus)
+        self._job_footprint[job_id] = (tenant_id, cpus, gpus)
+
+    def finish(self, job_id: str) -> None:
+        footprint = self._job_footprint.pop(job_id, None)
+        if footprint is None:
+            return
+        tenant_id, cpus, gpus = footprint
+        self._usage[tenant_id].remove(cpus, gpus)
+
+    def usage_of(self, tenant_id: int) -> TenantUsage:
+        return self._usage.get(tenant_id, TenantUsage())
+
+    def dominant_share(
+        self, tenant_id: int, total_cpus: int, total_gpus: int
+    ) -> float:
+        usage = self.usage_of(tenant_id)
+        shares = []
+        if total_cpus > 0:
+            shares.append(usage.cpus / total_cpus)
+        if total_gpus > 0:
+            shares.append(usage.gpus / total_gpus)
+        return max(shares) if shares else 0.0

@@ -1,0 +1,83 @@
+"""FIFO scheduling — the paper's status-quo baseline.
+
+The studied cluster runs SLURM "that uses FIFO to schedule jobs from
+different parties" (Sec. III-A).  Production SLURM deployments place CPU
+and GPU jobs through separate partitions, so the behaviour the paper
+measures — CPU jobs scheduling within seconds (Fig. 2c) while GPU jobs
+suffer head-of-line blocking, fragmentation, and long queues — corresponds
+to FIFO *per kind*:
+
+* GPU jobs are strictly FIFO among themselves: the first GPU job that does
+  not fit blocks all later GPU jobs (no backfill);
+* CPU jobs are strictly FIFO among themselves but do not wait behind a
+  blocked GPU job (separate partition).
+
+Both kinds draw from the same physical nodes — a CPU job landing on a GPU
+node consumes the cores a pending training job needs, which is the
+fragmentation mechanism of Sec. VI-C.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.cluster.cluster import Cluster
+from repro.schedulers.base import Decision, Scheduler, StartDecision
+from repro.schedulers.placement import FreeState, place_cpu_job, place_gpu_job
+from repro.workload.job import CpuJob, GpuJob, Job
+
+
+class FifoScheduler(Scheduler):
+    """First-in-first-out per job kind, no backfill."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._gpu_queue: Deque[GpuJob] = deque()
+        self._cpu_queue: Deque[CpuJob] = deque()
+
+    def submit(self, job: Job, now: float) -> None:
+        if isinstance(job, GpuJob):
+            self._gpu_queue.append(job)
+        elif isinstance(job, CpuJob):
+            self._cpu_queue.append(job)
+        else:
+            raise TypeError(f"unknown job type: {type(job).__name__}")
+
+    def job_finished(self, job: Job, now: float) -> None:
+        """FIFO keeps no running-state; nothing to update."""
+
+    def job_preempted(self, job: Job, now: float, *, preserve_progress: bool) -> None:
+        """FIFO never preempts, but honour the interface: back to the head."""
+        if isinstance(job, GpuJob):
+            self._gpu_queue.appendleft(job)
+        else:
+            self._cpu_queue.appendleft(job)
+
+    def schedule(self, cluster: Cluster, now: float) -> List[Decision]:
+        decisions: List[Decision] = []
+        free = FreeState.of(cluster)
+
+        while self._gpu_queue:
+            head = self._gpu_queue[0]
+            placements = place_gpu_job(head, free)
+            if placements is None:
+                break  # head-of-line blocking: no GPU backfill
+            free.commit(placements)
+            decisions.append(StartDecision(job=head, placements=tuple(placements)))
+            self._gpu_queue.popleft()
+
+        while self._cpu_queue:
+            head = self._cpu_queue[0]
+            placements = place_cpu_job(head, free)
+            if placements is None:
+                break
+            free.commit(placements)
+            decisions.append(StartDecision(job=head, placements=tuple(placements)))
+            self._cpu_queue.popleft()
+
+        return decisions
+
+    def pending_jobs(self) -> List[Job]:
+        return list(self._gpu_queue) + list(self._cpu_queue)

@@ -1,0 +1,141 @@
+"""Placement helpers shared by every policy.
+
+:class:`FreeState` is a cheap mutable snapshot of per-node free resources a
+scheduler decrements as it makes decisions within one pass, so a batch of
+decisions is internally consistent without touching the real cluster.
+
+Placement heuristics are best-fit: pack GPU jobs onto the nodes whose free
+GPU count (then free core count) is tightest, and CPU jobs onto the nodes
+with the tightest free cores.  Best-fit keeps large-GPU nodes whole, which
+matters for the paper's 4-GPU jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.workload.job import CpuJob, GpuJob
+
+Placement = Tuple[int, int, int]  # (node_id, cpus, gpus)
+
+
+@dataclass
+class _NodeFree:
+    node_id: int
+    cpus: int
+    gpus: int
+
+
+class FreeState:
+    """Per-node free (cpus, gpus) snapshot with commit semantics."""
+
+    def __init__(self, free: Dict[int, Tuple[int, int]]) -> None:
+        self._nodes: Dict[int, _NodeFree] = {
+            node_id: _NodeFree(node_id, cpus, gpus)
+            for node_id, (cpus, gpus) in free.items()
+        }
+
+    @classmethod
+    def of(
+        cls, cluster: Cluster, *, among: Optional[Iterable[int]] = None
+    ) -> "FreeState":
+        node_ids = (
+            range(len(cluster.nodes)) if among is None else among
+        )
+        return cls(
+            {
+                node_id: (
+                    cluster.nodes[node_id].free_cpus,
+                    cluster.nodes[node_id].free_gpus,
+                )
+                for node_id in node_ids
+            }
+        )
+
+    def free_of(self, node_id: int) -> Tuple[int, int]:
+        node = self._nodes[node_id]
+        return node.cpus, node.gpus
+
+    def node_ids(self) -> List[int]:
+        return list(self._nodes)
+
+    def add(self, node_id: int, cpus: int, gpus: int) -> None:
+        """Return capacity to the snapshot (e.g., a planned preemption)."""
+        node = self._nodes[node_id]
+        node.cpus += cpus
+        node.gpus += gpus
+
+    def commit(self, placements: Iterable[Placement]) -> None:
+        """Deduct a decision from the snapshot.
+
+        Raises:
+            RuntimeError: if the deduction would go negative — the caller
+                placed against stale data, which is a policy bug.
+        """
+        for node_id, cpus, gpus in placements:
+            node = self._nodes[node_id]
+            if cpus > node.cpus or gpus > node.gpus:
+                raise RuntimeError(
+                    f"placement overcommits node {node_id}: "
+                    f"want {cpus}c/{gpus}g, free {node.cpus}c/{node.gpus}g"
+                )
+            node.cpus -= cpus
+            node.gpus -= gpus
+
+    def _candidates(
+        self, cpus: int, gpus: int, among: Optional[Iterable[int]] = None
+    ) -> List[_NodeFree]:
+        allowed = None if among is None else set(among)
+        return [
+            node
+            for node in self._nodes.values()
+            if node.cpus >= cpus
+            and node.gpus >= gpus
+            and (allowed is None or node.node_id in allowed)
+        ]
+
+
+def place_gpu_job(
+    job: GpuJob,
+    free: FreeState,
+    *,
+    cpus_per_node: Optional[int] = None,
+    among: Optional[Iterable[int]] = None,
+) -> Optional[List[Placement]]:
+    """Find nodes for a training job; None when it does not fit now.
+
+    Needs ``job.setup.num_nodes`` distinct nodes, each with
+    ``gpus_per_node`` free GPUs and the per-node core allocation
+    (``cpus_per_node`` overrides the owner's request — CODA passes its
+    N_start here).  Best-fit on free GPUs, then free cores, then node id
+    for determinism.
+    """
+    cores = cpus_per_node if cpus_per_node is not None else job.requested_cpus
+    gpus = job.setup.gpus_per_node
+    candidates = free._candidates(cores, gpus, among)
+    if len(candidates) < job.setup.num_nodes:
+        return None
+    candidates.sort(key=lambda node: (node.gpus, node.cpus, node.node_id))
+    chosen = candidates[: job.setup.num_nodes]
+    return [(node.node_id, cores, gpus) for node in chosen]
+
+
+def place_cpu_job(
+    job: CpuJob,
+    free: FreeState,
+    *,
+    among: Optional[Iterable[int]] = None,
+) -> Optional[List[Placement]]:
+    """Find a node for a CPU job; None when it does not fit now.
+
+    Best-fit on free cores, preferring GPU-free capacity is deliberately
+    *not* done here: the baselines happily stuff CPU jobs onto GPU nodes,
+    which is exactly the interference CODA's multi-array design removes.
+    """
+    candidates = free._candidates(job.cores, 0, among)
+    if not candidates:
+        return None
+    candidates.sort(key=lambda node: (node.cpus, node.node_id))
+    return [(candidates[0].node_id, job.cores, 0)]

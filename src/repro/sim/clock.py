@@ -1,0 +1,65 @@
+"""Simulation clock.
+
+Time in this library is a float number of **seconds** since the start of the
+simulation.  A handful of helpers convert to the human units that the paper
+uses (minutes for queueing-time CDFs, hours for runtimes, days for the
+week-long utilization trend of Fig. 1).
+"""
+
+from __future__ import annotations
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+
+
+class Clock:
+    """Monotonic simulation clock.
+
+    The clock only moves forward, and only the :class:`~repro.sim.engine.Engine`
+    advances it.  Components read ``clock.now`` and must never cache it across
+    events.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises:
+            ValueError: if ``when`` is in the past.  A discrete-event engine
+                that tries to move time backwards has a corrupted queue, and
+                silently accepting it would invalidate every time-weighted
+                metric, so this is fatal.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"time cannot move backwards: now={self._now}, requested={when}"
+            )
+        self._now = float(when)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now:.3f})"
+
+
+def fmt_duration(seconds: float) -> str:
+    """Render a duration the way the paper quotes them (s / min / h)."""
+    if seconds < MINUTE:
+        return f"{seconds:.1f}s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f}min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.2f}h"
+    return f"{seconds / DAY:.2f}d"

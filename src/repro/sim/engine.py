@@ -1,0 +1,157 @@
+"""The discrete-event engine.
+
+A thin, fast event loop: a binary heap of :class:`~repro.sim.events.Event`
+records, a :class:`~repro.sim.clock.Clock`, and a run loop with optional
+horizon and step limits.  Everything else in the library (jobs arriving,
+training iterations completing, profiling steps firing, bandwidth monitors
+sampling) is expressed as events against this engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventHandle, EventPriority
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = Clock(start)
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    @property
+    def fired(self) -> int:
+        """Number of events executed so far."""
+        return self._fired
+
+    def schedule(
+        self,
+        when: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = EventPriority.SCHEDULE,
+        tag: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` to run at absolute time ``when``.
+
+        Returns:
+            A handle whose :meth:`~repro.sim.events.EventHandle.cancel`
+            removes the event (lazily).
+
+        Raises:
+            ValueError: when scheduling in the past.
+        """
+        if when < self.clock.now:
+            raise ValueError(
+                f"cannot schedule event {tag!r} at {when} (now={self.clock.now})"
+            )
+        event = Event(
+            time=float(when),
+            priority=int(priority),
+            seq=self._seq,
+            action=action,
+            tag=tag,
+        )
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_in(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = EventPriority.SCHEDULE,
+        tag: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay for event {tag!r}: {delay}")
+        return self.schedule(
+            self.clock.now + delay, action, priority=priority, tag=tag
+        )
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is drained."""
+        self._discard_dead()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Fire the single next live event.
+
+        Returns:
+            ``True`` if an event fired, ``False`` if the queue was empty.
+        """
+        self._discard_dead()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self.clock.advance_to(event.time)
+        self._fired += 1
+        event.action()
+        return True
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run the loop until the queue drains, ``until``, or ``max_events``.
+
+        Events scheduled exactly at ``until`` still fire; the first event
+        strictly beyond ``until`` stops the loop (and stays queued).  When a
+        horizon is given the clock is advanced to it on exit so that
+        time-weighted metrics cover the full window.
+
+        Returns:
+            The number of events fired by this call.
+        """
+        if self._running:
+            raise RuntimeError("engine.run() is not reentrant")
+        self._running = True
+        fired_before = self._fired
+        try:
+            while True:
+                if max_events is not None and self._fired - fired_before >= max_events:
+                    break
+                next_time = self.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self.clock.now < until:
+            self.clock.advance_to(until)
+        return self._fired - fired_before
+
+    def _discard_dead(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(now={self.clock.now:.3f}, pending={self.pending}, "
+            f"fired={self._fired})"
+        )

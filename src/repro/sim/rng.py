@@ -1,0 +1,59 @@
+"""Named, seeded random-number streams.
+
+Every source of randomness in the library (arrival processes, job sizing,
+duration sampling, measurement noise) draws from its own named stream,
+derived deterministically from a single root seed.  This keeps experiments
+reproducible *and* decoupled: adding draws to one stream does not perturb
+any other stream, so, e.g., enabling measurement noise does not change the
+generated trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream name.
+
+    Uses BLAKE2b rather than ``hash()`` because the latter is salted per
+    process and would destroy reproducibility.
+    """
+    digest = hashlib.blake2b(
+        f"{root_seed}:{name}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class RngRegistry:
+    """A factory of independent named :class:`random.Random` streams."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = int(root_seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        The same name always maps to the same stream object, so sequential
+        draws across call sites interleave deterministically in program
+        order.
+        """
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        rng = random.Random(derive_seed(self.root_seed, name))
+        self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Derive a child registry (e.g., one per tenant) from this one."""
+        return RngRegistry(derive_seed(self.root_seed, f"fork:{name}"))
+
+    def __repr__(self) -> str:
+        return (
+            f"RngRegistry(root_seed={self.root_seed}, "
+            f"streams={sorted(self._streams)})"
+        )

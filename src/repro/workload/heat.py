@@ -1,0 +1,44 @@
+"""The HEAT memory-pressure benchmark (Sec. IV-C2).
+
+The paper inflicts controlled LLC and memory-bandwidth pressure on a node
+by running HEAT, a memory-intensive CPU benchmark, and "adjusting the
+thread number of the program".  This module is its synthetic stand-in: a
+CPU-job template whose bandwidth demand scales with its thread count.
+"""
+
+from __future__ import annotations
+
+from repro.workload.job import CpuJob
+
+#: Streaming bandwidth one HEAT thread sustains on the modeled Xeon.
+HEAT_GBPS_PER_THREAD = 8.0
+
+#: LLC footprint per HEAT thread (streaming working sets evict broadly).
+HEAT_LLC_MB_PER_THREAD = 1.8
+
+
+def heat_job(
+    job_id: str,
+    submit_time: float,
+    threads: int,
+    duration_s: float = 3600.0,
+    tenant_id: int = 20,
+    gbps_per_thread: float = HEAT_GBPS_PER_THREAD,
+) -> CpuJob:
+    """Build a HEAT instance with ``threads`` worker threads.
+
+    One core per thread; bandwidth demand and LLC footprint scale linearly
+    with the thread count, which is exactly the knob Fig. 7 sweeps.
+    """
+    if threads < 1:
+        raise ValueError(f"HEAT needs at least one thread, got {threads}")
+    return CpuJob(
+        job_id=job_id,
+        tenant_id=tenant_id,
+        submit_time=submit_time,
+        cores=threads,
+        duration_s=duration_s,
+        bw_demand_gbps=gbps_per_thread * threads,
+        llc_mb=HEAT_LLC_MB_PER_THREAD * threads,
+        is_heat=True,
+    )

@@ -1,0 +1,128 @@
+"""Trace persistence as JSON Lines.
+
+The first line is a header with the trace config; every following line is
+one job.  The format is line-oriented so multi-gigabyte traces can be
+streamed, diffed, and sampled with standard tools.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.perfmodel.stages import TrainSetup
+from repro.workload.job import CpuJob, GpuJob, Job, JobHints
+from repro.workload.tenants import paper_tenants
+from repro.workload.tracegen import Trace, TraceConfig
+
+_FORMAT_VERSION = 1
+
+
+def _job_to_dict(job: Job) -> dict:
+    if isinstance(job, GpuJob):
+        return {
+            "kind": "gpu",
+            "job_id": job.job_id,
+            "tenant_id": job.tenant_id,
+            "submit_time": job.submit_time,
+            "model_name": job.model_name,
+            "num_nodes": job.setup.num_nodes,
+            "gpus_per_node": job.setup.gpus_per_node,
+            "batch": job.setup.batch,
+            "requested_cpus": job.requested_cpus,
+            "total_iterations": job.total_iterations,
+            "hints": {
+                "category_provided": job.hints.category_provided,
+                "uses_pipeline": job.hints.uses_pipeline,
+                "many_weights": job.hints.many_weights,
+                "complex_inter_iteration": job.hints.complex_inter_iteration,
+            },
+        }
+    if isinstance(job, CpuJob):
+        return {
+            "kind": "cpu",
+            "job_id": job.job_id,
+            "tenant_id": job.tenant_id,
+            "submit_time": job.submit_time,
+            "cores": job.cores,
+            "duration_s": job.duration_s,
+            "bw_demand_gbps": job.bw_demand_gbps,
+            "llc_mb": job.llc_mb,
+            "is_heat": job.is_heat,
+            "is_inference": job.is_inference,
+        }
+    raise TypeError(f"unknown job type: {type(job).__name__}")
+
+
+def _job_from_dict(record: dict) -> Job:
+    kind = record.get("kind")
+    if kind == "gpu":
+        return GpuJob(
+            job_id=record["job_id"],
+            tenant_id=record["tenant_id"],
+            submit_time=record["submit_time"],
+            model_name=record["model_name"],
+            setup=TrainSetup(
+                num_nodes=record["num_nodes"],
+                gpus_per_node=record["gpus_per_node"],
+                batch=record["batch"],
+            ),
+            requested_cpus=record["requested_cpus"],
+            total_iterations=record["total_iterations"],
+            hints=JobHints(**record["hints"]),
+        )
+    if kind == "cpu":
+        return CpuJob(
+            job_id=record["job_id"],
+            tenant_id=record["tenant_id"],
+            submit_time=record["submit_time"],
+            cores=record["cores"],
+            duration_s=record["duration_s"],
+            bw_demand_gbps=record["bw_demand_gbps"],
+            llc_mb=record["llc_mb"],
+            is_heat=record["is_heat"],
+            is_inference=record.get("is_inference", False),
+        )
+    raise ValueError(f"unknown job kind in trace file: {kind!r}")
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` as JSONL (header line + one job per line)."""
+    path = Path(path)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "duration_days": trace.config.duration_days,
+            "gpu_jobs_per_day": trace.config.gpu_jobs_per_day,
+            "cpu_jobs_per_day": trace.config.cpu_jobs_per_day,
+            "heat_fraction": trace.config.heat_fraction,
+            "hint_probability": trace.config.hint_probability,
+            "default_batch_probability": trace.config.default_batch_probability,
+            "weekend_factor": trace.config.weekend_factor,
+            "seed": trace.config.seed,
+        },
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for job in trace.jobs:
+            handle.write(json.dumps(_job_to_dict(job)) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"empty trace file: {path}")
+        header = json.loads(header_line)
+        version = header.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version!r} in {path}"
+            )
+        config = TraceConfig(**header["config"])
+        jobs = [_job_from_dict(json.loads(line)) for line in handle if line.strip()]
+    jobs.sort(key=lambda job: (job.submit_time, job.job_id))
+    return Trace(config=config, tenants=paper_tenants(), jobs=jobs)

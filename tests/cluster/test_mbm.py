@@ -1,0 +1,128 @@
+"""Bandwidth-monitor arbitration (the simulated MBM)."""
+
+import pytest
+
+from repro.cluster.mbm import BandwidthMonitor
+
+
+class TestRegistration:
+    def test_register_and_read(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 10.0, is_cpu_job=True)
+        assert monitor.usage_of("a").demand == 10.0
+        assert monitor.has("a")
+
+    def test_double_register_raises(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 10.0, is_cpu_job=True)
+        with pytest.raises(RuntimeError):
+            monitor.register("a", 5.0, is_cpu_job=True)
+
+    def test_negative_demand_raises(self):
+        monitor = BandwidthMonitor(100.0)
+        with pytest.raises(ValueError):
+            monitor.register("a", -1.0, is_cpu_job=True)
+
+    def test_unregister_removes(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 10.0, is_cpu_job=True)
+        monitor.unregister("a")
+        assert not monitor.has("a")
+
+    def test_unregister_unknown_is_silent(self):
+        BandwidthMonitor(100.0).unregister("ghost")
+
+    def test_update_demand_rearbitrates(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 10.0, is_cpu_job=True)
+        monitor.update_demand("a", 60.0)
+        assert monitor.usage_of("a").granted == 60.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BandwidthMonitor(0.0)
+
+
+class TestArbitration:
+    def test_undersubscribed_grants_everything(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 30.0, is_cpu_job=True)
+        monitor.register("b", 40.0, is_cpu_job=False)
+        assert monitor.grant_ratio("a") == 1.0
+        assert monitor.grant_ratio("b") == 1.0
+        assert monitor.pressure == pytest.approx(0.7)
+
+    def test_oversubscribed_equal_demands_share_equally(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 80.0, is_cpu_job=True)
+        monitor.register("b", 80.0, is_cpu_job=True)
+        assert monitor.usage_of("a").granted == pytest.approx(50.0)
+        assert monitor.usage_of("b").granted == pytest.approx(50.0)
+
+    def test_max_min_protects_small_demands(self):
+        """A tiny trainer keeps its full grant while a hog is squeezed —
+        this is why NLP jobs suffer via latency, not starvation."""
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("trainer", 1.0, is_cpu_job=False)
+        monitor.register("heat", 200.0, is_cpu_job=True)
+        assert monitor.grant_ratio("trainer") == 1.0
+        assert monitor.usage_of("heat").granted == pytest.approx(99.0)
+
+    def test_three_way_water_filling(self):
+        monitor = BandwidthMonitor(90.0)
+        monitor.register("small", 10.0, is_cpu_job=True)
+        monitor.register("mid", 40.0, is_cpu_job=True)
+        monitor.register("big", 100.0, is_cpu_job=True)
+        assert monitor.usage_of("small").granted == pytest.approx(10.0)
+        assert monitor.usage_of("mid").granted == pytest.approx(40.0)
+        assert monitor.usage_of("big").granted == pytest.approx(40.0)
+
+    def test_total_granted_never_exceeds_capacity(self):
+        monitor = BandwidthMonitor(100.0)
+        for index in range(7):
+            monitor.register(f"job{index}", 30.0, is_cpu_job=True)
+        assert monitor.total_granted <= 100.0 + 1e-9
+
+    def test_grant_ratio_of_zero_demand_is_one(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("idle", 0.0, is_cpu_job=True)
+        assert monitor.grant_ratio("idle") == 1.0
+
+    def test_pressure_is_granted_over_capacity(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("hog", 500.0, is_cpu_job=True)
+        assert monitor.pressure == pytest.approx(1.0)
+
+
+class TestCaps:
+    def test_cap_limits_grant(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 80.0, is_cpu_job=True)
+        monitor.set_cap("a", 20.0)
+        assert monitor.usage_of("a").granted == pytest.approx(20.0)
+
+    def test_cap_releases_bandwidth_to_others(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 80.0, is_cpu_job=True)
+        monitor.register("b", 80.0, is_cpu_job=False)
+        monitor.set_cap("a", 20.0)
+        assert monitor.usage_of("b").granted == pytest.approx(80.0)
+
+    def test_cap_none_lifts_throttle(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 80.0, is_cpu_job=True)
+        monitor.set_cap("a", 20.0)
+        monitor.set_cap("a", None)
+        assert monitor.usage_of("a").granted == pytest.approx(80.0)
+
+    def test_negative_cap_raises(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("a", 10.0, is_cpu_job=True)
+        with pytest.raises(ValueError):
+            monitor.set_cap("a", -5.0)
+
+    def test_cpu_job_usages_filters_kind(self):
+        monitor = BandwidthMonitor(100.0)
+        monitor.register("cpu", 10.0, is_cpu_job=True)
+        monitor.register("gpu", 10.0, is_cpu_job=False)
+        assert set(monitor.cpu_job_usages()) == {"cpu"}

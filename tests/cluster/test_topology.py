@@ -1,0 +1,103 @@
+"""Rack topology and the two-tier fabric."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.interconnect import Interconnect
+from repro.cluster.topology import RackedInterconnect, RackTopology
+from repro.config import ClusterConfig, NodeConfig
+
+
+class TestRackTopology:
+    def test_flat_puts_everything_in_one_rack(self):
+        topology = RackTopology.flat(8)
+        assert topology.num_racks == 1
+        assert topology.same_rack(range(8))
+
+    def test_uniform_fills_racks_consecutively(self):
+        topology = RackTopology.uniform(10, nodes_per_rack=4)
+        assert topology.rack_of(0) == 0
+        assert topology.rack_of(3) == 0
+        assert topology.rack_of(4) == 1
+        assert topology.rack_of(9) == 2
+        assert topology.num_racks == 3
+
+    def test_nodes_in_rack(self):
+        topology = RackTopology.uniform(6, nodes_per_rack=3)
+        assert topology.nodes_in_rack(1) == {3, 4, 5}
+
+    def test_same_rack(self):
+        topology = RackTopology.uniform(6, nodes_per_rack=3)
+        assert topology.same_rack([0, 1, 2])
+        assert not topology.same_rack([2, 3])
+        assert topology.same_rack([])
+
+    def test_racks_sorted(self):
+        assert RackTopology.uniform(9, 3).racks() == [0, 1, 2]
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            RackTopology.flat(2).rack_of(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RackTopology.uniform(4, 0)
+        with pytest.raises(ValueError):
+            RackTopology(rack_of_node={-1: 0})
+
+
+class TestRackedInterconnect:
+    def _fabric(self, oversubscription=4.0):
+        return RackedInterconnect(
+            topology=RackTopology.uniform(8, nodes_per_rack=4),
+            intra_rack=Interconnect(link_gbps=1.25),
+            oversubscription=oversubscription,
+        )
+
+    def test_same_rack_gets_full_speed(self):
+        fabric = self._fabric()
+        assert fabric.for_nodes([0, 1]).link_gbps == 1.25
+
+    def test_cross_rack_is_oversubscribed(self):
+        fabric = self._fabric(oversubscription=4.0)
+        assert fabric.for_nodes([0, 4]).link_gbps == pytest.approx(1.25 / 4)
+
+    def test_oversubscription_one_is_flat(self):
+        fabric = self._fabric(oversubscription=1.0)
+        assert fabric.for_nodes([0, 4]).link_gbps == 1.25
+
+    def test_cross_rack_sync_is_slower(self):
+        fabric = self._fabric(oversubscription=4.0)
+        same = fabric.for_nodes([0, 1]).sync_time(500e6, 2)
+        cross = fabric.for_nodes([0, 4]).sync_time(500e6, 2)
+        assert cross > 3 * same
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._fabric(oversubscription=0.5)
+
+
+class TestClusterIntegration:
+    def test_default_cluster_is_flat(self):
+        cluster = Cluster()
+        assert cluster.topology.num_racks == 1
+        assert cluster.fabric.for_nodes([0, 79]).link_gbps == 1.25
+
+    def test_racked_cluster(self):
+        cluster = Cluster(
+            ClusterConfig(
+                node_groups=((8, NodeConfig(gpus=4)),),
+                nodes_per_rack=4,
+                rack_oversubscription=4.0,
+            )
+        )
+        assert cluster.topology.num_racks == 2
+        assert cluster.fabric.for_nodes([0, 4]).link_gbps == pytest.approx(
+            1.25 / 4
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(nodes_per_rack=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(rack_oversubscription=0.9)

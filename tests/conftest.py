@@ -1,0 +1,33 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, NodeConfig, small_cluster
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def tiny_cluster() -> Cluster:
+    """Two 4-GPU nodes, 28 cores each."""
+    return Cluster(small_cluster(nodes=2, gpus_per_node=4))
+
+
+@pytest.fixture
+def mixed_cluster() -> Cluster:
+    """Three 4-GPU nodes plus one 8-GPU node."""
+    return Cluster(
+        ClusterConfig(
+            node_groups=(
+                (3, NodeConfig(gpus=4)),
+                (1, NodeConfig(gpus=8)),
+            )
+        )
+    )

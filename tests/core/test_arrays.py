@@ -1,0 +1,93 @@
+"""Array-layout construction (Fig. 9)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, NodeConfig
+from repro.core.arrays import ArrayLayout, build_layout
+
+
+def _mixed(four_gpu_nodes=3, eight_gpu_nodes=2) -> Cluster:
+    return Cluster(
+        ClusterConfig(
+            node_groups=(
+                (four_gpu_nodes, NodeConfig(gpus=4)),
+                (eight_gpu_nodes, NodeConfig(gpus=8)),
+            )
+        )
+    )
+
+
+class TestBuildLayout:
+    def test_partitions_every_node_exactly_once(self):
+        cluster = _mixed()
+        layout = build_layout(cluster)
+        assert layout.four_gpu_nodes | layout.one_gpu_nodes == set(range(5))
+        assert not layout.four_gpu_nodes & layout.one_gpu_nodes
+
+    def test_densest_nodes_go_to_four_gpu_array(self):
+        cluster = _mixed()
+        layout = build_layout(cluster, four_gpu_fraction=0.5)
+        # The two 8-GPU nodes (ids 3, 4) carry 16 of 28 GPUs > 50 %.
+        assert layout.four_gpu_nodes == {3, 4}
+
+    def test_fraction_zero_gives_empty_big_array(self):
+        layout = build_layout(_mixed(), four_gpu_fraction=0.0)
+        assert layout.four_gpu_nodes == frozenset()
+
+    def test_fraction_one_takes_everything(self):
+        layout = build_layout(_mixed(), four_gpu_fraction=1.0)
+        assert layout.one_gpu_nodes == frozenset()
+
+    def test_historical_demand_overrides_fraction(self):
+        # 80 % of historical GPU demand is >= 4-GPU jobs.
+        layout = build_layout(
+            _mixed(), historical_big_job_gpus=[4, 4, 4, 4, 1, 1, 1, 1]
+        )
+        carried = sum(
+            _mixed().nodes[node_id].total_gpus
+            for node_id in layout.four_gpu_nodes
+        )
+        assert carried >= 0.7 * 28
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            build_layout(_mixed(), four_gpu_fraction=1.5)
+
+
+class TestLayoutQueries:
+    def _layout(self):
+        return build_layout(_mixed(), four_gpu_fraction=0.5, reserved_cores=16)
+
+    def test_primary_routing(self):
+        layout = self._layout()
+        assert layout.primary_nodes(4) == layout.four_gpu_nodes
+        assert layout.primary_nodes(8) == layout.four_gpu_nodes
+        assert layout.primary_nodes(1) == layout.one_gpu_nodes
+        assert layout.primary_nodes(2) == layout.one_gpu_nodes
+
+    def test_fallback_is_the_other_array(self):
+        layout = self._layout()
+        assert layout.fallback_nodes(4) == layout.one_gpu_nodes
+        assert layout.fallback_nodes(1) == layout.four_gpu_nodes
+
+    def test_cpu_array_capacity(self):
+        layout = self._layout()
+        assert layout.cpu_array_capacity(28) == 12
+        assert layout.cpu_array_capacity(10) == 0
+
+    def test_overlapping_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayLayout(
+                four_gpu_nodes=frozenset({1}),
+                one_gpu_nodes=frozenset({1}),
+                reserved_cores=4,
+            )
+
+    def test_negative_reservation_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayLayout(
+                four_gpu_nodes=frozenset(),
+                one_gpu_nodes=frozenset({1}),
+                reserved_cores=-1,
+            )

@@ -1,0 +1,118 @@
+"""The contention-aware placement extension (off by default)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, NodeConfig, small_cluster
+from repro.core.coda import CodaConfig, CodaScheduler
+from repro.core.eliminator import EliminatorConfig
+from repro.experiments.runner import SimulationRunner
+from repro.perfmodel.stages import TrainSetup
+from repro.workload.heat import heat_job
+from repro.workload.job import GpuJob
+
+
+def _nlp(job_id="nlp", iters=10000):
+    return GpuJob(
+        job_id=job_id,
+        tenant_id=1,
+        submit_time=0.0,
+        model_name="bat",
+        setup=TrainSetup(1, 1),
+        requested_cpus=5,
+        total_iterations=iters,
+    )
+
+
+def _two_node_runner(aware: bool):
+    """Two nodes; the HEAT hog occupies node 1 — the 1-GPU sub-array node
+    a small trainer's placement would normally prefer.
+
+    The eliminator is disabled so the test isolates *placement*.  A 1-core
+    dummy CPU job steers the (headroom best-fit) HEAT placement onto
+    node 1.
+    """
+    from repro.workload.job import CpuJob
+
+    cluster = Cluster(
+        ClusterConfig(
+            node_groups=((2, NodeConfig(gpus=4, mem_bandwidth_gbps=110.0)),)
+        )
+    )
+    scheduler = CodaScheduler(
+        CodaConfig(
+            contention_aware_placement=aware,
+            eliminator=EliminatorConfig(enabled=False),
+        )
+    )
+    runner = SimulationRunner(cluster, scheduler, sample_interval_s=600.0)
+    runner.submit_at(
+        0.0,
+        CpuJob(job_id="dummy", tenant_id=18, submit_time=0.0, cores=1,
+               duration_s=1e6),
+    )
+    runner.submit_at(
+        0.5, heat_job("heat", 0.5, threads=12, duration_s=1e6, tenant_id=18)
+    )
+    return runner, scheduler
+
+
+class TestPlacementChoice:
+    def test_default_is_off(self):
+        assert CodaConfig().contention_aware_placement is False
+        assert CodaScheduler().contention_aware is False
+
+    def test_aware_placement_avoids_the_hot_node(self):
+        runner, _ = _two_node_runner(aware=True)
+        runner.engine.run(until=1.0)
+        heat_node = runner.cluster.allocation_of("heat").node_ids[0]
+        runner.submit_at(2.0, _nlp())
+        runner.engine.run(until=3.0)
+        trainer_node = runner.cluster.allocation_of("nlp").node_ids[0]
+        assert trainer_node != heat_node
+
+    def test_aware_trainer_runs_at_full_speed(self):
+        runner, _ = _two_node_runner(aware=True)
+        runner.submit_at(2.0, _nlp())
+        runner.engine.run(until=10.0)
+        # On the clean node the NLP job sits at its quiet-node optimum.
+        assert runner.gpu_job_utilization("nlp") == pytest.approx(
+            runner.gpu_job_expected_utilization("nlp")
+        )
+
+    def test_unaware_placement_may_land_hot(self):
+        """Best-fit ignores bandwidth: with equal free resources it picks
+        the lowest node id, which is where the HEAT job lives (it holds
+        cores, making node 0 the *tighter* — preferred — fit)."""
+        runner, _ = _two_node_runner(aware=False)
+        runner.engine.run(until=1.0)
+        heat_node = runner.cluster.allocation_of("heat").node_ids[0]
+        runner.submit_at(2.0, _nlp())
+        runner.engine.run(until=10.0)
+        trainer_node = runner.cluster.allocation_of("nlp").node_ids[0]
+        assert trainer_node == heat_node
+        assert runner.gpu_job_utilization("nlp") < (
+            runner.gpu_job_expected_utilization("nlp")
+        )
+
+    def test_falls_back_to_hot_nodes_when_nothing_else_fits(self):
+        """Awareness is a preference, not an admission control: with every
+        node hot, the job still runs."""
+        cluster = Cluster(
+            ClusterConfig(
+                node_groups=((1, NodeConfig(gpus=4, mem_bandwidth_gbps=110.0)),)
+            )
+        )
+        scheduler = CodaScheduler(
+            CodaConfig(
+                contention_aware_placement=True,
+                eliminator=EliminatorConfig(enabled=False),
+            )
+        )
+        runner = SimulationRunner(cluster, scheduler, sample_interval_s=600.0)
+        runner.submit_at(
+            0.0, heat_job("heat", 0.0, threads=12, duration_s=1e6, tenant_id=18)
+        )
+        runner.submit_at(2.0, _nlp(iters=100))
+        runner.engine.run(until=10.0)
+        assert cluster.has_allocation("nlp")

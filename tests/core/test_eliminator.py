@@ -1,0 +1,160 @@
+"""Contention-eliminator control loop (Sec. V-D)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, NodeConfig
+from repro.core.eliminator import ContentionEliminator, EliminatorConfig
+
+from tests.core.fakes import FakeContext
+
+
+def _context(mba=True, capacity=128.0):
+    cluster = Cluster(
+        ClusterConfig(
+            node_groups=(
+                (1, NodeConfig(gpus=4, mem_bandwidth_gbps=capacity, mba_supported=mba)),
+            )
+        )
+    )
+    context = FakeContext(lambda job_id, cores: 0.9, cluster=cluster)
+    return context, cluster.nodes[0]
+
+
+def _setup_node(node, *, trainer_bw=10.0, heat_bw=100.0, trainer_util=0.5):
+    node.allocate("trainer", 4, 1)
+    node.register_memory_traffic("trainer", trainer_bw, is_cpu_job=False)
+    node.set_gpu_utilization("trainer", trainer_util)
+    node.allocate("heat", 8, 0)
+    node.register_memory_traffic("heat", heat_bw, is_cpu_job=True)
+
+
+class TestTriggerConditions:
+    def test_throttles_hot_node_with_degraded_trainer(self):
+        context, node = _context()
+        _setup_node(node, trainer_util=0.5)  # expected 0.9, observed 0.5
+        context.start_job("trainer", 4)
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_next()
+        assert context.throttled
+        assert all(entry == ("heat", 0) for entry in context.throttled)
+        assert eliminator.throttle_actions == 1
+
+    def test_quiet_node_is_left_alone(self):
+        context, node = _context()
+        _setup_node(node, heat_bw=20.0, trainer_util=0.9)
+        context.start_job("trainer", 4)
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_next()
+        assert context.throttled == []
+
+    def test_hot_node_without_degradation_is_left_alone(self):
+        """Pressure alone is not enough: the trainer must actually run
+        below its quiet-node expectation."""
+        context, node = _context()
+        _setup_node(node, trainer_util=0.9)  # matches expectation
+        context.start_job("trainer", 4)
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_next()
+        assert context.throttled == []
+
+    def test_hot_node_without_trainers_is_left_alone(self):
+        context, node = _context()
+        node.allocate("heat", 8, 0)
+        node.register_memory_traffic("heat", 120.0, is_cpu_job=True)
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_next()
+        assert context.throttled == []
+
+    def test_gpu_jobs_are_never_victims(self):
+        """Only CPU jobs are throttled (Sec. V-A note)."""
+        context, node = _context()
+        node.allocate("trainer", 4, 1)
+        node.register_memory_traffic("trainer", 120.0, is_cpu_job=False)
+        node.set_gpu_utilization("trainer", 0.2)
+        context.start_job("trainer", 4)
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_next()
+        assert context.throttled == []
+        assert context.halved == []
+
+
+class TestFallback:
+    def test_no_mba_halves_cores_instead(self):
+        context, node = _context(mba=False)
+        _setup_node(node, trainer_util=0.5)
+        context.start_job("trainer", 4)
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_next()
+        assert context.halved == ["heat"]
+        assert eliminator.halving_actions == 1
+
+
+class TestVictimSelection:
+    def test_picks_largest_granted_cpu_job(self):
+        context, node = _context()
+        node.allocate("trainer", 2, 1)
+        node.register_memory_traffic("trainer", 10.0, is_cpu_job=False)
+        node.set_gpu_utilization("trainer", 0.5)
+        node.allocate("small", 2, 0)
+        node.register_memory_traffic("small", 5.0, is_cpu_job=True)
+        node.allocate("big", 8, 0)
+        node.register_memory_traffic("big", 100.0, is_cpu_job=True)
+        context.start_job("trainer", 2)
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_next()
+        assert context.throttled
+        assert all(entry == ("big", 0) for entry in context.throttled)
+
+
+class TestLoop:
+    def test_rearms_every_interval(self):
+        context, node = _context()
+        eliminator = ContentionEliminator(
+            config=EliminatorConfig(monitor_interval_s=30.0)
+        )
+        eliminator.start(context)
+        context.fire_next()
+        context.fire_next()
+        assert context.now == pytest.approx(60.0)
+
+    def test_disabled_never_arms(self):
+        context, _ = _context()
+        eliminator = ContentionEliminator(
+            config=EliminatorConfig(enabled=False)
+        )
+        eliminator.start(context)
+        assert context.events == []
+
+    def test_start_is_idempotent(self):
+        context, _ = _context()
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        eliminator.start(context)
+        assert len(context.events) == 1
+
+    def test_forget_job_clears_peak_memory(self):
+        eliminator = ContentionEliminator()
+        eliminator._peak_util["ghost"] = 0.9
+        eliminator.forget_job("ghost")
+        assert "ghost" not in eliminator._peak_util
+
+
+class TestConfig:
+    def test_threshold_default_is_75_percent(self):
+        assert EliminatorConfig().bandwidth_threshold == 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EliminatorConfig(bandwidth_threshold=0.0)
+        with pytest.raises(ValueError):
+            EliminatorConfig(monitor_interval_s=0.0)
+        with pytest.raises(ValueError):
+            EliminatorConfig(utilization_drop=-0.1)

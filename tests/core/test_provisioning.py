@@ -1,0 +1,97 @@
+"""Array provisioning from historical statistics."""
+
+import pytest
+
+from repro.config import ClusterConfig, NodeConfig, paper_cluster
+from repro.core.coda import CodaConfig
+from repro.core.provisioning import (
+    optimal_cores_per_gpu,
+    suggest_four_gpu_fraction,
+    suggest_reservation,
+)
+from repro.perfmodel.stages import TrainSetup
+from repro.workload.job import GpuJob
+from repro.workload.tracegen import TraceConfig, generate_trace
+
+
+def _job(job_id, model="resnet50", gpus=1, nodes=1):
+    return GpuJob(
+        job_id=job_id,
+        tenant_id=1,
+        submit_time=0.0,
+        model_name=model,
+        setup=TrainSetup(nodes, gpus),
+        requested_cpus=2,
+        total_iterations=10,
+    )
+
+
+class TestOptimalCoresPerGpu:
+    def test_matches_model_optima(self):
+        samples = optimal_cores_per_gpu([_job("a", "alexnet"), _job("b", "resnet50")])
+        assert samples == [8.0, 3.0]
+
+    def test_multi_gpu_normalized_per_gpu(self):
+        samples = optimal_cores_per_gpu([_job("a", "resnet50", gpus=4)])
+        assert samples == [pytest.approx(11 / 4)]
+
+    def test_multi_node_jobs_excluded(self):
+        assert optimal_cores_per_gpu([_job("a", nodes=2, gpus=2)]) == []
+
+
+class TestSuggestReservation:
+    def test_cv_heavy_history_reserves_many_cores(self):
+        jobs = [_job(f"a{i}", "alexnet") for i in range(10)]
+        reserved = suggest_reservation(jobs, paper_cluster())
+        # AlexNet wants 8/GPU; typical node carries 5 GPUs -> clamped to
+        # leave the CPU-array minimum on a 28-core node.
+        assert reserved == 24
+
+    def test_light_history_reserves_few(self):
+        jobs = [_job(f"t{i}", "transformer") for i in range(10)]
+        reserved = suggest_reservation(jobs, paper_cluster())
+        assert 8 <= reserved <= 12  # 2/GPU x 5 GPUs typical
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            suggest_reservation([], paper_cluster())
+
+    def test_paper_trace_suggests_near_the_default(self):
+        trace = generate_trace(TraceConfig(duration_days=0.2, seed=5))
+        reserved = suggest_reservation(trace.gpu_jobs, paper_cluster())
+        assert 12 <= reserved <= 24
+
+
+class TestSuggestFourGpuFraction:
+    def test_share_of_big_demand(self):
+        jobs = [_job("a", gpus=4), _job("b", gpus=1), _job("c", gpus=1)]
+        assert suggest_four_gpu_fraction(jobs) == pytest.approx(4 / 6)
+
+    def test_clamped_to_bounds(self):
+        only_small = [_job("a", gpus=1)]
+        only_big = [_job("a", gpus=4)]
+        assert suggest_four_gpu_fraction(only_small) == 0.1
+        assert suggest_four_gpu_fraction(only_big) == 0.8
+
+    def test_multi_node_jobs_count_total_gpus(self):
+        jobs = [_job("a", gpus=2, nodes=2), _job("b", gpus=1)]
+        assert suggest_four_gpu_fraction(jobs) == pytest.approx(4 / 5)
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            suggest_four_gpu_fraction([])
+
+
+class TestCodaConfigProvisioning:
+    def test_provisioned_from_trace(self):
+        trace = generate_trace(TraceConfig(duration_days=0.2, seed=5))
+        config = CodaConfig.provisioned_from(trace.gpu_jobs, paper_cluster())
+        assert 1 <= config.reserved_cores <= 24
+        assert 0.1 <= config.four_gpu_fraction <= 0.8
+
+    def test_overrides_win(self):
+        trace = generate_trace(TraceConfig(duration_days=0.1, seed=5))
+        config = CodaConfig.provisioned_from(
+            trace.gpu_jobs, paper_cluster(), reserved_cores=9
+        )
+        assert config.reserved_cores == 9

@@ -1,0 +1,189 @@
+"""The Sec. V-B2 feedback tuning state machine."""
+
+import pytest
+
+from repro.core.tuning import TuningSession
+from repro.perfmodel.catalog import ALL_MODEL_NAMES, get_model
+from repro.perfmodel.stages import TrainSetup
+from repro.perfmodel.utilization import gpu_utilization, optimal_cores
+
+
+def drive(session: TuningSession, curve) -> int:
+    """Run a session to completion against a cores->utilization mapping.
+
+    Returns the number of profiling steps taken.
+    """
+    cores = session.next_cores
+    while cores is not None:
+        cores = session.record(cores, curve(cores))
+    return session.steps_taken
+
+
+def synthetic_curve(optimum: int, *, peak: float = 0.95, decline: float = 0.002):
+    """A Fig.-3-shaped curve: linear rise to the peak, then a decline.
+
+    The default decline is sub-epsilon (the realistic 'drops slightly'
+    regime); tests that exercise walking *down* pass a steeper one.
+    """
+
+    def curve(cores: int) -> float:
+        if cores <= optimum:
+            return peak * cores / optimum
+        return max(0.0, peak - decline * (cores - optimum))
+
+    return curve
+
+
+class TestAgainstSyntheticCurves:
+    def test_start_at_optimum_takes_three_steps(self):
+        session = TuningSession(n_start=5)
+        steps = drive(session, synthetic_curve(5))
+        assert session.best_cores == 5
+        assert steps == 3  # baseline, fewer (worse), more (worse)
+
+    def test_start_one_below_takes_four_steps(self):
+        session = TuningSession(n_start=4)
+        steps = drive(session, synthetic_curve(5))
+        assert session.best_cores == 5
+        assert steps == 4
+
+    def test_start_above_walks_down(self):
+        """With a detectable (super-epsilon) decline, the search walks all
+        the way back to the knee."""
+        session = TuningSession(n_start=8)
+        drive(session, synthetic_curve(5, decline=0.05))
+        assert session.best_cores == 5
+
+    def test_start_far_below_walks_up(self):
+        session = TuningSession(n_start=2)
+        drive(session, synthetic_curve(7))
+        assert session.best_cores == 7
+
+    def test_floor_stops_reduction(self):
+        session = TuningSession(n_start=2, min_cores=1)
+        drive(session, synthetic_curve(1, decline=0.05))
+        assert session.best_cores == 1
+
+    def test_ceiling_stops_growth(self):
+        session = TuningSession(n_start=27, max_cores=28)
+        drive(session, synthetic_curve(40))
+        assert session.best_cores == 28
+
+    def test_start_at_floor_probes_upward_only(self):
+        session = TuningSession(n_start=1, min_cores=1)
+        drive(session, synthetic_curve(3))
+        assert session.best_cores == 3
+
+    def test_flat_curve_slims_to_the_floor(self):
+        """When utilization is flat in cores, every core above the floor
+        is waste — slimming walks all the way down."""
+        session = TuningSession(n_start=4, min_cores=1)
+        drive(session, lambda cores: 0.5)
+        assert session.best_cores == 1
+
+    def test_flat_plateau_above_knee_slims_back_to_it(self):
+        """An over-provisioned start walks down Fig. 3's flat plateau and
+        settles at the knee (the transformer-1N4G case)."""
+        session = TuningSession(n_start=20, max_cores=28)
+        drive(session, synthetic_curve(8, decline=0.0005))
+        assert session.best_cores == 8
+
+
+class TestProtocol:
+    def test_next_cores_starts_at_n_start(self):
+        assert TuningSession(n_start=6).next_cores == 6
+
+    def test_record_wrong_cores_raises(self):
+        session = TuningSession(n_start=4)
+        with pytest.raises(ValueError):
+            session.record(7, 0.5)
+
+    def test_record_bad_utilization_raises(self):
+        session = TuningSession(n_start=4)
+        with pytest.raises(ValueError):
+            session.record(4, 1.5)
+
+    def test_record_after_done_raises(self):
+        session = TuningSession(n_start=1, min_cores=1, max_cores=1)
+        assert session.record(1, 0.5) is None
+        assert session.done
+        with pytest.raises(RuntimeError):
+            session.record(1, 0.5)
+
+    def test_abort_settles_on_best_seen(self):
+        session = TuningSession(n_start=4)
+        session.record(4, 0.6)
+        session.abort()
+        assert session.done
+        assert session.best_cores == 4
+        assert session.next_cores is None
+
+    def test_invalid_n_start_raises(self):
+        with pytest.raises(ValueError):
+            TuningSession(n_start=0)
+        with pytest.raises(ValueError):
+            TuningSession(n_start=29, max_cores=28)
+
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            TuningSession(n_start=4, epsilon=-0.1)
+
+    def test_measurements_are_recorded(self):
+        session = TuningSession(n_start=3)
+        drive(session, synthetic_curve(3))
+        cores_probed = [cores for cores, _ in session.measurements]
+        assert cores_probed == [3, 2, 4]
+
+
+class TestAgainstPerformanceModel:
+    """Sec. VI-F: the allocator converges for every Table-I model."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_converges_to_model_optimum_from_at_or_below(self, name):
+        """From at or one below the optimum the search lands exactly on
+        it: the drop below the knee is always above epsilon."""
+        profile = get_model(name)
+        setup = TrainSetup(1, 1)
+        best = optimal_cores(profile, setup)
+        for offset in (-1, 0):
+            n_start = max(1, best + offset)
+            session = TuningSession(n_start=n_start, max_cores=28)
+            drive(session, lambda c: gpu_utilization(profile, setup, c))
+            assert session.best_cores == best, (name, offset)
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_from_above_settles_within_epsilon_of_peak(self, name):
+        """From above the knee, the gentle post-optimum decline (Fig. 3)
+        is below epsilon by design, so the search may legitimately settle
+        one core high — but never more than epsilon away in utilization."""
+        profile = get_model(name)
+        setup = TrainSetup(1, 1)
+        best = optimal_cores(profile, setup)
+        session = TuningSession(n_start=best + 1, max_cores=28)
+        drive(session, lambda c: gpu_utilization(profile, setup, c))
+        settled_util = gpu_utilization(profile, setup, session.best_cores)
+        peak_util = gpu_utilization(profile, setup, best)
+        assert abs(session.best_cores - best) <= 1
+        assert settled_util >= peak_util - session.epsilon
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_at_most_four_steps_from_near_start(self, name):
+        """Table II: every model converges within 4 profiling steps."""
+        profile = get_model(name)
+        setup = TrainSetup(1, 1)
+        best = optimal_cores(profile, setup)
+        for offset in (-1, 0):
+            n_start = max(1, best + offset)
+            session = TuningSession(n_start=n_start, max_cores=28)
+            steps = drive(session, lambda c: gpu_utilization(profile, setup, c))
+            assert steps <= 4, (name, offset)
+
+    def test_converges_from_category_default(self):
+        """From the CV default (3) AlexNet still reaches its optimum 8,
+        just with more steps."""
+        profile = get_model("alexnet")
+        setup = TrainSetup(1, 1)
+        session = TuningSession(n_start=3, max_cores=28)
+        steps = drive(session, lambda c: gpu_utilization(profile, setup, c))
+        assert session.best_cores == 8
+        assert steps <= 9

@@ -1,0 +1,69 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.workload.traceio import load_trace
+
+
+class TestRun:
+    def test_run_small_coda(self, capsys):
+        assert main(["run", "--days", "0.05", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "CODA summary" in out
+        assert "GPU utilization" in out
+
+    def test_run_fifo(self, capsys):
+        assert main(["run", "--policy", "fifo", "--days", "0.05"]) == 0
+        assert "FIFO summary" in capsys.readouterr().out
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--policy", "magic"])
+
+
+class TestCompare:
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--days", "0.05", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "drf" in out and "coda" in out
+
+
+class TestTrace:
+    def test_trace_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            [
+                "trace",
+                str(path),
+                "--days",
+                "0.05",
+                "--gpu-jobs-per-day",
+                "100",
+                "--cpu-jobs-per-day",
+                "300",
+            ]
+        ) == 0
+        trace = load_trace(path)
+        assert len(trace.jobs) > 0
+        assert "Wrote" in capsys.readouterr().out
+
+
+class TestCharacterize:
+    def test_characterize_default(self, capsys):
+        assert main(["characterize"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet50" in out
+        assert "optimum: 3 cores" in out
+
+    def test_characterize_alias(self, capsys):
+        assert main(["characterize", "Bi-Att-Flow"]) == 0
+        assert "bat" in capsys.readouterr().out
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            main(["characterize", "gpt5"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

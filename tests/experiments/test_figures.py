@@ -1,0 +1,106 @@
+"""Figure-layer functions (the deterministic ones)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    CHARACTERIZATION_SETUPS,
+    eliminator_microbenchmark,
+    epsilon_sweep,
+    fig3_core_sweep,
+    fig5_optimal_cores,
+    fig6_bandwidth_demand,
+    fig7_contention,
+    pcie_colocation,
+    table2_profiling_overhead,
+    threshold_sweep,
+)
+from repro.perfmodel.catalog import ALL_MODEL_NAMES
+
+
+class TestFig3:
+    def test_covers_all_models_and_setups(self):
+        sweep = fig3_core_sweep(max_cores=8)
+        assert set(sweep) == set(ALL_MODEL_NAMES)
+        for by_setup in sweep.values():
+            assert set(by_setup) == {"1N1G", "1N4G"}
+            for series in by_setup.values():
+                assert len(series) == 8
+
+    def test_rows_carry_speed_and_util(self):
+        sweep = fig3_core_sweep(setups=("1N1G",), max_cores=4)
+        cores, speed, util = sweep["resnet50"]["1N1G"][2]
+        assert cores == 3
+        assert speed > 0
+        assert 0 < util <= 1
+
+
+class TestFig5AndFig6:
+    def test_fig5_row_count(self):
+        rows = fig5_optimal_cores()
+        assert len(rows) == len(ALL_MODEL_NAMES) * len(
+            CHARACTERIZATION_SETUPS
+        ) * 2
+
+    def test_fig6_demands_positive(self):
+        for _, _, _, demand in fig6_bandwidth_demand():
+            assert demand > 0
+
+
+class TestFig7:
+    def test_zero_threads_is_baseline(self):
+        rows = fig7_contention(heat_threads=(0,))
+        assert all(perf == pytest.approx(1.0) for _, _, _, perf in rows)
+
+    def test_performance_monotone_in_threads(self):
+        rows = fig7_contention(heat_threads=(0, 8, 16))
+        by_model = {}
+        for model, threads, _, perf in rows:
+            by_model.setdefault(model, []).append((threads, perf))
+        for model, series in by_model.items():
+            perfs = [perf for _, perf in sorted(series)]
+            assert perfs == sorted(perfs, reverse=True), model
+
+
+class TestPcie:
+    def test_has_the_headline_pairs(self):
+        rows = pcie_colocation()
+        pairs = {(a, b) for a, b, _, _, _ in rows}
+        assert ("alexnet", "resnet50") in pairs
+
+
+class TestTable2:
+    def test_all_models_converge_in_at_most_four_steps(self):
+        for row in table2_profiling_overhead():
+            assert 3 <= row.profiling_steps <= 4
+
+    def test_iterations_scale_with_step_length(self):
+        short = {r.model: r.training_iterations for r in table2_profiling_overhead(45.0)}
+        default = {r.model: r.training_iterations for r in table2_profiling_overhead(90.0)}
+        for model in short:
+            assert default[model] == pytest.approx(2 * short[model], abs=2)
+
+
+class TestAblationHelpers:
+    def test_epsilon_sweep_shape(self):
+        rows = epsilon_sweep(epsilons=(0.01,))
+        assert len(rows) == len(ALL_MODEL_NAMES)
+        assert all(0 < ratio <= 1.0 + 1e-9 for _, _, _, _, ratio in rows)
+
+    def test_threshold_sweep_lax_threshold_never_triggers(self):
+        rows = threshold_sweep(thresholds=(0.95,))
+        threshold, slowdown, level = rows[0]
+        assert slowdown > 1.3
+        assert level == 1.0
+
+    def test_microbenchmark_is_deterministic(self):
+        first = eliminator_microbenchmark(heat_threads=10)
+        second = eliminator_microbenchmark(heat_threads=10)
+        assert first == second
+
+    def test_microbenchmark_orders_configurations(self):
+        outcomes = eliminator_microbenchmark()
+        assert (
+            outcomes["quiet_node"]
+            <= outcomes["with_eliminator"]
+            < outcomes["without_eliminator"]
+        )

@@ -1,0 +1,72 @@
+"""Scenario construction and the comparison driver."""
+
+import pytest
+
+from repro.core.coda import CodaConfig
+from repro.experiments.scenarios import (
+    Scenario,
+    default_schedulers,
+    paper_scale_scenario,
+    run_comparison,
+    run_scenario,
+    small_scenario,
+)
+from repro.schedulers.fifo import FifoScheduler
+from repro.sim.clock import DAY
+
+
+class TestScenarioConstruction:
+    def test_paper_scale_defaults(self):
+        scenario = paper_scale_scenario()
+        assert scenario.cluster_config.num_nodes == 80
+        assert scenario.cluster_config.total_gpus == 400
+        assert scenario.trace_config.gpu_jobs_per_day == 1250.0
+        assert scenario.horizon_s == 2 * DAY + 6 * 3600.0
+
+    def test_paper_scale_uncalibrated_uses_raw_rates(self):
+        scenario = paper_scale_scenario(calibrated_load=False)
+        assert scenario.trace_config.gpu_jobs_per_day == pytest.approx(
+            25000.0 / 30.0
+        )
+
+    def test_small_scenario_scales_rates_with_nodes(self):
+        small = small_scenario(nodes=8)
+        smaller = small_scenario(nodes=4)
+        assert small.trace_config.gpu_jobs_per_day == pytest.approx(
+            2 * smaller.trace_config.gpu_jobs_per_day
+        )
+
+    def test_builders_are_fresh_each_call(self):
+        scenario = small_scenario()
+        assert scenario.build_cluster() is not scenario.build_cluster()
+        first = scenario.build_trace()
+        second = scenario.build_trace()
+        assert [j.job_id for j in first.jobs] == [j.job_id for j in second.jobs]
+
+
+class TestDrivers:
+    def test_default_schedulers_cover_all_policies(self):
+        factories = default_schedulers()
+        assert set(factories) == {"fifo", "drf", "coda"}
+        for factory in factories.values():
+            assert factory().name in {"fifo", "drf", "coda"}
+
+    def test_coda_config_reaches_the_factory(self):
+        factories = default_schedulers(CodaConfig(reserved_cores=10))
+        assert factories["coda"]().config.reserved_cores == 10
+
+    def test_run_scenario_returns_summary(self):
+        scenario = small_scenario(duration_days=0.05, nodes=4, seed=2)
+        result = run_scenario(scenario, FifoScheduler())
+        assert result.scheduler_name == "fifo"
+        assert result.horizon_s == scenario.horizon_s
+
+    def test_run_comparison_runs_identical_traces(self):
+        scenario = small_scenario(duration_days=0.05, nodes=4, seed=2)
+        results = run_comparison(scenario)
+        assert set(results) == {"fifo", "drf", "coda"}
+        submitted = {
+            name: sorted(result.collector.records)
+            for name, result in results.items()
+        }
+        assert submitted["fifo"] == submitted["drf"] == submitted["coda"]

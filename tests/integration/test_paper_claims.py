@@ -1,0 +1,212 @@
+"""End-to-end reproduction of the paper's evaluation claims.
+
+One shared half-day paper-scale run per policy (module-scoped), with the
+Sec. VI claims asserted as *shapes*: who wins, and by roughly what factor.
+The exact magnitudes live in EXPERIMENTS.md; the bounds here are loose
+enough to survive seed changes but tight enough that a regression in any
+CODA component fails them.
+"""
+
+import pytest
+
+from repro.core.coda import CodaScheduler
+from repro.experiments.runner import RunResult
+from repro.experiments.scenarios import paper_scale_scenario, run_scenario
+from repro.metrics.stats import fraction_at_most, fraction_exceeding, mean
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.workload.job import JobKind
+
+DURATION_DAYS = 0.5
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for factory in (FifoScheduler, DrfScheduler, CodaScheduler):
+        scenario = paper_scale_scenario(duration_days=DURATION_DAYS, seed=SEED)
+        result = run_scenario(scenario, factory())
+        out[result.scheduler_name] = result
+    return out
+
+
+def _gpu_queueing(result: RunResult):
+    return result.collector.queueing_times(
+        JobKind.GPU, include_unstarted_until=result.horizon_s
+    )
+
+
+def _cpu_queueing(result: RunResult):
+    return result.collector.queueing_times(
+        JobKind.CPU, include_unstarted_until=result.horizon_s
+    )
+
+
+def _busy_active_rate(result: RunResult) -> float:
+    collector = result.collector
+    paired = zip(
+        collector.gpu_active_rate.points, collector.gpu_queue_depth.points
+    )
+    return mean([rate for (_, rate), (_, depth) in paired if depth > 0])
+
+
+class TestFig10Utilization:
+    def test_coda_beats_baselines_by_a_wide_margin(self, results):
+        """Fig. 10: 45.4 / 44.7 / 62.1 % — CODA wins by ~17 points."""
+        fifo = results["fifo"].collector.gpu_utilization.mean()
+        drf = results["drf"].collector.gpu_utilization.mean()
+        coda = results["coda"].collector.gpu_utilization.mean()
+        assert coda - fifo >= 0.15
+        assert coda - drf >= 0.15
+
+    def test_baseline_utilization_matches_paper_band(self, results):
+        """FIFO and DRF sit in the low-40s like the paper's 45.4/44.7."""
+        for name in ("fifo", "drf"):
+            util = results[name].collector.gpu_utilization.mean()
+            assert 0.30 <= util <= 0.55, name
+
+    def test_fifo_and_drf_utilization_are_close(self, results):
+        fifo = results["fifo"].collector.gpu_utilization.mean()
+        drf = results["drf"].collector.gpu_utilization.mean()
+        assert abs(fifo - drf) <= 0.05
+
+    def test_coda_busy_period_active_rate_is_highest(self, results):
+        """Fig. 10: CODA keeps ~91 % of GPUs busy while jobs queue.  If
+        CODA never queued a GPU job in this window, the claim holds
+        vacuously (and even more strongly)."""
+        collector = results["coda"].collector
+        contended = [
+            rate
+            for (_, rate), (_, depth) in zip(
+                collector.gpu_active_rate.points,
+                collector.gpu_queue_depth.points,
+            )
+            if depth > 0
+        ]
+        if contended:
+            assert mean(contended) >= 0.80
+
+
+class TestFragmentation:
+    def test_coda_average_fragmentation_below_one_percent(self, results):
+        """Sec. VI-C: 'the average fragmentation rate of CODA is less
+        than 1 %'."""
+        tracker = results["coda"].collector.fragmentation
+        average = tracker.fragmentation_rate() * tracker.contended_fraction()
+        assert average < 0.01
+
+    def test_baselines_fragment_an_order_of_magnitude_more(self, results):
+        """Sec. VI-C: FIFO 14.3 %, DRF 14.6 % vs CODA <1 %."""
+        coda_tracker = results["coda"].collector.fragmentation
+        coda = (
+            coda_tracker.fragmentation_rate()
+            * coda_tracker.contended_fraction()
+        )
+        for name in ("fifo", "drf"):
+            tracker = results[name].collector.fragmentation
+            avg = tracker.fragmentation_rate() * tracker.contended_fraction()
+            assert avg > 5 * max(coda, 1e-4), name
+
+    def test_baselines_fragment_while_queueing(self, results):
+        for name in ("fifo", "drf"):
+            tracker = results[name].collector.fragmentation
+            assert tracker.contended_fraction() > 0.5, name
+            assert tracker.fragmentation_rate() > 0.04, name
+
+
+class TestFig11Queueing:
+    def test_coda_starts_most_gpu_jobs_without_queueing(self, results):
+        """Fig. 11: '92.1 % of GPU jobs can get resource allocation
+        without queuing' under CODA."""
+        delays = _gpu_queueing(results["coda"])
+        assert fraction_at_most(delays, 1.0) >= 0.85
+
+    def test_baselines_queue_gpu_jobs_heavily(self, results):
+        """Fig. 11: FIFO/DRF leave large GPU-job queueing tails."""
+        for name in ("fifo", "drf"):
+            delays = _gpu_queueing(results[name])
+            assert fraction_exceeding(delays, 600.0) >= 0.25, name
+
+    def test_drf_tail_is_lighter_than_fifo(self, results):
+        """Fig. 11: DRF 28.9 % vs FIFO 43.1 % over ten minutes."""
+        fifo = fraction_exceeding(_gpu_queueing(results["fifo"]), 600.0)
+        drf = fraction_exceeding(_gpu_queueing(results["drf"]), 600.0)
+        assert drf < fifo
+
+    def test_cpu_jobs_schedule_fast_under_every_policy(self, results):
+        """Fig. 2c / Fig. 11: CPU jobs get resources within seconds to
+        minutes under all three policies."""
+        for name, result in results.items():
+            delays = _cpu_queueing(result)
+            assert fraction_at_most(delays, 180.0) >= 0.85, name
+
+    def test_coda_cpu_jobs_within_three_minutes(self, results):
+        """Fig. 11: 94.5 % of CPU jobs within 3 minutes under CODA."""
+        delays = _cpu_queueing(results["coda"])
+        assert fraction_at_most(delays, 180.0) >= 0.90
+
+
+class TestFig13EndToEnd:
+    def test_coda_reduces_end_to_end_latency_for_most_common_jobs(self, results):
+        fifo = results["fifo"].collector
+        coda = results["coda"].collector
+        improved, total = 0, 0
+        for job_id, fifo_rec in fifo.records.items():
+            if fifo_rec.kind is not JobKind.GPU:
+                continue
+            coda_rec = coda.records.get(job_id)
+            if (
+                coda_rec is None
+                or fifo_rec.end_to_end is None
+                or coda_rec.end_to_end is None
+            ):
+                continue
+            total += 1
+            if coda_rec.end_to_end <= fifo_rec.end_to_end * 1.05:
+                improved += 1
+        assert total > 50
+        assert improved / total >= 0.7
+
+
+class TestFig14Tuning:
+    def test_adjustment_histogram_shape(self, results):
+        """Fig. 14: most jobs gain a few cores (the 1-2-core requesters),
+        a sizeable minority loses many (the >10-core requesters)."""
+        records = results["coda"].collector.started_records(JobKind.GPU)
+        adjustments = [
+            r.core_adjustment for r in records if r.core_adjustment is not None
+        ]
+        assert len(adjustments) > 100
+        more = sum(1 for a in adjustments if a >= 1) / len(adjustments)
+        fewer = sum(1 for a in adjustments if -20 <= a <= -1) / len(adjustments)
+        assert more >= 0.40
+        assert 0.10 <= fewer <= 0.45
+
+    def test_throughput_coda_finishes_more_gpu_jobs(self, results):
+        assert (
+            results["coda"].finished_gpu_jobs
+            >= 1.1 * results["fifo"].finished_gpu_jobs
+        )
+
+
+class TestDeterminism:
+    def test_identical_seeds_give_identical_results(self):
+        outcomes = []
+        for _ in range(2):
+            scenario = paper_scale_scenario(duration_days=0.1, seed=17)
+            result = run_scenario(scenario, CodaScheduler())
+            collector = result.collector
+            outcomes.append(
+                (
+                    result.finished_gpu_jobs,
+                    result.finished_cpu_jobs,
+                    result.preemptions,
+                    round(collector.gpu_utilization.mean(), 12),
+                    tuple(
+                        (job_id, record.finish_time)
+                        for job_id, record in sorted(collector.records.items())
+                    ),
+                )
+            )
+        assert outcomes[0] == outcomes[1]

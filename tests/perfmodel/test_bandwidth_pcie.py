@@ -1,0 +1,102 @@
+"""Bandwidth-demand (Fig. 6) and PCIe (Sec. IV-C3) models."""
+
+import pytest
+
+from repro.perfmodel.bandwidth import memory_bandwidth_demand
+from repro.perfmodel.catalog import ALL_MODEL_NAMES, get_model
+from repro.perfmodel.pcie import pcie_demand, pcie_grant_ratio, pcie_peak_demand
+from repro.perfmodel.stages import TrainSetup
+from repro.perfmodel.utilization import optimal_cores
+
+
+def _demand(name, setup=None, cores=None, batch=None):
+    profile = get_model(name)
+    setup = setup or TrainSetup(1, 1, batch=batch)
+    cores = cores if cores is not None else optimal_cores(profile, setup)
+    return memory_bandwidth_demand(profile, setup, cores)
+
+
+class TestFig6Bandwidth:
+    def test_cv_demand_anticorrelates_with_complexity(self):
+        """Sec. IV-C1: lower complexity -> more bandwidth."""
+        order = ["alexnet", "vgg16", "inception3", "resnet50"]
+        demands = [_demand(name) for name in order]
+        assert demands == sorted(demands, reverse=True)
+
+    def test_nlp_demand_is_tiny(self):
+        assert _demand("bat") < 1.0
+        assert _demand("transformer") < 1.0
+
+    def test_wavenet_demand_grows_with_batch(self):
+        profile = get_model("wavenet")
+        base = _demand("wavenet", batch=profile.default_batch)
+        bigger = _demand("wavenet", batch=profile.max_batch)
+        assert bigger > base
+
+    def test_deepspeech_demand_flat_in_batch(self):
+        profile = get_model("deepspeech")
+        base = _demand("deepspeech", batch=profile.default_batch)
+        bigger = _demand("deepspeech", batch=profile.max_batch)
+        assert bigger == pytest.approx(base)
+
+    def test_demand_linear_in_local_gpus(self):
+        """Sec. IV-C1: multi-GPU demand increases linearly."""
+        profile = get_model("resnet50")
+        one = memory_bandwidth_demand(profile, TrainSetup(1, 1), 3)
+        four = memory_bandwidth_demand(profile, TrainSetup(1, 4), 12)
+        assert four == pytest.approx(4 * one)
+
+    def test_fewer_cores_dilute_demand(self):
+        profile = get_model("alexnet")
+        setup = TrainSetup(1, 1)
+        assert memory_bandwidth_demand(
+            profile, setup, 2
+        ) < memory_bandwidth_demand(profile, setup, 8)
+
+    def test_zero_cores_raises(self):
+        with pytest.raises(ValueError):
+            memory_bandwidth_demand(get_model("alexnet"), TrainSetup(1, 1), 0)
+
+    def test_anchor_value_at_calibration_point(self):
+        profile = get_model("alexnet")
+        setup = TrainSetup(1, 1)
+        anchored = memory_bandwidth_demand(
+            profile, setup, profile.optimal_cores_1g
+        )
+        assert anchored == pytest.approx(profile.bw_demand_gbps)
+
+
+class TestPcie:
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_no_model_exceeds_half_a_slot(self, name):
+        """Sec. IV-C3: nobody uses more than half of 16 GB/s on average."""
+        assert pcie_demand(get_model(name), TrainSetup(1, 1)) <= 8.0 + 1e-9
+
+    def test_heavy_hitters_peak_at_12(self):
+        assert pcie_peak_demand(get_model("alexnet"), TrainSetup(1, 1)) == 12.0
+        assert pcie_peak_demand(get_model("resnet50"), TrainSetup(1, 1)) == 12.0
+
+    def test_nlp_and_speech_below_1(self):
+        for name in ("bat", "transformer", "wavenet", "deepspeech"):
+            assert pcie_demand(get_model(name), TrainSetup(1, 1)) <= 1.0
+
+    def test_two_1n1g_jobs_never_contend(self):
+        """Sec. IV-C3: co-locating two 1N1G jobs is always safe."""
+        for left in ALL_MODEL_NAMES:
+            for right in ALL_MODEL_NAMES:
+                peaks = [
+                    pcie_peak_demand(get_model(left), TrainSetup(1, 1)),
+                    pcie_peak_demand(get_model(right), TrainSetup(1, 1)),
+                ]
+                assert pcie_grant_ratio(peaks, 32.0) == 1.0
+
+    def test_heavy_1n2g_pair_contends(self):
+        peaks = [
+            pcie_peak_demand(get_model("alexnet"), TrainSetup(1, 2)),
+            pcie_peak_demand(get_model("resnet50"), TrainSetup(1, 2)),
+        ]
+        assert pcie_grant_ratio(peaks, 32.0) < 1.0
+
+    def test_grant_ratio_validation(self):
+        with pytest.raises(ValueError):
+            pcie_grant_ratio([1.0], 0.0)

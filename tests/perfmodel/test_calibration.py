@@ -1,0 +1,213 @@
+"""Calibration against the paper's published measurements.
+
+These are the reproduction's anchor tests: every fact asserted here is a
+sentence, figure, or table entry from the paper.
+"""
+
+import pytest
+
+from repro.perfmodel.catalog import ALL_MODEL_NAMES, get_model
+from repro.perfmodel.contention import ContentionState
+from repro.perfmodel.speed import iteration_time, training_speed
+from repro.perfmodel.stages import TrainSetup
+from repro.perfmodel.utilization import gpu_utilization, optimal_cores
+
+#: Fig. 5 anchors (1N1G, default batch).
+OPTIMAL_1N1G = {
+    "alexnet": 8,
+    "vgg16": 5,
+    "inception3": 4,
+    "resnet50": 3,
+    "bat": 5,
+    "transformer": 2,
+    "wavenet": 6,
+    "deepspeech": 4,
+}
+
+#: Table II anchors: iteration time = steps x 90 s / reported iterations.
+ITER_TIME = {
+    "alexnet": 360 / 260,
+    "vgg16": 360 / 70,
+    "inception3": 270 / 180,
+    "resnet50": 270 / 150,
+    "bat": 360 / 35,
+    "transformer": 270 / 260,
+    "wavenet": 270 / 28,
+    "deepspeech": 270 / 45,
+}
+
+
+class TestFig5OptimalCores:
+    @pytest.mark.parametrize("name,expected", sorted(OPTIMAL_1N1G.items()))
+    def test_1n1g_optimum(self, name, expected):
+        assert optimal_cores(get_model(name), TrainSetup(1, 1)) == expected
+
+    def test_cv_simpler_means_more_cores(self):
+        """Sec. IV-B1: 'the simpler the network, the more CPUs required'."""
+        order = ["alexnet", "vgg16", "inception3", "resnet50"]
+        optima = [optimal_cores(get_model(n), TrainSetup(1, 1)) for n in order]
+        assert optima == sorted(optima, reverse=True)
+
+    def test_transformer_is_the_only_model_optimal_at_two(self):
+        """Fig. 3: 'most models do not gain the best performance with
+        2-CPU configuration except Transformer with 1N1G'."""
+        at_two = [
+            name
+            for name in ALL_MODEL_NAMES
+            if optimal_cores(get_model(name), TrainSetup(1, 1)) <= 2
+        ]
+        assert at_two == ["transformer"]
+
+    def test_wavenet_needs_more_than_deepspeech(self):
+        """Sec. IV-B1: audio re-cut makes Wavenet hungrier."""
+        wavenet = optimal_cores(get_model("wavenet"), TrainSetup(1, 1))
+        deepspeech = optimal_cores(get_model("deepspeech"), TrainSetup(1, 1))
+        assert wavenet > deepspeech
+
+    @pytest.mark.parametrize(
+        "name", [n for n in ALL_MODEL_NAMES if n != "alexnet"]
+    )
+    def test_batch_independence(self, name):
+        """Sec. IV-B1: 'CPU demands of most models are independent of BS'."""
+        profile = get_model(name)
+        default = optimal_cores(
+            profile, TrainSetup(1, 1, profile.default_batch)
+        )
+        maximum = optimal_cores(profile, TrainSetup(1, 1, profile.max_batch))
+        assert default == maximum
+
+    def test_alexnet_optimum_shifts_with_batch(self):
+        """Fig. 5: AlexNet is the exception."""
+        profile = get_model("alexnet")
+        default = optimal_cores(
+            profile, TrainSetup(1, 1, profile.default_batch)
+        )
+        maximum = optimal_cores(profile, TrainSetup(1, 1, profile.max_batch))
+        assert maximum > default
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_single_node_multi_gpu_scales_roughly_linearly(self, name):
+        """Sec. IV-B2: demand 'has a linear relationship with the number
+        of GPUs' on one node (saturating at the node's core count)."""
+        profile = get_model(name)
+        one = optimal_cores(profile, TrainSetup(1, 1))
+        two = optimal_cores(profile, TrainSetup(1, 2))
+        assert two == pytest.approx(2 * one, abs=1) or two == 28
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_multi_node_needs_at_most_two_cores(self, name):
+        """Sec. IV-B2: 'the CPU requirements of all models are no more
+        than two cores' in multi-node configurations."""
+        assert optimal_cores(get_model(name), TrainSetup(2, 2)) <= 2
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_multi_node_degradation_25_to_30_percent(self, name):
+        """Sec. IV-B2: 25-30 % slower than 1N4G (AlexNet's 1N4G optimum is
+        itself core-capped by the 28-core node, relaxing its ratio)."""
+        profile = get_model(name)
+        multi = TrainSetup(2, 2)
+        single = TrainSetup(1, 4)
+        speed_multi = training_speed(
+            profile, multi, optimal_cores(profile, multi)
+        )
+        speed_single = training_speed(
+            profile, single, optimal_cores(profile, single)
+        )
+        ratio = speed_multi / speed_single
+        assert 0.68 <= ratio <= 0.86
+
+
+class TestTable2IterationTimes:
+    @pytest.mark.parametrize("name,expected", sorted(ITER_TIME.items()))
+    def test_iteration_time_at_optimum(self, name, expected):
+        profile = get_model(name)
+        setup = TrainSetup(1, 1)
+        best = optimal_cores(profile, setup)
+        total = iteration_time(profile, setup, best).total_s
+        assert total == pytest.approx(expected, rel=0.02)
+
+
+class TestFig3Shape:
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_utilization_peaks_at_optimum(self, name):
+        profile = get_model(name)
+        setup = TrainSetup(1, 1)
+        best = optimal_cores(profile, setup)
+        peak = gpu_utilization(profile, setup, best)
+        for cores in range(1, 17):
+            assert gpu_utilization(profile, setup, cores) <= peak + 1e-9
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_utilization_declines_gently_past_optimum(self, name):
+        """Sec. V-B: 'the corresponding GPU utilization drops slightly'."""
+        profile = get_model(name)
+        setup = TrainSetup(1, 1)
+        best = optimal_cores(profile, setup)
+        peak = gpu_utilization(profile, setup, best)
+        past = gpu_utilization(profile, setup, best + 4)
+        assert past < peak
+        assert past > peak * 0.9
+
+    def test_performance_gap_spans_10_percent_to_over_5x(self):
+        """Fig. 3: 'the performance gap is in the range of 10 % to over
+        5X' between 2 cores and the optimum."""
+        gaps = []
+        for name in ALL_MODEL_NAMES:
+            profile = get_model(name)
+            setup = TrainSetup(1, 1)
+            best = optimal_cores(profile, setup)
+            gaps.append(
+                training_speed(profile, setup, best)
+                / training_speed(profile, setup, min(2, best))
+            )
+        assert min(gaps) >= 1.0
+        assert max(gaps) > 3.0
+
+    def test_speed_and_utilization_peak_together(self):
+        """Sec. V-B finding 1: both signals peak at the same core count."""
+        for name in ALL_MODEL_NAMES:
+            profile = get_model(name)
+            setup = TrainSetup(1, 1)
+            speeds = {
+                c: training_speed(profile, setup, c) for c in range(1, 17)
+            }
+            utils = {
+                c: gpu_utilization(profile, setup, c) for c in range(1, 17)
+            }
+            assert max(speeds, key=speeds.get) == max(utils, key=utils.get)
+
+
+class TestFig7Contention:
+    HIGH_PRESSURE = ContentionState(node_bw_pressure=0.97)
+
+    def _drop(self, name: str) -> float:
+        profile = get_model(name)
+        setup = TrainSetup(1, 1)
+        best = optimal_cores(profile, setup)
+        quiet = training_speed(profile, setup, best)
+        loud = training_speed(profile, setup, best, self.HIGH_PRESSURE)
+        return 1.0 - loud / quiet
+
+    def test_nlp_models_drop_at_least_50_percent(self):
+        assert self._drop("bat") >= 0.50
+        assert self._drop("transformer") >= 0.50
+
+    def test_alexnet_is_the_only_sensitive_cv_model(self):
+        assert self._drop("alexnet") > 0.15
+        for name in ("vgg16", "inception3", "resnet50"):
+            assert self._drop(name) < 0.10
+
+    def test_deepspeech_more_sensitive_than_wavenet(self):
+        assert self._drop("deepspeech") > self._drop("wavenet")
+
+    @pytest.mark.parametrize("name", sorted(ALL_MODEL_NAMES))
+    def test_no_model_is_llc_sensitive(self, name):
+        """Fig. 7: 'all the models are not sensitive to LLC contention'."""
+        profile = get_model(name)
+        setup = TrainSetup(1, 1)
+        best = optimal_cores(profile, setup)
+        quiet = training_speed(profile, setup, best)
+        llc = training_speed(
+            profile, setup, best, ContentionState(llc_pressure=2.0)
+        )
+        assert llc == pytest.approx(quiet)

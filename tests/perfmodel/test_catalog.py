@@ -1,0 +1,96 @@
+"""Model catalog integrity."""
+
+import pytest
+
+from repro.perfmodel.catalog import (
+    ALL_MODEL_NAMES,
+    Domain,
+    get_model,
+    models_in_domain,
+)
+
+
+class TestCatalog:
+    def test_has_the_eight_table1_models(self):
+        assert set(ALL_MODEL_NAMES) == {
+            "alexnet",
+            "vgg16",
+            "inception3",
+            "resnet50",
+            "bat",
+            "transformer",
+            "wavenet",
+            "deepspeech",
+        }
+
+    def test_domains_match_table1(self):
+        assert get_model("alexnet").domain is Domain.CV
+        assert get_model("vgg16").domain is Domain.CV
+        assert get_model("inception3").domain is Domain.CV
+        assert get_model("resnet50").domain is Domain.CV
+        assert get_model("bat").domain is Domain.NLP
+        assert get_model("transformer").domain is Domain.NLP
+        assert get_model("wavenet").domain is Domain.SPEECH
+        assert get_model("deepspeech").domain is Domain.SPEECH
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model("AlexNet").name == "alexnet"
+
+    def test_paper_aliases_resolve(self):
+        assert get_model("Bi-Att-Flow").name == "bat"
+        assert get_model("InceptionV3").name == "inception3"
+        assert get_model("ResNet-50").name == "resnet50"
+
+    def test_unknown_model_raises_with_known_names(self):
+        with pytest.raises(KeyError) as err:
+            get_model("bert")
+        assert "alexnet" in str(err.value)
+
+    def test_models_in_domain(self):
+        cv = [profile.name for profile in models_in_domain(Domain.CV)]
+        assert cv == ["alexnet", "vgg16", "inception3", "resnet50"]
+        assert len(models_in_domain(Domain.NLP)) == 2
+        assert len(models_in_domain(Domain.SPEECH)) == 2
+
+
+class TestDerivedQuantities:
+    def test_gpu_time_is_below_iteration_time(self):
+        for name in ALL_MODEL_NAMES:
+            profile = get_model(name)
+            assert 0 < profile.gpu_time_s < profile.iter_time_s
+
+    def test_gpu_time_scales_linearly_with_batch(self):
+        profile = get_model("resnet50")
+        doubled = profile.gpu_time_at(profile.default_batch * 2)
+        assert doubled == pytest.approx(2 * profile.gpu_time_s)
+
+    def test_prep_work_is_positive(self):
+        for name in ALL_MODEL_NAMES:
+            profile = get_model(name)
+            assert profile.prep_cpu_seconds(profile.default_batch) > 0
+
+    def test_alexnet_prep_grows_superlinearly_with_batch(self):
+        profile = get_model("alexnet")
+        base = profile.prep_cpu_seconds(profile.default_batch)
+        double = profile.prep_cpu_seconds(profile.default_batch * 2)
+        assert double > 2 * base
+
+    def test_other_models_prep_grows_linearly(self):
+        profile = get_model("vgg16")
+        base = profile.prep_cpu_seconds(profile.default_batch)
+        double = profile.prep_cpu_seconds(profile.default_batch * 2)
+        assert double == pytest.approx(2 * base)
+
+    def test_nlp_models_are_serial_and_in_memory(self):
+        for name in ("bat", "transformer"):
+            profile = get_model(name)
+            assert not profile.pipelined
+            assert profile.in_memory_dataset
+            assert profile.prep_parallelism_cap is not None
+
+    def test_invalid_batch_raises(self):
+        with pytest.raises(ValueError):
+            get_model("vgg16").prep_cpu_seconds(0)
+
+    def test_weight_bytes(self):
+        assert get_model("vgg16").weight_bytes == pytest.approx(528e6)

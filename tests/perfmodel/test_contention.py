@@ -1,0 +1,114 @@
+"""Contention-state math."""
+
+import pytest
+
+from repro.perfmodel.contention import (
+    BANDWIDTH_PRESSURE_THRESHOLD,
+    UNCONTENDED,
+    ContentionState,
+    bandwidth_excess,
+    cpu_work_slowdown,
+)
+
+
+class TestContentionState:
+    def test_uncontended_defaults(self):
+        assert UNCONTENDED.bw_grant_ratio == 1.0
+        assert UNCONTENDED.node_bw_pressure == 0.0
+
+    def test_rejects_zero_grant_ratio(self):
+        with pytest.raises(ValueError):
+            ContentionState(bw_grant_ratio=0.0)
+
+    def test_rejects_grant_ratio_above_one(self):
+        with pytest.raises(ValueError):
+            ContentionState(bw_grant_ratio=1.5)
+
+    def test_rejects_negative_pressure(self):
+        with pytest.raises(ValueError):
+            ContentionState(node_bw_pressure=-0.1)
+
+    def test_rejects_bad_pcie_ratio(self):
+        with pytest.raises(ValueError):
+            ContentionState(pcie_grant_ratio=0.0)
+
+
+class TestBandwidthExcess:
+    def test_zero_below_threshold(self):
+        state = ContentionState(
+            node_bw_pressure=BANDWIDTH_PRESSURE_THRESHOLD - 0.01
+        )
+        assert bandwidth_excess(state) == 0.0
+
+    def test_zero_at_threshold(self):
+        state = ContentionState(node_bw_pressure=BANDWIDTH_PRESSURE_THRESHOLD)
+        assert bandwidth_excess(state) == 0.0
+
+    def test_one_at_full_capacity(self):
+        state = ContentionState(node_bw_pressure=1.0)
+        assert bandwidth_excess(state) == pytest.approx(1.0)
+
+    def test_linear_in_between(self):
+        mid = (BANDWIDTH_PRESSURE_THRESHOLD + 1.0) / 2.0
+        state = ContentionState(node_bw_pressure=mid)
+        assert bandwidth_excess(state) == pytest.approx(0.5)
+
+
+class TestCpuWorkSlowdown:
+    def test_uncontended_is_identity(self):
+        assert cpu_work_slowdown(
+            UNCONTENDED, bw_bound_fraction=0.5, contention_sensitivity=2.0
+        ) == pytest.approx(1.0)
+
+    def test_starvation_affects_only_bw_bound_fraction(self):
+        state = ContentionState(bw_grant_ratio=0.5)
+        slow = cpu_work_slowdown(
+            state, bw_bound_fraction=0.5, contention_sensitivity=0.0
+        )
+        assert slow == pytest.approx(0.5 + 0.5 / 0.5)
+
+    def test_latency_term_scales_with_sensitivity(self):
+        state = ContentionState(node_bw_pressure=1.0)
+        gentle = cpu_work_slowdown(
+            state, bw_bound_fraction=0.0, contention_sensitivity=0.1
+        )
+        harsh = cpu_work_slowdown(
+            state, bw_bound_fraction=0.0, contention_sensitivity=4.0
+        )
+        assert gentle == pytest.approx(1.1)
+        assert harsh == pytest.approx(5.0)
+
+    def test_llc_term_needs_overflow(self):
+        under = ContentionState(llc_pressure=0.9)
+        over = ContentionState(llc_pressure=1.5)
+        assert cpu_work_slowdown(
+            under, bw_bound_fraction=0.0, contention_sensitivity=0.0,
+            llc_sensitivity=1.0,
+        ) == pytest.approx(1.0)
+        assert cpu_work_slowdown(
+            over, bw_bound_fraction=0.0, contention_sensitivity=0.0,
+            llc_sensitivity=1.0,
+        ) == pytest.approx(1.5)
+
+    def test_slowdown_never_below_one(self):
+        state = ContentionState(
+            bw_grant_ratio=0.9, node_bw_pressure=0.8, llc_pressure=1.2
+        )
+        assert (
+            cpu_work_slowdown(
+                state, bw_bound_fraction=0.3, contention_sensitivity=1.0
+            )
+            >= 1.0
+        )
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            cpu_work_slowdown(
+                UNCONTENDED, bw_bound_fraction=1.5, contention_sensitivity=0.0
+            )
+
+    def test_negative_sensitivity_raises(self):
+        with pytest.raises(ValueError):
+            cpu_work_slowdown(
+                UNCONTENDED, bw_bound_fraction=0.5, contention_sensitivity=-1.0
+            )

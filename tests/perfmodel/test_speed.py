@@ -1,0 +1,176 @@
+"""Iteration-time composition mechanics."""
+
+import pytest
+
+from repro.cluster.interconnect import Interconnect
+from repro.perfmodel.catalog import get_model
+from repro.perfmodel.contention import UNCONTENDED, ContentionState
+from repro.perfmodel.speed import iteration_time, training_speed
+from repro.perfmodel.stages import IterationBreakdown, TrainSetup
+
+
+class TestBasics:
+    def test_speed_is_reciprocal_of_total(self):
+        profile = get_model("resnet50")
+        setup = TrainSetup(1, 1)
+        breakdown = iteration_time(profile, setup, 3)
+        assert training_speed(profile, setup, 3) == pytest.approx(
+            1.0 / breakdown.total_s
+        )
+
+    def test_zero_cores_raises(self):
+        with pytest.raises(ValueError):
+            iteration_time(get_model("resnet50"), TrainSetup(1, 1), 0)
+
+    def test_more_cores_shrink_prep(self):
+        profile = get_model("alexnet")
+        setup = TrainSetup(1, 1)
+        assert (
+            iteration_time(profile, setup, 4).prep_s
+            > iteration_time(profile, setup, 8).prep_s
+        )
+
+    def test_single_node_has_no_sync(self):
+        breakdown = iteration_time(get_model("vgg16"), TrainSetup(1, 2), 4)
+        assert breakdown.sync_s == 0.0
+
+    def test_multi_node_has_sync(self):
+        breakdown = iteration_time(get_model("vgg16"), TrainSetup(2, 2), 2)
+        assert breakdown.sync_s > 0.0
+
+    def test_quiet_node_has_no_pcie_penalty(self):
+        breakdown = iteration_time(get_model("alexnet"), TrainSetup(1, 1), 8)
+        assert breakdown.pcie_penalty_s == 0.0
+
+    def test_overhead_scales_with_cores(self):
+        profile = get_model("resnet50")
+        setup = TrainSetup(1, 1)
+        a = iteration_time(profile, setup, 4).overhead_s
+        b = iteration_time(profile, setup, 8).overhead_s
+        assert b == pytest.approx(2 * a)
+
+
+class TestPipelineComposition:
+    def test_pipelined_total_is_max_of_paths(self):
+        breakdown = IterationBreakdown(
+            prep_s=2.0,
+            gpu_s=3.0,
+            sync_s=0.5,
+            pcie_penalty_s=0.0,
+            overhead_s=0.1,
+            pipelined=True,
+        )
+        assert breakdown.total_s == pytest.approx(3.6)
+        assert not breakdown.prep_bound
+
+    def test_pipelined_prep_bound(self):
+        breakdown = IterationBreakdown(
+            prep_s=5.0,
+            gpu_s=3.0,
+            sync_s=0.0,
+            pcie_penalty_s=0.0,
+            overhead_s=0.0,
+            pipelined=True,
+        )
+        assert breakdown.total_s == pytest.approx(5.0)
+        assert breakdown.prep_bound
+        assert breakdown.utilization == pytest.approx(0.6)
+
+    def test_serial_total_is_sum_of_paths(self):
+        breakdown = IterationBreakdown(
+            prep_s=2.0,
+            gpu_s=3.0,
+            sync_s=0.5,
+            pcie_penalty_s=0.1,
+            overhead_s=0.1,
+            pipelined=False,
+        )
+        assert breakdown.total_s == pytest.approx(5.7)
+
+
+class TestContentionEffects:
+    def test_bandwidth_starvation_stretches_prep(self):
+        profile = get_model("alexnet")
+        setup = TrainSetup(1, 1)
+        starved = ContentionState(bw_grant_ratio=0.5)
+        assert (
+            iteration_time(profile, setup, 8, starved).prep_s
+            > iteration_time(profile, setup, 8).prep_s
+        )
+
+    def test_pcie_contention_adds_penalty(self):
+        profile = get_model("alexnet")
+        setup = TrainSetup(1, 2)
+        contended = ContentionState(pcie_grant_ratio=2.0 / 3.0)
+        breakdown = iteration_time(profile, setup, 16, contended)
+        assert breakdown.pcie_penalty_s > 0.0
+
+    def test_pcie_penalty_within_paper_range(self):
+        """Sec. IV-C3: heavy CV co-location costs 5-10 %."""
+        profile = get_model("alexnet")
+        setup = TrainSetup(1, 2)
+        quiet = training_speed(profile, setup, 16)
+        loud = training_speed(
+            profile, setup, 16, ContentionState(pcie_grant_ratio=2.0 / 3.0)
+        )
+        drop = 1.0 - loud / quiet
+        assert 0.03 <= drop <= 0.12
+
+    def test_light_models_unaffected_by_pcie(self):
+        """Sec. IV-C3: NLP/speech consume <1 GB/s and barely notice."""
+        profile = get_model("transformer")
+        setup = TrainSetup(1, 1)
+        quiet = training_speed(profile, setup, 2)
+        loud = training_speed(
+            profile, setup, 2, ContentionState(pcie_grant_ratio=0.8)
+        )
+        assert 1.0 - loud / quiet < 0.01
+
+
+class TestMultiNode:
+    def test_physical_sync_floor_for_heavy_models(self):
+        """A slow fabric makes the physical push/pull dominate the
+        calibrated overhead."""
+        profile = get_model("vgg16")  # 528 MB of weights
+        slow = Interconnect(link_gbps=0.125)  # 1 Gb/s
+        fast = Interconnect(link_gbps=12.5)  # 100 Gb/s
+        setup = TrainSetup(2, 2)
+        slow_sync = iteration_time(profile, setup, 2, interconnect=slow).sync_s
+        fast_sync = iteration_time(profile, setup, 2, interconnect=fast).sync_s
+        assert slow_sync > fast_sync
+        assert slow_sync >= 2 * 0.528 / 0.125 * 0.99
+
+    def test_multinode_prep_is_window_limited(self):
+        """Sec. IV-B2: the network-paced pipeline bounds per-node prep."""
+        profile = get_model("alexnet")
+        single = iteration_time(profile, TrainSetup(1, 2), 2).prep_s
+        multi = iteration_time(profile, TrainSetup(2, 2), 2).prep_s
+        assert multi < single
+
+
+class TestTrainSetup:
+    def test_label(self):
+        assert TrainSetup(2, 2).label == "2N4G"
+        assert TrainSetup(1, 4).label == "1N4G"
+
+    def test_parse_round_trip(self):
+        setup = TrainSetup.parse("2N4G")
+        assert setup.num_nodes == 2
+        assert setup.gpus_per_node == 2
+        assert setup.total_gpus == 4
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TrainSetup.parse("4G2N")
+
+    def test_parse_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            TrainSetup.parse("2N3G")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainSetup(0, 1)
+        with pytest.raises(ValueError):
+            TrainSetup(1, 0)
+        with pytest.raises(ValueError):
+            TrainSetup(1, 1, batch=0)

@@ -1,0 +1,51 @@
+"""Utilization curves and the optimum search."""
+
+import pytest
+
+from repro.perfmodel.catalog import get_model
+from repro.perfmodel.stages import TrainSetup
+from repro.perfmodel.utilization import (
+    gpu_utilization,
+    optimal_cores,
+    utilization_curve,
+)
+
+
+class TestUtilizationCurve:
+    def test_covers_requested_range(self):
+        curve = utilization_curve(get_model("resnet50"), TrainSetup(1, 1), 10)
+        assert [cores for cores, _ in curve] == list(range(1, 11))
+
+    def test_values_in_unit_interval(self):
+        for _, util in utilization_curve(get_model("bat"), TrainSetup(1, 1), 16):
+            assert 0.0 < util <= 1.0
+
+    def test_monotone_up_to_optimum(self):
+        profile = get_model("vgg16")
+        setup = TrainSetup(1, 1)
+        best = optimal_cores(profile, setup)
+        curve = dict(utilization_curve(profile, setup, best))
+        values = [curve[c] for c in range(1, best + 1)]
+        assert values == sorted(values)
+
+
+class TestOptimalCores:
+    def test_respects_max_cores(self):
+        profile = get_model("alexnet")
+        assert optimal_cores(profile, TrainSetup(1, 1), max_cores=4) == 4
+
+    def test_invalid_max_cores_raises(self):
+        with pytest.raises(ValueError):
+            optimal_cores(get_model("alexnet"), TrainSetup(1, 1), max_cores=0)
+
+    def test_ties_prefer_fewer_cores(self):
+        """Past the NLP parallelism cap speed only degrades, so the search
+        must not wander right."""
+        profile = get_model("transformer")
+        assert optimal_cores(profile, TrainSetup(1, 1), max_cores=28) == 2
+
+    def test_gpu_utilization_matches_curve(self):
+        profile = get_model("wavenet")
+        setup = TrainSetup(1, 1)
+        curve = dict(utilization_curve(profile, setup, 8))
+        assert gpu_utilization(profile, setup, 5) == pytest.approx(curve[5])

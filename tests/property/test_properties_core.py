@@ -1,0 +1,211 @@
+"""Property-based tests on the core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.mbm import BandwidthMonitor
+from repro.cluster.resources import ResourceVector
+from repro.core.tuning import TuningSession
+from repro.metrics.stats import cdf_points, percentile
+from repro.sim.engine import Engine
+from repro.sim.rng import derive_seed
+
+amounts = st.integers(min_value=0, max_value=10_000)
+vectors = st.builds(ResourceVector, cpus=amounts, gpus=amounts)
+
+
+class TestResourceVectorProperties:
+    @given(vectors, vectors)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors, vectors)
+    def test_add_then_subtract_is_identity(self, a, b):
+        assert (a + b) - b == a
+
+    @given(vectors, vectors)
+    def test_fits_is_consistent_with_subtraction(self, a, b):
+        if a.fits(b):
+            remainder = b - a
+            assert remainder.cpus >= 0 and remainder.gpus >= 0
+
+    @given(vectors, st.integers(min_value=1, max_value=100))
+    def test_dominant_share_bounds(self, usage, scale):
+        total = ResourceVector(cpus=10_000 * scale, gpus=10_000 * scale)
+        share = usage.dominant_share(total)
+        assert 0.0 <= share <= 1.0
+
+
+class TestBandwidthMonitorProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+    )
+    def test_water_filling_invariants(self, demands, capacity):
+        monitor = BandwidthMonitor(capacity)
+        for index, demand in enumerate(demands):
+            monitor.register(f"j{index}", demand, is_cpu_job=True)
+        granted = [monitor.usage_of(f"j{i}").granted for i in range(len(demands))]
+        # 1. Conservation: never hand out more than capacity.
+        assert sum(granted) <= capacity + 1e-6
+        # 2. No job gets more than it asked for.
+        for demand, grant in zip(demands, granted):
+            assert grant <= demand + 1e-9
+        # 3. Work conservation: if anyone is unsatisfied, capacity is used.
+        unsatisfied = any(g < d - 1e-6 for d, g in zip(demands, granted))
+        if unsatisfied:
+            assert sum(granted) >= capacity - 1e-6
+        # 4. Max-min fairness: an unsatisfied job's grant is at least as
+        # large as every other job's grant.
+        for demand, grant in zip(demands, granted):
+            if grant < demand - 1e-6:
+                assert all(grant >= other - 1e-6 for other in granted)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_smaller_demand_never_gets_less(self, demands):
+        monitor = BandwidthMonitor(50.0)
+        for index, demand in enumerate(demands):
+            monitor.register(f"j{index}", demand, is_cpu_job=True)
+        pairs = [
+            (demand, monitor.usage_of(f"j{index}").granted)
+            for index, demand in enumerate(demands)
+        ]
+        pairs.sort()
+        grants = [grant for _, grant in pairs]
+        for earlier, later in zip(grants, grants[1:]):
+            assert earlier <= later + 1e-6
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        engine = Engine()
+        fired = []
+        for when in times:
+            engine.schedule(when, lambda when=when: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+                st.booleans(),
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_cancelled_events_never_fire(self, entries):
+        engine = Engine()
+        fired = []
+        for index, (when, cancel) in enumerate(entries):
+            handle = engine.schedule(when, lambda index=index: fired.append(index))
+            if cancel:
+                handle.cancel()
+        engine.run()
+        expected = [i for i, (_, cancel) in enumerate(entries) if not cancel]
+        assert sorted(fired) == expected
+
+
+class TestStatsProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_percentile_within_range(self, values, q):
+        result = percentile(values, q)
+        assert min(values) <= result <= max(values)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_percentile_monotone_in_q(self, values):
+        results = [percentile(values, q) for q in (0, 25, 50, 75, 100)]
+        assert results == sorted(results)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=0,
+            max_size=100,
+        )
+    )
+    def test_cdf_is_a_distribution(self, values):
+        points = cdf_points(values)
+        fractions = [fraction for _, fraction in points]
+        assert fractions == sorted(fractions)
+        if values:
+            assert math.isclose(fractions[-1], 1.0)
+
+
+class TestTuningProperties:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60)
+    def test_settles_within_epsilon_of_unimodal_peak(self, optimum, n_start):
+        """For any unimodal curve and any start, the settled allocation's
+        utilization is within epsilon of the curve's true peak."""
+
+        def curve(cores: int) -> float:
+            if cores <= optimum:
+                return 0.9 * cores / optimum
+            return max(0.0, 0.9 - 0.05 * (cores - optimum))
+
+        session = TuningSession(n_start=n_start, min_cores=1, max_cores=20)
+        cores = session.next_cores
+        steps = 0
+        while cores is not None and steps < 100:
+            cores = session.record(cores, curve(cores))
+            steps += 1
+        assert session.done
+        assert curve(session.best_cores) >= 0.9 - session.epsilon - 0.05
+
+    @given(st.integers(min_value=1, max_value=28))
+    def test_step_count_is_bounded(self, n_start):
+        """On a flat curve the slimming walk visits each lower core count
+        once; the step count is bounded by the start plus the two
+        direction probes and the session always terminates at the floor."""
+        session = TuningSession(n_start=n_start, min_cores=1, max_cores=28)
+        cores = session.next_cores
+        while cores is not None:
+            cores = session.record(cores, 0.5)
+        assert session.steps_taken <= n_start + 2
+        assert session.best_cores == 1
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=30))
+    def test_derive_seed_stable_and_bounded(self, root, name):
+        a = derive_seed(root, name)
+        assert a == derive_seed(root, name)
+        assert 0 <= a < 2**64

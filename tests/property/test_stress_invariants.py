@@ -1,0 +1,175 @@
+"""Randomized end-to-end stress: system invariants under any workload.
+
+Hypothesis generates small random workloads; after (and during) the run,
+the cluster's bookkeeping must be exactly consistent for every policy —
+no overcommitted node, no orphaned GPU, no leaked bandwidth registration,
+no negative ledger.
+"""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.config import ClusterConfig, NodeConfig
+from repro.core.coda import CodaScheduler
+from repro.experiments.runner import SimulationRunner
+from repro.perfmodel.catalog import ALL_MODEL_NAMES
+from repro.perfmodel.stages import TrainSetup
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.fifo import FifoScheduler
+from repro.workload.job import CpuJob, GpuJob
+
+job_specs = st.lists(
+    st.tuples(
+        st.booleans(),  # is_gpu
+        st.floats(min_value=0.0, max_value=1800.0, allow_nan=False),  # submit
+        st.integers(min_value=1, max_value=20),  # tenant
+        st.sampled_from(sorted(ALL_MODEL_NAMES)),
+        st.sampled_from([(1, 1), (1, 2), (1, 4), (2, 2)]),  # (nodes, gpus)
+        st.integers(min_value=1, max_value=24),  # cores
+        st.integers(min_value=1, max_value=400),  # iterations / duration
+        st.booleans(),  # heat
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+policies = st.sampled_from(["fifo", "drf", "coda"])
+
+_FACTORIES = {
+    "fifo": FifoScheduler,
+    "drf": DrfScheduler,
+    "coda": CodaScheduler,
+}
+
+
+def _build_jobs(specs):
+    jobs = []
+    for index, (is_gpu, submit, tenant, model, shape, cores, work, heat) in enumerate(
+        specs
+    ):
+        if is_gpu:
+            nodes, gpus = shape
+            jobs.append(
+                GpuJob(
+                    job_id=f"g{index}",
+                    tenant_id=tenant,
+                    submit_time=submit,
+                    model_name=model,
+                    setup=TrainSetup(nodes, gpus),
+                    requested_cpus=cores,
+                    total_iterations=work,
+                )
+            )
+        else:
+            jobs.append(
+                CpuJob(
+                    job_id=f"c{index}",
+                    tenant_id=tenant,
+                    submit_time=submit,
+                    cores=min(cores, 14),
+                    duration_s=float(work * 10),
+                    bw_demand_gbps=80.0 if heat else 1.0,
+                    is_heat=heat,
+                )
+            )
+    return jobs
+
+
+def _check_cluster_invariants(cluster: Cluster) -> None:
+    for node in cluster.nodes:
+        assert 0 <= node.used_cpus <= node.total_cpus
+        shares_cpus = sum(
+            node.share_of(job_id).cpus for job_id in node.jobs_here()
+        )
+        assert shares_cpus == node.used_cpus
+        owners = [gpu.owner for gpu in node.gpus if gpu.owner is not None]
+        shares_gpus = sum(
+            node.share_of(job_id).gpus for job_id in node.jobs_here()
+        )
+        assert len(owners) == shares_gpus
+        for owner in owners:
+            assert node.holds(owner)
+        # Bandwidth registrations only for resident jobs.
+        for job_id in node.bandwidth._usages:
+            assert node.holds(job_id)
+        assert node.bandwidth.total_granted <= (
+            node.bandwidth.capacity_gbps + 1e-6
+        )
+        for gpu in node.gpus:
+            assert 0.0 <= gpu.utilization <= 1.0
+
+
+class TestStressInvariants:
+    @given(specs=job_specs, policy=policies, horizon=st.integers(600, 7200))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_bookkeeping_is_always_consistent(self, specs, policy, horizon):
+        cluster = Cluster(
+            ClusterConfig(
+                node_groups=((2, NodeConfig(gpus=4)), (1, NodeConfig(gpus=8)))
+            )
+        )
+        runner = SimulationRunner(
+            cluster, _FACTORIES[policy](), sample_interval_s=300.0
+        )
+        for job in _build_jobs(specs):
+            runner.submit_at(job.submit_time, job)
+        # Check invariants at several points mid-run, then at the end.
+        for checkpoint in (horizon / 3, 2 * horizon / 3, horizon):
+            runner.engine.run(until=checkpoint)
+            _check_cluster_invariants(cluster)
+        # Accounting closure: every record is consistent.
+        for record in runner.collector.records.values():
+            if record.finish_time is not None:
+                assert record.first_start is not None
+                assert record.finish_time >= record.first_start
+            if record.first_start is not None:
+                assert record.first_start >= record.submit_time
+
+    @given(specs=job_specs, policy=policies)
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_long_run_drains_completely(self, specs, policy):
+        """Given enough time with no further arrivals, everything that can
+        run finishes, and the cluster returns (nearly) to empty."""
+        cluster = Cluster(
+            ClusterConfig(
+                node_groups=((2, NodeConfig(gpus=4)), (1, NodeConfig(gpus=8)))
+            )
+        )
+        runner = SimulationRunner(
+            cluster, _FACTORIES[policy](), sample_interval_s=3600.0
+        )
+        jobs = _build_jobs(specs)
+        for job in jobs:
+            runner.submit_at(job.submit_time, job)
+        runner.engine.run(until=40 * 24 * 3600.0)
+        # Anything still holding resources must be genuinely unplaceable
+        # (e.g., an 8-GPU-per-node job on this cluster) — never a leak.
+        for job in jobs:
+            record = runner.collector.records[job.job_id]
+            if record.finish_time is None and isinstance(job, GpuJob):
+                per_node_possible = any(
+                    node.total_gpus >= job.setup.gpus_per_node
+                    and node.total_cpus >= 1
+                    for node in cluster.nodes
+                )
+                nodes_possible = (
+                    sum(
+                        1
+                        for node in cluster.nodes
+                        if node.total_gpus >= job.setup.gpus_per_node
+                    )
+                    >= job.setup.num_nodes
+                )
+                assert not (per_node_possible and nodes_possible), job.job_id
+        _check_cluster_invariants(cluster)

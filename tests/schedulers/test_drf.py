@@ -1,0 +1,130 @@
+"""DRF progressive filling and fairness."""
+
+import pytest
+
+from repro.perfmodel.stages import TrainSetup
+from repro.schedulers.base import UsageLedger
+from repro.schedulers.drf import DrfScheduler
+from repro.workload.job import CpuJob, GpuJob
+
+
+def _gpu(job_id, tenant, gpus=1, cpus=2):
+    return GpuJob(
+        job_id=job_id,
+        tenant_id=tenant,
+        submit_time=0.0,
+        model_name="resnet50",
+        setup=TrainSetup(1, gpus),
+        requested_cpus=cpus,
+        total_iterations=10,
+    )
+
+
+def _cpu(job_id, tenant, cores=2):
+    return CpuJob(job_id=job_id, tenant_id=tenant, submit_time=0.0, cores=cores)
+
+
+class TestUsageLedger:
+    def test_start_and_finish(self):
+        ledger = UsageLedger()
+        ledger.start("j1", 1, cpus=4, gpus=2)
+        assert ledger.usage_of(1).gpus == 2
+        ledger.finish("j1")
+        assert ledger.usage_of(1).gpus == 0
+
+    def test_double_start_raises(self):
+        ledger = UsageLedger()
+        ledger.start("j1", 1, 1, 1)
+        with pytest.raises(RuntimeError):
+            ledger.start("j1", 1, 1, 1)
+
+    def test_finish_unknown_is_silent(self):
+        UsageLedger().finish("ghost")
+
+    def test_dominant_share_picks_max(self):
+        ledger = UsageLedger()
+        ledger.start("j1", 1, cpus=50, gpus=1)
+        assert ledger.dominant_share(1, 100, 100) == pytest.approx(0.5)
+
+    def test_dominant_share_ignores_zero_capacity(self):
+        ledger = UsageLedger()
+        ledger.start("j1", 1, cpus=50, gpus=0)
+        assert ledger.dominant_share(1, 100, 0) == pytest.approx(0.5)
+
+    def test_negative_usage_raises(self):
+        ledger = UsageLedger()
+        ledger.start("j1", 1, 1, 1)
+        ledger.finish("j1")
+        usage = ledger.usage_of(1)
+        with pytest.raises(RuntimeError):
+            usage.remove(1, 0)
+
+
+class TestProgressiveFilling:
+    def test_alternates_between_equal_tenants(self, tiny_cluster):
+        scheduler = DrfScheduler()
+        for index in range(3):
+            scheduler.submit(_gpu(f"a{index}", tenant=1), 0.0)
+            scheduler.submit(_gpu(f"b{index}", tenant=2), 0.0)
+        decisions = scheduler.schedule(tiny_cluster, 1.0)
+        owners = [d.job.tenant_id for d in decisions[:4]]
+        assert owners == [1, 2, 1, 2]
+
+    def test_low_share_tenant_goes_first(self, tiny_cluster):
+        scheduler = DrfScheduler()
+        scheduler.submit(_gpu("a0", tenant=1, gpus=4), 0.0)
+        decisions = scheduler.schedule(tiny_cluster, 0.0)
+        assert [d.job.job_id for d in decisions] == ["a0"]
+        # Tenant 1 now holds 4 of 8 GPUs; tenant 2 should be served first.
+        scheduler.submit(_gpu("a1", tenant=1), 1.0)
+        scheduler.submit(_gpu("b0", tenant=2), 1.0)
+        decisions = scheduler.schedule(tiny_cluster, 1.0)
+        assert [d.job.job_id for d in decisions][:1] == ["b0"]
+
+    def test_blocked_tenant_is_skipped_not_fatal(self, tiny_cluster):
+        """DRF skips a tenant whose head does not fit (work conserving)."""
+        scheduler = DrfScheduler()
+        tiny_cluster.allocate("x", [(0, 1, 4), (1, 1, 0)])
+        scheduler.submit(_gpu("big", tenant=1, gpus=4, cpus=28), 0.0)
+        scheduler.submit(_gpu("small", tenant=2), 0.0)
+        decisions = scheduler.schedule(tiny_cluster, 0.0)
+        assert [d.job.job_id for d in decisions] == ["small"]
+
+    def test_within_tenant_fifo_is_strict(self, tiny_cluster):
+        scheduler = DrfScheduler()
+        tiny_cluster.allocate("x", [(0, 1, 4), (1, 1, 0)])
+        scheduler.submit(_gpu("big", tenant=1, gpus=4, cpus=28), 0.0)
+        scheduler.submit(_gpu("later", tenant=1), 1.0)
+        decisions = scheduler.schedule(tiny_cluster, 1.0)
+        assert decisions == []
+
+    def test_finish_lowers_share(self, tiny_cluster):
+        scheduler = DrfScheduler()
+        job = _gpu("a0", tenant=1, gpus=4)
+        scheduler.submit(job, 0.0)
+        scheduler.schedule(tiny_cluster, 0.0)
+        scheduler.job_finished(job, 5.0)
+        assert scheduler._ledger.usage_of(1).gpus == 0
+
+    def test_mixed_cpu_and_gpu_tenants(self, tiny_cluster):
+        scheduler = DrfScheduler()
+        scheduler.submit(_cpu("c0", tenant=3, cores=4), 0.0)
+        scheduler.submit(_gpu("g0", tenant=1), 0.0)
+        decisions = scheduler.schedule(tiny_cluster, 0.0)
+        assert {d.job.job_id for d in decisions} == {"c0", "g0"}
+
+    def test_preempted_job_requeues_at_head_and_releases_share(self, tiny_cluster):
+        scheduler = DrfScheduler()
+        job = _gpu("a0", tenant=1, gpus=2)
+        scheduler.submit(job, 0.0)
+        scheduler.schedule(tiny_cluster, 0.0)
+        scheduler.job_preempted(job, 1.0, preserve_progress=True)
+        assert scheduler._ledger.usage_of(1).gpus == 0
+        assert scheduler.pending_jobs()[0].job_id == "a0"
+
+    def test_pending_jobs_sorted_by_submit(self):
+        scheduler = DrfScheduler()
+        scheduler.submit(_gpu("late", tenant=1), 0.0)
+        scheduler.submit(_cpu("early", tenant=2), 0.0)
+        jobs = scheduler.pending_jobs()
+        assert [j.job_id for j in jobs] == ["early", "late"]

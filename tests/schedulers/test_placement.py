@@ -1,0 +1,113 @@
+"""FreeState snapshots and best-fit placement."""
+
+import pytest
+
+from repro.perfmodel.stages import TrainSetup
+from repro.schedulers.placement import FreeState, place_cpu_job, place_gpu_job
+from repro.workload.job import CpuJob, GpuJob
+
+
+def _gpu_job(num_nodes=1, gpus_per_node=1, requested_cpus=2):
+    return GpuJob(
+        job_id="g",
+        tenant_id=1,
+        submit_time=0.0,
+        model_name="resnet50",
+        setup=TrainSetup(num_nodes, gpus_per_node),
+        requested_cpus=requested_cpus,
+        total_iterations=10,
+    )
+
+
+def _cpu_job(cores=4):
+    return CpuJob(job_id="c", tenant_id=1, submit_time=0.0, cores=cores)
+
+
+class TestFreeState:
+    def test_of_cluster(self, tiny_cluster):
+        tiny_cluster.allocate("x", [(0, 4, 1)])
+        free = FreeState.of(tiny_cluster)
+        assert free.free_of(0) == (24, 3)
+        assert free.free_of(1) == (28, 4)
+
+    def test_of_cluster_among(self, tiny_cluster):
+        free = FreeState.of(tiny_cluster, among=[1])
+        assert free.node_ids() == [1]
+
+    def test_commit_deducts(self, tiny_cluster):
+        free = FreeState.of(tiny_cluster)
+        free.commit([(0, 4, 2)])
+        assert free.free_of(0) == (24, 2)
+
+    def test_commit_overcommit_raises(self, tiny_cluster):
+        free = FreeState.of(tiny_cluster)
+        with pytest.raises(RuntimeError):
+            free.commit([(0, 100, 0)])
+
+    def test_add_returns_capacity(self, tiny_cluster):
+        tiny_cluster.allocate("x", [(0, 28, 4)])
+        free = FreeState.of(tiny_cluster)
+        free.add(0, 28, 4)
+        assert free.free_of(0) == (28, 4)
+
+
+class TestPlaceGpuJob:
+    def test_simple_placement(self, tiny_cluster):
+        free = FreeState.of(tiny_cluster)
+        placements = place_gpu_job(_gpu_job(), free)
+        assert placements == [(0, 2, 1)]
+
+    def test_best_fit_prefers_tightest_gpus(self, tiny_cluster):
+        tiny_cluster.allocate("x", [(0, 2, 3)])
+        free = FreeState.of(tiny_cluster)
+        placements = place_gpu_job(_gpu_job(), free)
+        assert placements[0][0] == 0  # the node with only 1 free GPU
+
+    def test_respects_core_requirement(self, tiny_cluster):
+        tiny_cluster.allocate("x", [(0, 27, 0)])
+        free = FreeState.of(tiny_cluster)
+        placements = place_gpu_job(_gpu_job(requested_cpus=4), free)
+        assert placements[0][0] == 1
+
+    def test_cpus_override(self, tiny_cluster):
+        free = FreeState.of(tiny_cluster)
+        placements = place_gpu_job(_gpu_job(requested_cpus=2), free, cpus_per_node=7)
+        assert placements[0][1] == 7
+
+    def test_multi_node_needs_distinct_nodes(self, tiny_cluster):
+        free = FreeState.of(tiny_cluster)
+        placements = place_gpu_job(_gpu_job(num_nodes=2, gpus_per_node=2), free)
+        assert len({node_id for node_id, _, _ in placements}) == 2
+
+    def test_multi_node_fails_without_enough_nodes(self, tiny_cluster):
+        tiny_cluster.allocate("x", [(1, 1, 4)])
+        free = FreeState.of(tiny_cluster)
+        assert place_gpu_job(_gpu_job(num_nodes=2, gpus_per_node=2), free) is None
+
+    def test_among_restricts_candidates(self, tiny_cluster):
+        free = FreeState.of(tiny_cluster)
+        placements = place_gpu_job(_gpu_job(), free, among={1})
+        assert placements[0][0] == 1
+
+    def test_returns_none_when_full(self, tiny_cluster):
+        tiny_cluster.allocate("x", [(0, 2, 4), (1, 2, 4)])
+        free = FreeState.of(tiny_cluster)
+        assert place_gpu_job(_gpu_job(), free) is None
+
+
+class TestPlaceCpuJob:
+    def test_best_fit_on_cores(self, tiny_cluster):
+        tiny_cluster.allocate("x", [(0, 20, 0)])
+        free = FreeState.of(tiny_cluster)
+        placements = place_cpu_job(_cpu_job(cores=4), free)
+        assert placements == [(0, 4, 0)]
+
+    def test_none_when_no_cores(self, tiny_cluster):
+        tiny_cluster.allocate("x", [(0, 28, 0), (1, 28, 0)])
+        free = FreeState.of(tiny_cluster)
+        assert place_cpu_job(_cpu_job(), free) is None
+
+    def test_among(self, tiny_cluster):
+        free = FreeState.of(tiny_cluster)
+        placements = place_cpu_job(_cpu_job(), free, among={1})
+        assert placements[0][0] == 1

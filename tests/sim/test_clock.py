@@ -1,0 +1,54 @@
+"""Clock semantics: monotonicity and formatting."""
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR, MINUTE, Clock, fmt_duration
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advances_forward(self):
+        clock = Clock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = Clock(3.0)
+        clock.advance_to(3.0)
+        assert clock.now == 3.0
+
+    def test_rejects_moving_backwards(self):
+        clock = Clock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(9.999)
+
+    def test_repr_mentions_time(self):
+        assert "12.5" in repr(Clock(12.5))
+
+
+class TestUnits:
+    def test_unit_relationships(self):
+        assert MINUTE == 60.0
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+
+    def test_fmt_seconds(self):
+        assert fmt_duration(12.3) == "12.3s"
+
+    def test_fmt_minutes(self):
+        assert fmt_duration(90.0) == "1.5min"
+
+    def test_fmt_hours(self):
+        assert fmt_duration(2 * HOUR) == "2.00h"
+
+    def test_fmt_days(self):
+        assert fmt_duration(2.5 * DAY) == "2.50d"

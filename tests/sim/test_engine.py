@@ -1,0 +1,146 @@
+"""Engine run-loop behaviour."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.events import EventPriority
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self, engine):
+        fired = []
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fires_fifo_within_priority(self, engine):
+        fired = []
+        for label in "abc":
+            engine.schedule(1.0, lambda label=label: fired.append(label))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_orders_same_instant(self, engine):
+        fired = []
+        engine.schedule(
+            1.0, lambda: fired.append("arrival"), priority=EventPriority.ARRIVAL
+        )
+        engine.schedule(
+            1.0,
+            lambda: fired.append("completion"),
+            priority=EventPriority.COMPLETION,
+        )
+        engine.run()
+        assert fired == ["completion", "arrival"]
+
+    def test_rejects_past_events(self, engine):
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule(4.0, lambda: None)
+
+    def test_schedule_in_is_relative(self, engine):
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        handle = engine.schedule_in(2.5, lambda: None)
+        assert handle.time == 7.5
+
+    def test_schedule_in_rejects_negative_delay(self, engine):
+        with pytest.raises(ValueError):
+            engine.schedule_in(-1.0, lambda: None)
+
+    def test_clock_advances_to_event_time(self, engine):
+        engine.schedule(4.0, lambda: None)
+        engine.run()
+        assert engine.now == 4.0
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self, engine):
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self, engine):
+        keep = engine.schedule(1.0, lambda: None)
+        drop = engine.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert engine.pending == 1
+        assert keep.time == 1.0
+
+    def test_peek_skips_cancelled_head(self, engine):
+        head = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        head.cancel()
+        assert engine.peek_time() == 2.0
+
+    def test_cancel_during_execution(self, engine):
+        fired = []
+        later = engine.schedule(2.0, lambda: fired.append("later"))
+        engine.schedule(1.0, later.cancel)
+        engine.run()
+        assert fired == []
+
+
+class TestRunLoop:
+    def test_run_until_stops_before_later_events(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(5.0, lambda: fired.append(5))
+        engine.run(until=3.0)
+        assert fired == [1]
+        assert engine.pending == 1
+
+    def test_run_until_includes_boundary_events(self, engine):
+        fired = []
+        engine.schedule(3.0, lambda: fired.append(3))
+        engine.run(until=3.0)
+        assert fired == [3]
+
+    def test_run_until_advances_clock_to_horizon(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=10.0)
+        assert engine.now == 10.0
+
+    def test_max_events_limits_execution(self, engine):
+        fired = []
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda i=i: fired.append(i))
+        engine.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_events_scheduled_during_run_fire(self, engine):
+        fired = []
+
+        def chain():
+            fired.append("first")
+            engine.schedule_in(1.0, lambda: fired.append("second"))
+
+        engine.schedule(1.0, chain)
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_run_returns_fired_count(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        assert engine.run() == 2
+
+    def test_step_on_empty_queue_returns_false(self, engine):
+        assert engine.step() is False
+
+    def test_reentrancy_is_rejected(self, engine):
+        def recurse():
+            engine.run()
+
+        engine.schedule(1.0, recurse)
+        with pytest.raises(RuntimeError):
+            engine.run()
+
+    def test_fired_counter(self, engine):
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.fired == 1

@@ -1,0 +1,59 @@
+"""Event ordering and cancellation."""
+
+from repro.sim.events import Event, EventHandle, EventPriority
+
+
+def _event(time, priority=EventPriority.SCHEDULE, seq=0):
+    return Event(time=time, priority=int(priority), seq=seq, action=lambda: None)
+
+
+class TestOrdering:
+    def test_earlier_time_sorts_first(self):
+        assert _event(1.0) < _event(2.0)
+
+    def test_priority_breaks_time_ties(self):
+        completion = _event(1.0, EventPriority.COMPLETION)
+        arrival = _event(1.0, EventPriority.ARRIVAL)
+        assert completion < arrival
+
+    def test_sequence_breaks_full_ties(self):
+        first = _event(1.0, seq=0)
+        second = _event(1.0, seq=1)
+        assert first < second
+
+    def test_priority_order_is_completion_monitor_arrival_schedule(self):
+        order = [
+            EventPriority.COMPLETION,
+            EventPriority.MONITOR,
+            EventPriority.ARRIVAL,
+            EventPriority.SCHEDULE,
+        ]
+        assert order == sorted(order)
+
+
+class TestHandle:
+    def test_reports_time_and_tag(self):
+        event = Event(time=4.0, priority=0, seq=1, action=lambda: None, tag="x")
+        handle = EventHandle(event)
+        assert handle.time == 4.0
+        assert handle.tag == "x"
+
+    def test_cancel_marks_event(self):
+        event = _event(1.0)
+        handle = EventHandle(event)
+        assert not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled
+        assert event.cancelled
+
+    def test_cancel_is_idempotent(self):
+        handle = EventHandle(_event(1.0))
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_repr_shows_state(self):
+        handle = EventHandle(_event(1.0))
+        assert "pending" in repr(handle)
+        handle.cancel()
+        assert "cancelled" in repr(handle)

@@ -1,0 +1,102 @@
+"""Error-path coverage across modules: every guard must actually guard."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.mbm import BandwidthMonitor
+from repro.config import ClusterConfig, NodeConfig, small_cluster
+from repro.experiments.runner import SimulationRunner
+from repro.metrics.collector import MetricsCollector
+from repro.perfmodel.stages import TrainSetup
+from repro.schedulers.fifo import FifoScheduler
+from repro.workload.job import GpuJob
+
+
+def _runner():
+    return SimulationRunner(
+        Cluster(small_cluster(nodes=1)), FifoScheduler(), sample_interval_s=60.0
+    )
+
+
+def _gpu(job_id="g1", iters=100):
+    return GpuJob(
+        job_id=job_id,
+        tenant_id=1,
+        submit_time=0.0,
+        model_name="resnet50",
+        setup=TrainSetup(1, 1),
+        requested_cpus=2,
+        total_iterations=iters,
+    )
+
+
+class TestRunnerGuards:
+    def test_resize_to_zero_cores_rejected(self):
+        runner = _runner()
+        runner.submit_at(0.0, _gpu())
+        runner.engine.run(until=1.0)
+        with pytest.raises(ValueError):
+            runner.resize_gpu_job_cores("g1", 0)
+
+    def test_utilization_of_unknown_job_raises(self):
+        with pytest.raises(KeyError):
+            _runner().gpu_job_utilization("ghost")
+
+    def test_expected_utilization_of_unknown_job_raises(self):
+        with pytest.raises(KeyError):
+            _runner().gpu_job_expected_utilization("ghost")
+
+    def test_halve_unknown_cpu_job_raises(self):
+        with pytest.raises(KeyError):
+            _runner().halve_cpu_job_cores("ghost")
+
+    def test_preempt_unknown_job_raises(self):
+        with pytest.raises(RuntimeError):
+            _runner().preempt_job("ghost", preserve_progress=False, reason="x")
+
+    def test_throttle_on_node_without_mba_returns_false(self):
+        cluster = Cluster(
+            ClusterConfig(node_groups=((1, NodeConfig(mba_supported=False)),))
+        )
+        runner = SimulationRunner(
+            cluster, FifoScheduler(), sample_interval_s=60.0
+        )
+        assert runner.throttle_cpu_job("any", 0) is False
+
+
+class TestCollectorGuards:
+    def test_started_before_submitted_raises(self):
+        collector = MetricsCollector()
+        with pytest.raises(KeyError):
+            collector.job_started("ghost", 0.0, 2)
+
+    def test_finished_before_submitted_raises(self):
+        collector = MetricsCollector()
+        with pytest.raises(KeyError):
+            collector.job_finished("ghost", 0.0)
+
+
+class TestMonitorGuards:
+    def test_update_demand_of_unknown_job_raises(self):
+        monitor = BandwidthMonitor(100.0)
+        with pytest.raises(KeyError):
+            monitor.update_demand("ghost", 5.0)
+
+    def test_set_cap_of_unknown_job_raises(self):
+        monitor = BandwidthMonitor(100.0)
+        with pytest.raises(KeyError):
+            monitor.set_cap("ghost", 5.0)
+
+    def test_usage_of_unknown_job_raises(self):
+        with pytest.raises(KeyError):
+            BandwidthMonitor(100.0).usage_of("ghost")
+
+
+class TestClusterGuards:
+    def test_allocation_of_unknown_job_raises(self, tiny_cluster):
+        with pytest.raises(KeyError):
+            tiny_cluster.allocation_of("ghost")
+
+    def test_allocate_on_missing_node_raises(self, tiny_cluster):
+        with pytest.raises(IndexError):
+            tiny_cluster.allocate("j", [(99, 1, 0)])

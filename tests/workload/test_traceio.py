@@ -1,0 +1,66 @@
+"""Trace persistence round trips."""
+
+import json
+
+import pytest
+
+from repro.workload.tracegen import TraceConfig, generate_trace
+from repro.workload.traceio import load_trace, save_trace
+
+
+@pytest.fixture
+def small_trace():
+    return generate_trace(TraceConfig(duration_days=0.1, seed=21))
+
+
+class TestRoundTrip:
+    def test_jobs_survive_round_trip(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(small_trace, path)
+        loaded = load_trace(path)
+        assert len(loaded.jobs) == len(small_trace.jobs)
+        for original, restored in zip(small_trace.jobs, loaded.jobs):
+            assert original == restored
+
+    def test_config_survives_round_trip(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(small_trace, path)
+        assert load_trace(path).config == small_trace.config
+
+    def test_file_is_jsonl(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(small_trace, path)
+        with path.open() as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_header_carries_format_version(self, small_trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(small_trace, path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format_version"] == 1
+
+
+class TestErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format_version": 99, "config": {}}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_unknown_kind_rejected(self, small_trace, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_trace(small_trace, path)
+        lines = path.read_text().splitlines()
+        corrupted = json.loads(lines[1])
+        corrupted["kind"] = "quantum"
+        lines[1] = json.dumps(corrupted)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)

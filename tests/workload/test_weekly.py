@@ -1,0 +1,70 @@
+"""Weekly (weekend-dip) arrival structure."""
+
+import pytest
+
+from repro.sim.clock import DAY, WEEK
+from repro.workload.arrivals import DiurnalRate
+from repro.workload.tracegen import TraceConfig, generate_trace
+
+
+class TestWeekendFactor:
+    def test_default_has_no_weekly_structure(self):
+        rate = DiurnalRate(base_per_s=1.0)
+        assert rate(0.0) == rate(5.5 * DAY)
+
+    def test_weekend_days_are_scaled(self):
+        rate = DiurnalRate(base_per_s=1.0, weekend_factor=0.5)
+        weekday = rate(2 * DAY)
+        weekend = rate(5.5 * DAY)
+        assert weekend == pytest.approx(0.5 * weekday)
+
+    def test_weekly_cycle_repeats(self):
+        rate = DiurnalRate(base_per_s=1.0, weekend_factor=0.5)
+        assert rate(5.5 * DAY) == rate(5.5 * DAY + WEEK)
+        assert rate(1.0 * DAY) == rate(1.0 * DAY + WEEK)
+
+    def test_weekend_boundaries(self):
+        rate = DiurnalRate(base_per_s=1.0, weekend_factor=0.5)
+        assert rate(5 * DAY + 1.0) == pytest.approx(0.5)
+        assert rate(5 * DAY - 1.0) == pytest.approx(1.0)
+        assert rate(7 * DAY + 1.0) == pytest.approx(1.0)
+
+    def test_composes_with_diurnal_swing(self):
+        rate = DiurnalRate(base_per_s=1.0, amplitude=0.5, weekend_factor=0.5)
+        weekday_peak = rate(DAY / 4)
+        weekend_peak = rate(5 * DAY + DAY / 4)
+        assert weekend_peak == pytest.approx(0.5 * weekday_peak)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(base_per_s=1.0, weekend_factor=0.0)
+        with pytest.raises(ValueError):
+            DiurnalRate(base_per_s=1.0, weekend_factor=1.5)
+
+
+class TestTraceWeekendDip:
+    def test_weekend_cpu_arrivals_dip(self):
+        config = TraceConfig(
+            duration_days=7.0,
+            gpu_jobs_per_day=0.0,
+            cpu_jobs_per_day=2000.0,
+            weekend_factor=0.5,
+            seed=33,
+        )
+        trace = generate_trace(config)
+        weekday = [j for j in trace.cpu_jobs if (j.submit_time % WEEK) < 5 * DAY]
+        weekend = [j for j in trace.cpu_jobs if (j.submit_time % WEEK) >= 5 * DAY]
+        weekday_rate = len(weekday) / 5.0
+        weekend_rate = len(weekend) / 2.0
+        assert weekend_rate == pytest.approx(0.5 * weekday_rate, rel=0.15)
+
+    def test_weekend_factor_round_trips_through_traceio(self, tmp_path):
+        from repro.workload.traceio import load_trace, save_trace
+
+        config = TraceConfig(
+            duration_days=0.1, weekend_factor=0.7, seed=1
+        )
+        trace = generate_trace(config)
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path).config.weekend_factor == 0.7
