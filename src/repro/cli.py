@@ -23,6 +23,7 @@ from repro.experiments.scenarios import (
     run_scenario,
     small_scenario,
 )
+from repro.faults import FaultConfig
 from repro.metrics.report import render_table
 from repro.metrics.stats import fraction_at_most, fraction_exceeding
 from repro.perfmodel.bandwidth import memory_bandwidth_demand
@@ -60,6 +61,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--days", type=float, default=0.25, help="trace length")
     run.add_argument("--seed", type=int, default=0, help="trace seed")
+    run.add_argument(
+        "--mtbf", type=float, default=0.0, metavar="HOURS",
+        help="per-node crash MTBF in hours; 0 disables fault injection "
+        "(default: 0)",
+    )
+    run.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault injector's RNG streams (default: 0)",
+    )
 
     compare = sub.add_parser(
         "compare", help="run FIFO, DRF, and CODA on the same trace"
@@ -95,11 +105,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
     else:
         scenario = small_scenario(duration_days=args.days, seed=args.seed)
+    faults_on = args.mtbf > 0
+    if faults_on:
+        scenario = scenario.with_faults(
+            FaultConfig(seed=args.fault_seed, node_mtbf_s=args.mtbf * 3600.0)
+        )
     print(
         f"Simulating {scenario.trace_config.duration_days:g} day(s) on "
         f"{scenario.cluster_config.num_nodes} nodes / "
         f"{scenario.cluster_config.total_gpus} GPUs under "
-        f"{args.policy.upper()} (seed {args.seed}) ..."
+        f"{args.policy.upper()} (seed {args.seed}"
+        + (f", node MTBF {args.mtbf:g} h, fault seed {args.fault_seed}"
+           if faults_on else "")
+        + ") ..."
     )
     result = run_scenario(scenario, _POLICIES[args.policy]())
     collector = result.collector
@@ -132,7 +150,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ),
                 ("preemptions", result.preemptions),
                 ("simulation events", result.events_fired),
-            ],
+            ]
+            + (
+                [
+                    ("node failures", collector.faults.node_failures),
+                    ("job restarts", result.restarts),
+                    (
+                        "node downtime",
+                        f"{result.node_downtime_s / 3600.0:.2f} h",
+                    ),
+                    (
+                        "lost GPU iterations",
+                        f"{collector.faults.lost_gpu_iterations:.0f}",
+                    ),
+                    (
+                        "lost CPU seconds",
+                        f"{collector.faults.lost_cpu_seconds:.0f}",
+                    ),
+                ]
+                if faults_on
+                else []
+            ),
             title=f"\n{args.policy.upper()} summary:",
         )
     )

@@ -25,16 +25,38 @@ class Gpu:
             while owned.  Kept on the device so monitors (and the contention
             eliminator, which watches for utilization drops) can read it
             without reaching into the job.
+        failed: True while the device is broken (fault injection); a failed
+            GPU is neither free nor assignable until repaired.
     """
 
     gpu_id: int
     model_name: str = "GTX-1080Ti"
     owner: Optional[str] = field(default=None)
     utilization: float = field(default=0.0)
+    failed: bool = field(default=False)
 
     @property
     def is_free(self) -> bool:
-        return self.owner is None
+        return self.owner is None and not self.failed
+
+    def mark_failed(self) -> None:
+        """Take the device out of service.
+
+        Raises:
+            RuntimeError: if still owned — the owner must be evicted first
+                so the job's restart bookkeeping happens exactly once.
+        """
+        if self.owner is not None:
+            raise RuntimeError(
+                f"GPU {self.gpu_id} still owned by {self.owner}; evict the "
+                "owner before failing the device"
+            )
+        self.failed = True
+        self.utilization = 0.0
+
+    def repair(self) -> None:
+        """Return the device to service. Idempotent."""
+        self.failed = False
 
     def assign(self, job_id: str) -> None:
         """Give the device to ``job_id``.
@@ -48,6 +70,10 @@ class Gpu:
             raise RuntimeError(
                 f"GPU {self.gpu_id} already owned by {self.owner}, "
                 f"cannot assign to {job_id}"
+            )
+        if self.failed:
+            raise RuntimeError(
+                f"GPU {self.gpu_id} is failed, cannot assign to {job_id}"
             )
         self.owner = job_id
 

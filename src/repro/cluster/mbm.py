@@ -46,6 +46,41 @@ class BandwidthMonitor:
             raise ValueError(f"bandwidth capacity must be positive: {capacity_gbps}")
         self.capacity_gbps = float(capacity_gbps)
         self._usages: Dict[str, BandwidthUsage] = {}
+        self._outage_until = float("-inf")
+        self._last_sample_time: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Telemetry health (fault injection)
+
+    def begin_outage(self, until: float) -> None:
+        """Blind the monitor until ``until`` (simulated MBM dropout).
+
+        Overlapping outages extend rather than shorten each other; the
+        arbitration below keeps running on ground truth — only *readings*
+        are withheld, which is exactly what a dead perf counter does.
+        """
+        self._outage_until = max(self._outage_until, until)
+
+    def telemetry_up(self, now: float) -> bool:
+        return now >= self._outage_until
+
+    def observe(self, now: float) -> Optional[float]:
+        """Read total bandwidth pressure, or ``None`` during an outage.
+
+        Successful reads refresh the sample timestamp that
+        :meth:`sample_age` reports, so consumers can distinguish "briefly
+        blind" from "stale beyond trust".
+        """
+        if not self.telemetry_up(now):
+            return None
+        self._last_sample_time = now
+        return self.pressure
+
+    def sample_age(self, now: float) -> float:
+        """Seconds since the last successful read (inf if never read)."""
+        if self._last_sample_time is None:
+            return float("inf")
+        return now - self._last_sample_time
 
     # ------------------------------------------------------------------ #
     # Registration

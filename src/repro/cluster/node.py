@@ -73,6 +73,33 @@ class Node:
         self.llc_occupancy_mb: Dict[str, float] = {}
         self._shares: Dict[str, NodeShare] = {}
         self._used_cpus = 0
+        self._up = True
+
+    # ------------------------------------------------------------------ #
+    # Availability (fault injection)
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def mark_down(self) -> None:
+        """Take the whole node out of service (simulated crash).
+
+        Raises:
+            RuntimeError: if jobs still hold shares here — the runner must
+                fail/evict them first so every displaced job goes through
+                exactly one restart path.
+        """
+        if self._shares:
+            raise RuntimeError(
+                f"node {self.node_id} still hosts {sorted(self._shares)}; "
+                "evict residents before marking it down"
+            )
+        self._up = False
+
+    def mark_up(self) -> None:
+        """Return a crashed node to service. Idempotent."""
+        self._up = True
 
     # ------------------------------------------------------------------ #
     # Capacity queries
@@ -91,10 +118,14 @@ class Node:
 
     @property
     def free_cpus(self) -> int:
+        if not self._up:
+            return 0
         return self.config.cores - self._used_cpus
 
     @property
     def free_gpu_ids(self) -> List[int]:
+        if not self._up:
+            return []
         return [gpu.gpu_id for gpu in self.gpus if gpu.is_free]
 
     @property
@@ -103,13 +134,15 @@ class Node:
 
     @property
     def used_gpus(self) -> int:
-        return self.total_gpus - self.free_gpus
+        return sum(1 for gpu in self.gpus if gpu.owner is not None)
 
     @property
     def free_vector(self) -> ResourceVector:
         return ResourceVector(cpus=self.free_cpus, gpus=self.free_gpus)
 
     def can_fit(self, cpus: int, gpus: int) -> bool:
+        if not self._up:
+            return False
         return cpus <= self.free_cpus and gpus <= self.free_gpus
 
     def jobs_here(self) -> List[str]:
@@ -177,6 +210,21 @@ class Node:
         )
         self._shares[job_id] = new_share
         return new_share
+
+    # ------------------------------------------------------------------ #
+    # Device failures (fault injection)
+
+    def fail_gpu(self, gpu_id: int) -> None:
+        """Break one GPU; its (already evicted) slot disappears from the
+        free pool until :meth:`repair_gpu`."""
+        self.gpus[gpu_id].mark_failed()
+
+    def repair_gpu(self, gpu_id: int) -> None:
+        self.gpus[gpu_id].repair()
+
+    @property
+    def failed_gpu_ids(self) -> List[int]:
+        return [gpu.gpu_id for gpu in self.gpus if gpu.failed]
 
     # ------------------------------------------------------------------ #
     # Contention-resource registration

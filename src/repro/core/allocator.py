@@ -146,6 +146,20 @@ class AdaptiveCpuAllocator:
         else:
             self._known_cores.setdefault(job.job_id, current_cores)
 
+    def on_job_failed(self, job: GpuJob) -> None:
+        """The job was killed by an infrastructure failure.
+
+        Unlike a migration, a crash invalidates the search: the samples
+        behind a half-finished session measured a node that no longer
+        exists, and even a settled allocation may not suit wherever the
+        job restarts.  Abort the session and drop the tuned cores so the
+        restarted job re-derives N_start and profiles afresh.
+        """
+        active = self._active.pop(job.job_id, None)
+        if active is not None and active.event_handle is not None:
+            active.event_handle.cancel()
+        self._known_cores.pop(job.job_id, None)
+
     def tuned_cores(self, job_id: str) -> Optional[int]:
         return self._known_cores.get(job_id)
 

@@ -118,6 +118,19 @@ class CodaScheduler(MultiArrayScheduler):
             self.eliminator.forget_job(job.job_id)
         super().job_preempted(job, now, preserve_progress=preserve_progress)
 
+    def job_failed(self, job: Job, now: float) -> None:
+        """Failure path: unlike a migration, the allocator aborts any
+        in-flight profiling search and forgets the tuned cores, so the
+        restarted job falls back to N_start (Sec. V-B) on whatever node it
+        lands on next."""
+        if isinstance(job, GpuJob):
+            self.allocator.on_job_failed(job)
+            self.eliminator.forget_job(job.job_id)
+        # Skip CodaScheduler.job_preempted (it would stash tuned cores);
+        # the multi-array re-queue below still lands the job at its array
+        # head.
+        super().job_preempted(job, now, preserve_progress=False)
+
     def _final_cores(self, job: GpuJob) -> Optional[int]:
         """The per-node cores the job last ran with, if discoverable."""
         tuned = self.allocator.tuned_cores(job.job_id)

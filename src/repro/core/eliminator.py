@@ -34,6 +34,11 @@ class EliminatorConfig:
     #: "bandwidth-intensive programs" (Sec. VI-E) worth restricting; below
     #: it the pressure is the trainers' own, which Sec. IV-C deems benign.
     min_victim_share: float = 0.08
+    #: How old an MBM reading may be before the eliminator refuses to act
+    #: on it.  During a telemetry dropout the node keeps its last sample;
+    #: once that sample ages past this window the node is skipped entirely
+    #: (no throttles, no halvings, no releases) until telemetry returns.
+    staleness_window_s: float = 60.0
     enabled: bool = True
 
     def __post_init__(self) -> None:
@@ -51,6 +56,10 @@ class EliminatorConfig:
             raise ValueError(
                 f"min_victim_share out of [0, 1]: {self.min_victim_share}"
             )
+        if self.staleness_window_s < 0:
+            raise ValueError(
+                f"negative staleness window: {self.staleness_window_s}"
+            )
 
 
 @dataclass
@@ -60,18 +69,33 @@ class ContentionEliminator:
     config: EliminatorConfig = field(default_factory=EliminatorConfig)
     throttle_actions: int = 0
     halving_actions: int = 0
+    #: Ticks on which a node was skipped for stale/missing telemetry.
+    stale_skips: int = 0
     _peak_util: Dict[str, float] = field(default_factory=dict)
     _armed: bool = field(default=False)
+    _tick_handle: Optional[object] = field(default=None)
 
     def start(self, context: SchedulerContext) -> None:
-        """Arm the periodic monitor (idempotent, no-op when disabled)."""
+        """Arm the periodic monitor (idempotent, no-op when disabled).
+
+        Re-armable: after :meth:`stop` (a simulated controller reset), a
+        fresh ``start`` resumes the loop.
+        """
         if not self.config.enabled or self._armed:
             return
         self._armed = True
         self._arm(context)
 
+    def stop(self) -> None:
+        """Disarm the monitor: cancel the pending tick and allow a later
+        :meth:`start` to re-arm.  Idempotent."""
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+        self._armed = False
+
     def _arm(self, context: SchedulerContext) -> None:
-        context.schedule_event(
+        self._tick_handle = context.schedule_event(
             self.config.monitor_interval_s,
             lambda: self._tick(context),
             tag="eliminator-tick",
@@ -79,13 +103,27 @@ class ContentionEliminator:
 
     def _tick(self, context: SchedulerContext) -> None:
         for node in context.cluster.nodes:
+            if not node.is_up:
+                continue
             self._check_node(node, context)
         self._arm(context)
 
     # ------------------------------------------------------------------ #
 
     def _check_node(self, node, context: SchedulerContext) -> None:
-        pressure = node.bandwidth.pressure
+        pressure = node.bandwidth.observe(context.now)
+        if pressure is None:
+            # Telemetry dropout.  A reading within the staleness window is
+            # still trusted (the monitor's arbitration state has not moved
+            # far); beyond it, acting would mean acting on garbage — skip
+            # the node until its MBM comes back.
+            if (
+                node.bandwidth.sample_age(context.now)
+                > self.config.staleness_window_s
+            ):
+                self.stale_skips += 1
+                return
+            pressure = node.bandwidth.pressure
         if pressure < self.config.bandwidth_threshold:
             self._relax_node(node, context)
             return

@@ -19,6 +19,13 @@ Cross-array elasticity:
   (preempted with progress preserved — containerized checkpoint/restore)
   and re-queued at its array head;
 * a big GPU job overflows into the 1-GPU sub-array when its own is full.
+
+Failure resilience: a job displaced by an infrastructure failure (node
+crash, GPU failure) takes the same abort/re-queue path as a preempted
+borrower — :meth:`job_preempted` puts it back at its array head, so it is
+the next of its kind to run once capacity returns.  Whether any progress
+survived (checkpoint-restart for trainers) is decided by the runner, not
+the queues.
 """
 
 from __future__ import annotations

@@ -10,6 +10,7 @@ from repro.experiments.auditlog import AuditLog, AuditRecord
 from repro.experiments.runner import RunResult, SimulationRunner
 from repro.experiments.scenarios import (
     paper_scale_scenario,
+    run_mtbf_sweep,
     small_scenario,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "RunResult",
     "SimulationRunner",
     "paper_scale_scenario",
+    "run_mtbf_sweep",
     "small_scenario",
 ]

@@ -75,6 +75,8 @@ class _RunningCpu:
     speed: float
     last_update: float
     completion: EventHandle
+    #: Fault-injected slowdown (1.0 = healthy); multiplies the speed.
+    straggle_factor: float = 1.0
 
 
 @dataclass
@@ -88,6 +90,10 @@ class RunResult:
     finished_cpu_jobs: int = 0
     preemptions: int = 0
     events_fired: int = 0
+    #: Jobs killed and re-queued by infrastructure failures.
+    restarts: int = 0
+    #: Total node downtime over the horizon (still-open outages included).
+    node_downtime_s: float = 0.0
 
 
 class SimulationRunner(SchedulerContext):
@@ -103,6 +109,7 @@ class SimulationRunner(SchedulerContext):
         engine: Optional[Engine] = None,
         collector: Optional[MetricsCollector] = None,
         audit: Optional["AuditLog"] = None,
+        fault_injector=None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError(f"non-positive sample interval: {sample_interval_s}")
@@ -111,6 +118,7 @@ class SimulationRunner(SchedulerContext):
         self.engine = engine or Engine()
         self.collector = collector or MetricsCollector()
         self.audit = audit
+        self.fault_injector = fault_injector
         self._sample_interval_s = sample_interval_s
         self._running_gpu: Dict[str, _RunningGpu] = {}
         self._running_cpu: Dict[str, _RunningCpu] = {}
@@ -119,6 +127,8 @@ class SimulationRunner(SchedulerContext):
         self._preemptions = 0
         self._sampling = False
         scheduler.attach(self)
+        if fault_injector is not None:
+            fault_injector.attach(self)
         if trace is not None:
             self.load_trace(trace)
 
@@ -162,6 +172,10 @@ class SimulationRunner(SchedulerContext):
             finished_cpu_jobs=len(self.collector.finished_records(JobKind.CPU)),
             preemptions=self._preemptions,
             events_fired=self.engine.fired,
+            restarts=self.collector.faults.restarts,
+            node_downtime_s=self.collector.faults.downtime_through(
+                self.engine.now
+            ),
         )
 
     def _audit(self, event: str, job: Job, **detail: object) -> None:
@@ -471,7 +485,9 @@ class SimulationRunner(SchedulerContext):
             bw_factor = grant
         else:
             bw_factor = (1.0 - ORDINARY_CPU_BW_BOUND) + ORDINARY_CPU_BW_BOUND * grant
-        record.speed = max(1e-9, core_factor * bw_factor)
+        record.speed = max(
+            1e-9, core_factor * bw_factor * record.straggle_factor
+        )
         remaining = record.job.duration_s - record.work_done
         if record.completion is not None:
             record.completion.cancel()
@@ -561,6 +577,131 @@ class SimulationRunner(SchedulerContext):
         self.scheduler.job_preempted(
             job, self.engine.now, preserve_progress=preserve
         )
+        self._refresh_nodes(touched)
+
+    # ------------------------------------------------------------------ #
+    # Infrastructure failures (driven by a FaultInjector)
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash a node: kill every resident job, then take the node out
+        of the free pool until :meth:`recover_node`.
+
+        Training jobs restart from their last checkpoint; CPU jobs restart
+        from scratch.  Both re-enter their array head via the scheduler's
+        ``job_failed`` hook.  A multi-node gang dies whole — iterations
+        cannot proceed minus one participant — and its surviving nodes are
+        freed immediately.
+        """
+        node = self.cluster.node(node_id)
+        if not node.is_up:
+            return
+        for job_id in sorted(node.jobs_here()):
+            self._execute_failure(job_id, reason=f"node {node_id} crashed")
+        node.mark_down()
+        self.collector.faults.node_failures += 1
+        self.collector.faults.node_down(node_id, self.engine.now)
+        self.request_schedule()
+
+    def recover_node(self, node_id: int) -> None:
+        """Return a crashed node to service; queued jobs may use it on the
+        next scheduling pass."""
+        node = self.cluster.node(node_id)
+        if node.is_up:
+            return
+        node.mark_up()
+        self.collector.faults.node_up(node_id, self.engine.now)
+        self.request_schedule()
+
+    def fail_gpu(self, node_id: int, gpu_id: int) -> None:
+        """Break a single GPU; its owner (if any) takes the failure path."""
+        node = self.cluster.node(node_id)
+        gpu = node.gpus[gpu_id]
+        if gpu.failed:
+            return
+        owner = gpu.owner
+        if owner is not None:
+            self._execute_failure(
+                owner, reason=f"gpu {node_id}:{gpu_id} failed"
+            )
+        node.fail_gpu(gpu_id)
+        self.collector.faults.gpu_failures += 1
+        self.request_schedule()
+
+    def repair_gpu(self, node_id: int, gpu_id: int) -> None:
+        self.cluster.node(node_id).repair_gpu(gpu_id)
+        self.request_schedule()
+
+    def begin_telemetry_outage(self, node_id: int, duration_s: float) -> None:
+        """Blind a node's MBM for ``duration_s``; the eliminator's
+        staleness window decides when that blindness becomes distrust."""
+        self.cluster.node(node_id).bandwidth.begin_outage(
+            self.engine.now + duration_s
+        )
+        self.collector.faults.telemetry_dropouts += 1
+
+    def running_cpu_job_ids(self) -> List[str]:
+        return list(self._running_cpu)
+
+    def apply_cpu_straggler(
+        self, job_id: str, *, factor: float, duration_s: float
+    ) -> None:
+        """Slow a running CPU job to ``factor`` of its speed for a while."""
+        record = self._running_cpu.get(job_id)
+        if record is None:
+            return
+        record.straggle_factor = factor
+        self.collector.faults.stragglers += 1
+        self._audit("straggler", record.job, factor=factor)
+        self._reprice_cpu(record)
+        self.engine.schedule_in(
+            duration_s,
+            lambda: self._end_straggler(job_id, record),
+            priority=EventPriority.MONITOR,
+            tag=f"straggler-end:{job_id}",
+        )
+
+    def _end_straggler(self, job_id: str, record: _RunningCpu) -> None:
+        # Only heal the same incarnation: if the job finished or restarted
+        # meanwhile, the stale handle must not touch the new record.
+        if self._running_cpu.get(job_id) is not record:
+            return
+        record.straggle_factor = 1.0
+        self._reprice_cpu(record)
+
+    def _execute_failure(self, job_id: str, *, reason: str) -> None:
+        """Kill one running job because its hardware failed."""
+        now = self.engine.now
+        if job_id in self._running_gpu:
+            gpu_record = self._running_gpu.pop(job_id)
+            self._accrue(gpu_record, now)
+            gpu_record.completion.cancel()
+            checkpoint = gpu_record.job.checkpointed_iterations(
+                gpu_record.work_done
+            )
+            self.collector.faults.lost_gpu_iterations += max(
+                0.0, gpu_record.work_done - checkpoint
+            )
+            if checkpoint > 0:
+                self._stashed_progress[job_id] = checkpoint
+            else:
+                self._stashed_progress.pop(job_id, None)
+            allocation = self.cluster.release(job_id)
+            touched = set(allocation.node_ids)
+            job: Job = gpu_record.job
+        elif job_id in self._running_cpu:
+            cpu_record = self._running_cpu.pop(job_id)
+            self._accrue(cpu_record, now)
+            cpu_record.completion.cancel()
+            self.collector.faults.lost_cpu_seconds += cpu_record.work_done
+            allocation = self.cluster.release(job_id)
+            touched = set(allocation.node_ids)
+            job = cpu_record.job
+        else:
+            return  # already gone (e.g., completed at this same instant)
+        self.collector.faults.restarts += 1
+        self.collector.job_failed(job_id, now)
+        self._audit("failed", job, reason=reason)
+        self.scheduler.job_failed(job, now)
         self._refresh_nodes(touched)
 
     # ------------------------------------------------------------------ #

@@ -10,13 +10,14 @@ Two scales:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig, paper_cluster, small_cluster
 from repro.core.coda import CodaConfig, CodaScheduler
 from repro.experiments.runner import RunResult, SimulationRunner
+from repro.faults import FaultConfig, FaultInjector
 from repro.schedulers.base import Scheduler
 from repro.schedulers.drf import DrfScheduler
 from repro.schedulers.fifo import FifoScheduler
@@ -31,6 +32,9 @@ class Scenario:
     trace_config: TraceConfig
     #: Extra simulated time after the last arrival so in-flight jobs drain.
     drain_s: float = 0.0
+    #: Optional infrastructure-failure model; None = perfectly reliable
+    #: hardware (the seed reproduction's original assumption).
+    fault_config: Optional[FaultConfig] = None
 
     @property
     def horizon_s(self) -> float:
@@ -41,6 +45,15 @@ class Scenario:
 
     def build_trace(self) -> Trace:
         return generate_trace(self.trace_config)
+
+    def build_fault_injector(self) -> Optional[FaultInjector]:
+        if self.fault_config is None or not self.fault_config.any_channel_active:
+            return None
+        return FaultInjector(self.fault_config)
+
+    def with_faults(self, fault_config: FaultConfig) -> "Scenario":
+        """The same workload on the same cluster, but hardware breaks."""
+        return replace(self, fault_config=fault_config)
 
 
 #: Calibrated arrival rates for the evaluation scenario.  The paper's raw
@@ -121,6 +134,7 @@ def run_scenario(
         scheduler,
         scenario.build_trace(),
         sample_interval_s=sample_interval_s,
+        fault_injector=scenario.build_fault_injector(),
     )
     return runner.run(until=scenario.horizon_s)
 
@@ -136,5 +150,41 @@ def run_comparison(
     for name, factory in default_schedulers(coda_config).items():
         results[name] = run_scenario(
             scenario, factory(), sample_interval_s=sample_interval_s
+        )
+    return results
+
+
+def run_mtbf_sweep(
+    scenario: Scenario,
+    mtbf_hours: Sequence[float],
+    *,
+    scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+    fault_seed: int = 0,
+    node_mttr_s: float = 1800.0,
+    sample_interval_s: float = 300.0,
+) -> Dict[float, RunResult]:
+    """Sweep the per-node crash MTBF over the same workload.
+
+    Every point replays the identical trace under a harsher (smaller MTBF)
+    or gentler failure schedule, isolating how much goodput the recovery
+    path gives back.  ``mtbf_hours`` of 0 or ``inf`` means no faults — the
+    control point.  The fault seed is held fixed so schedules at different
+    MTBFs differ only in rate, not in which RNG streams exist.
+    """
+    factory = scheduler_factory or CodaScheduler
+    results: Dict[float, RunResult] = {}
+    for hours in mtbf_hours:
+        if hours <= 0 or hours == float("inf"):
+            point = replace(scenario, fault_config=None)
+        else:
+            point = scenario.with_faults(
+                FaultConfig(
+                    seed=fault_seed,
+                    node_mtbf_s=hours * 3600.0,
+                    node_mttr_s=node_mttr_s,
+                )
+            )
+        results[hours] = run_scenario(
+            point, factory(), sample_interval_s=sample_interval_s
         )
     return results

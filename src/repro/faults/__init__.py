@@ -1,0 +1,29 @@
+"""Deterministic fault injection.
+
+CODA's production setting (Sec. VI) is an 80-node cluster where hardware
+breaks: the Philly trace study (Jeon et al.) found infrastructure failures
+to be a dominant source of wasted GPU-hours in exactly this class of
+cluster.  This package injects that reality into the simulation:
+
+* **node crashes** — every resident job is killed and re-queued at its
+  array head; training jobs restart from their last checkpoint, CPU jobs
+  from scratch; the node returns after a repair delay;
+* **single-GPU failures** — the owning job (if any) is killed the same
+  way; the device alone leaves the free pool until repaired;
+* **MBM telemetry dropouts** — a node's bandwidth monitor goes blind for a
+  while; the contention eliminator degrades gracefully, skipping nodes
+  whose last sample is stale beyond its trust window;
+* **CPU-job stragglers** — a running CPU job's speed collapses for a
+  while, the way a failing disk or a noisy neighbour manifests in
+  practice.
+
+Everything is driven by named seeded RNG streams
+(:mod:`repro.sim.rng`), so a given ``(trace seed, fault seed)`` pair
+replays the exact same failure schedule — restart counts, makespans, and
+queue contents included.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultConfig", "FaultInjector"]

@@ -1,0 +1,79 @@
+"""Fault-injection configuration.
+
+All channels are opt-in: a rate of ``None`` disables that channel, and the
+default config injects nothing, so failure-free runs are byte-identical to
+the library without this package.  Mean times are per *unit* (per node,
+per GPU); event gaps are drawn exponentially, the standard memoryless
+failure model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Knobs of the fault injector; see :class:`~repro.faults.injector.FaultInjector`."""
+
+    #: Root seed of the injector's RNG streams (independent of the trace
+    #: seed, so the same workload can be replayed under many failure
+    #: schedules and vice versa).
+    seed: int = 0
+
+    #: Mean time between crashes, per node.  None disables node crashes.
+    node_mtbf_s: Optional[float] = None
+    #: Repair time of a crashed node.
+    node_mttr_s: float = 1800.0
+
+    #: Mean time between failures, per GPU.  None disables GPU failures.
+    gpu_mtbf_s: Optional[float] = None
+    #: Repair (swap) time of a failed GPU.
+    gpu_mttr_s: float = 3600.0
+
+    #: Mean time between MBM telemetry dropouts, per node.  None disables.
+    telemetry_mtbf_s: Optional[float] = None
+    #: Length of one telemetry blackout window.
+    telemetry_outage_s: float = 120.0
+
+    #: Mean time between straggler episodes, cluster-wide.  None disables.
+    straggler_interval_s: Optional[float] = None
+    #: Speed multiplier applied to the afflicted CPU job (0 < factor < 1).
+    straggler_factor: float = 0.25
+    #: How long one straggler episode lasts.
+    straggler_duration_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        for name in ("node_mtbf_s", "gpu_mtbf_s", "telemetry_mtbf_s",
+                     "straggler_interval_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None: {value}")
+        if self.node_mttr_s <= 0 or self.gpu_mttr_s <= 0:
+            raise ValueError("repair times must be positive")
+        if self.telemetry_outage_s <= 0:
+            raise ValueError(
+                f"non-positive telemetry outage: {self.telemetry_outage_s}"
+            )
+        if not 0.0 < self.straggler_factor < 1.0:
+            raise ValueError(
+                f"straggler_factor out of (0, 1): {self.straggler_factor}"
+            )
+        if self.straggler_duration_s <= 0:
+            raise ValueError(
+                f"non-positive straggler duration: {self.straggler_duration_s}"
+            )
+
+    @property
+    def any_channel_active(self) -> bool:
+        """True when at least one fault channel will ever fire."""
+        return any(
+            rate is not None
+            for rate in (
+                self.node_mtbf_s,
+                self.gpu_mtbf_s,
+                self.telemetry_mtbf_s,
+                self.straggler_interval_s,
+            )
+        )

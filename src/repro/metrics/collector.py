@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.metrics.faults import FaultStats
 from repro.metrics.fragmentation import FragmentationTracker
 from repro.metrics.series import SampledSeries
 from repro.workload.job import Job, JobKind
@@ -26,6 +27,7 @@ class JobRecord:
     finish_time: Optional[float] = None
     start_count: int = 0
     preempt_count: int = 0
+    failure_count: int = 0
     requested_cpus: int = 0
     final_cpus: Optional[int] = None
     gpus: int = 0
@@ -72,6 +74,7 @@ class MetricsCollector:
         self.cpu_queue_depth = SampledSeries("cpu_queue_depth")
         self.hot_nodes = SampledSeries("hot_nodes")
         self.fragmentation = FragmentationTracker()
+        self.faults = FaultStats()
         self.throttle_events = 0
         self.core_halving_events = 0
 
@@ -111,6 +114,10 @@ class MetricsCollector:
 
     def job_preempted(self, job_id: str, now: float) -> None:
         self.records[job_id].preempt_count += 1
+
+    def job_failed(self, job_id: str, now: float) -> None:
+        """The job was killed by an infrastructure failure (not policy)."""
+        self.records[job_id].failure_count += 1
 
     def job_finished(self, job_id: str, now: float) -> None:
         record = self.records[job_id]

@@ -137,6 +137,15 @@ class Scheduler(abc.ABC):
         """A running job was evicted; default: treat like a fresh submit."""
         self.submit(job, now)
 
+    def job_failed(self, job: Job, now: float) -> None:
+        """A running job was killed by an infrastructure failure (node
+        crash, GPU failure).  Default: the same abort/re-queue path as a
+        progress-losing preemption — queue-head policies (the multi-array
+        scheduler) thereby put displaced jobs back at their array head.
+        Any surviving checkpoint progress is the runner's business, not the
+        queue's."""
+        self.job_preempted(job, now, preserve_progress=False)
+
     @abc.abstractmethod
     def schedule(self, cluster: Cluster, now: float) -> List[Decision]:
         """Produce this pass's decisions given current cluster state."""

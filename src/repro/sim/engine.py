@@ -24,6 +24,7 @@ class Engine:
         self._queue: list[Event] = []
         self._seq = 0
         self._fired = 0
+        self._live = 0
         self._running = False
 
     @property
@@ -33,8 +34,12 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): maintained as a counter incremented on schedule and
+        decremented on cancel/pop, never by scanning the heap.
+        """
+        return self._live
 
     @property
     def fired(self) -> int:
@@ -71,7 +76,8 @@ class Engine:
         )
         self._seq += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_in(
         self,
@@ -105,6 +111,8 @@ class Engine:
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)
+        self._live -= 1
+        event.fired = True
         self.clock.advance_to(event.time)
         self._fired += 1
         event.action()
@@ -146,7 +154,13 @@ class Engine:
             self.clock.advance_to(until)
         return self._fired - fired_before
 
+    def _on_handle_cancelled(self, event: Event) -> None:
+        """EventHandle callback: a queued live event just went dead."""
+        self._live -= 1
+
     def _discard_dead(self) -> None:
+        # Dead events were already removed from the live count at cancel
+        # time; here they only leave the heap.
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
 

@@ -48,15 +48,21 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     tag: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    fired: bool = field(compare=False, default=False)
 
 
 class EventHandle:
-    """Cancellation handle returned by :meth:`Engine.schedule`."""
+    """Cancellation handle returned by :meth:`Engine.schedule`.
 
-    __slots__ = ("_event",)
+    ``owner`` (when given) is notified on the cancelled→dead transition so
+    the engine can keep a live-event counter without scanning its heap.
+    """
 
-    def __init__(self, event: Event) -> None:
+    __slots__ = ("_event", "_owner")
+
+    def __init__(self, event: Event, owner: Any = None) -> None:
         self._event = event
+        self._owner = owner
 
     @property
     def time(self) -> float:
@@ -72,8 +78,16 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        """Mark the event dead; the engine will skip it. Idempotent."""
+        """Mark the event dead; the engine will skip it. Idempotent.
+
+        Cancelling an event that already fired is a no-op: the callback
+        cannot be un-run, and the owner's live count must not drift.
+        """
+        if self._event.cancelled or self._event.fired:
+            return
         self._event.cancelled = True
+        if self._owner is not None:
+            self._owner._on_handle_cancelled(self._event)
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"

@@ -115,6 +115,12 @@ class GpuJob(Job):
         total_iterations: training length; wall time follows from the
             performance model at whatever allocation the job runs with.
         hints: optional model information for N_start (Sec. V-B1).
+        checkpoint_interval_iters: the job writes a checkpoint every this
+            many iterations; after an infrastructure failure it restarts
+            from the last completed checkpoint boundary (work past it is
+            lost).  0 means no checkpointing — a failed job restarts from
+            scratch.  Irrelevant while nothing fails, so the default does
+            not perturb failure-free runs.
     """
 
     model_name: str = "resnet50"
@@ -122,6 +128,7 @@ class GpuJob(Job):
     requested_cpus: int = 2
     total_iterations: int = 1000
     hints: JobHints = field(default_factory=JobHints)
+    checkpoint_interval_iters: int = 100
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -130,6 +137,17 @@ class GpuJob(Job):
             raise ValueError(f"{self.job_id}: need at least one core per node")
         if self.total_iterations < 1:
             raise ValueError(f"{self.job_id}: need at least one iteration")
+        if self.checkpoint_interval_iters < 0:
+            raise ValueError(
+                f"{self.job_id}: negative checkpoint interval"
+            )
+
+    def checkpointed_iterations(self, work_done: float) -> float:
+        """Progress that survives a failure at ``work_done`` iterations."""
+        interval = self.checkpoint_interval_iters
+        if interval <= 0:
+            return 0.0
+        return float(int(work_done // interval) * interval)
 
     @property
     def kind(self) -> JobKind:

@@ -32,6 +32,7 @@ def _job_to_dict(job: Job) -> dict:
             "batch": job.setup.batch,
             "requested_cpus": job.requested_cpus,
             "total_iterations": job.total_iterations,
+            "checkpoint_interval_iters": job.checkpoint_interval_iters,
             "hints": {
                 "category_provided": job.hints.category_provided,
                 "uses_pipeline": job.hints.uses_pipeline,
@@ -71,6 +72,9 @@ def _job_from_dict(record: dict) -> Job:
             requested_cpus=record["requested_cpus"],
             total_iterations=record["total_iterations"],
             hints=JobHints(**record["hints"]),
+            checkpoint_interval_iters=record.get(
+                "checkpoint_interval_iters", 100
+            ),
         )
     if kind == "cpu":
         return CpuJob(

@@ -158,3 +158,100 @@ class TestConfig:
             EliminatorConfig(monitor_interval_s=0.0)
         with pytest.raises(ValueError):
             EliminatorConfig(utilization_drop=-0.1)
+
+
+class TestTelemetryStaleness:
+    """During an MBM dropout the eliminator trusts recent samples and
+    refuses to act on stale ones (the acceptance criterion: zero
+    throttle/halving actions beyond the staleness window)."""
+
+    def _hot_context(self):
+        context, node = _context()
+        _setup_node(node, trainer_util=0.5)  # hot node, degraded trainer
+        context.start_job("trainer", 4)
+        return context, node
+
+    def test_stale_node_is_skipped_entirely(self):
+        context, node = self._hot_context()
+        node.bandwidth.begin_outage(float("inf"))  # never sampled, never up
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_all(limit=5)
+        assert context.throttled == []
+        assert context.halved == []
+        assert eliminator.throttle_actions == 0
+        assert eliminator.halving_actions == 0
+        assert eliminator.stale_skips == 5
+
+    def test_stale_node_without_mba_takes_no_halvings_either(self):
+        context, node = _context(mba=False)
+        _setup_node(node, trainer_util=0.5)
+        context.start_job("trainer", 4)
+        node.bandwidth.begin_outage(float("inf"))
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_all(limit=5)
+        assert context.halved == []
+        assert eliminator.halving_actions == 0
+
+    def test_recent_sample_is_still_trusted_during_dropout(self):
+        context, node = self._hot_context()
+        eliminator = ContentionEliminator(
+            config=EliminatorConfig(staleness_window_s=60.0)
+        )
+        eliminator.start(context)
+        context.fire_next()  # t=30: telemetry up, sample taken, throttles
+        assert eliminator.throttle_actions == 1
+        node.bandwidth.begin_outage(float("inf"))
+        context.fire_next()  # t=60: blind, but sample is 30 s old — trusted
+        assert eliminator.stale_skips == 0
+        context.fire_next()  # t=90: hits the inclusive 60 s boundary
+        context.fire_next()  # t=120: 90 s old — beyond the window, skipped
+        assert eliminator.stale_skips >= 1
+
+    def test_throttling_resumes_when_telemetry_returns(self):
+        context, node = self._hot_context()
+        node.bandwidth.begin_outage(100.0)  # blind until t=100
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        context.fire_next()  # t=30
+        context.fire_next()  # t=60
+        context.fire_next()  # t=90
+        assert eliminator.throttle_actions == 0
+        context.fire_next()  # t=120: telemetry back
+        assert eliminator.throttle_actions == 1
+
+
+class TestStopAndRearm:
+    def test_stop_cancels_the_pending_tick(self):
+        context, _ = _context()
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        eliminator.stop()
+        assert context.fire_next() is False  # nothing live to fire
+
+    def test_stop_is_idempotent(self):
+        context, _ = _context()
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        eliminator.stop()
+        eliminator.stop()
+        assert not eliminator._armed
+
+    def test_restart_resumes_the_loop(self):
+        context, node = _context()
+        _setup_node(node, trainer_util=0.5)
+        context.start_job("trainer", 4)
+        eliminator = ContentionEliminator()
+        eliminator.start(context)
+        eliminator.stop()
+        eliminator.start(context)
+        assert context.fire_next()
+        assert eliminator.throttle_actions == 1
+
+    def test_stop_before_start_is_harmless(self):
+        eliminator = ContentionEliminator()
+        eliminator.stop()
+        context, _ = _context()
+        eliminator.start(context)
+        assert len([e for e in context.events if not e[2].cancelled]) == 1

@@ -283,3 +283,64 @@ class TestLifecycleBookkeeping:
         scheduler.submit(_gpu("g4", gpus=4), 0.0)
         scheduler.submit(_cpu("c1"), 0.0)
         assert {j.job_id for j in scheduler.pending_jobs()} == {"g1", "g4", "c1"}
+
+
+class TestBorrowerAbortRecovery:
+    """Aborted CPU borrowers re-enter at the array head and rerun whole
+    (the abort path sets ``preserve_progress=False``)."""
+
+    def test_aborted_borrower_lands_at_queue_head(self):
+        cluster, scheduler = _cluster(), _scheduler()
+        for index in range(8):
+            scheduler.submit(_cpu(f"c{index}", cores=14), 0.0)
+        apply(scheduler, cluster, scheduler.schedule(cluster, 0.0))
+        borrower = next(iter(scheduler._borrowed_cpu))
+        # A same-tenant newcomer queued *before* the abort must end up
+        # behind the re-queued borrower, not ahead of it.
+        scheduler.submit(_cpu("late", cores=14), 1.0)
+        scheduler.submit(_gpu("train", gpus=1, model="alexnet"), 1.0)
+        apply(scheduler, cluster, scheduler.schedule(cluster, 1.0))
+        queue = scheduler._cpu_queues[18]
+        assert queue[0].job_id == borrower
+        assert [j.job_id for j in queue if j.job_id == "late"] == ["late"]
+
+    def test_aborted_borrower_reruns_to_completion(self):
+        from repro.cluster.cluster import Cluster as _Cluster
+        from repro.experiments.runner import SimulationRunner
+        from repro.workload.job import CpuJob as _CpuJob
+
+        cluster = _Cluster(
+            ClusterConfig(
+                node_groups=((2, NodeConfig(gpus=4)), (2, NodeConfig(gpus=8)))
+            )
+        )
+        scheduler = _scheduler()
+        runner = SimulationRunner(cluster, scheduler, sample_interval_s=50.0)
+        for index in range(8):
+            runner.submit_at(
+                0.0,
+                _CpuJob(
+                    job_id=f"c{index}",
+                    tenant_id=18,
+                    submit_time=0.0,
+                    cores=14,
+                    duration_s=300.0,
+                ),
+            )
+        runner.engine.run(until=1.0)
+        assert scheduler._borrowed_cpu
+        borrower = next(iter(scheduler._borrowed_cpu))
+        started_once = runner.collector.records[borrower].start_count
+        assert started_once == 1
+        gpu = _gpu("train", gpus=1, model="alexnet")
+        runner.submit_at(2.0, gpu)
+        runner.engine.run()
+        record = runner.collector.records[borrower]
+        # Aborted (progress dropped), re-queued, restarted, and finished.
+        assert record.preempt_count >= 1
+        assert record.start_count >= 2
+        assert record.finish_time is not None
+        assert all(
+            runner.collector.records[f"c{i}"].finish_time is not None
+            for i in range(8)
+        )

@@ -67,3 +67,20 @@ class TestCharacterize:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFaultFlags:
+    def test_run_with_mtbf_prints_fault_summary(self, capsys):
+        assert main(
+            ["run", "--days", "0.05", "--mtbf", "1.5", "--fault-seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "node MTBF 1.5 h" in out
+        assert "node failures" in out
+        assert "job restarts" in out
+        assert "node downtime" in out
+
+    def test_run_without_mtbf_hides_fault_rows(self, capsys):
+        assert main(["run", "--days", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "node failures" not in out

@@ -70,3 +70,44 @@ class TestDrivers:
             for name, result in results.items()
         }
         assert submitted["fifo"] == submitted["drf"] == submitted["coda"]
+
+
+class TestFaultScenarios:
+    def test_default_scenario_has_no_injector(self):
+        from repro.experiments.scenarios import small_scenario
+
+        scenario = small_scenario(duration_days=0.02)
+        assert scenario.fault_config is None
+        assert scenario.build_fault_injector() is None
+
+    def test_with_faults_builds_fresh_injectors(self):
+        from repro.experiments.scenarios import small_scenario
+        from repro.faults import FaultConfig
+
+        scenario = small_scenario(duration_days=0.02).with_faults(
+            FaultConfig(node_mtbf_s=3600.0)
+        )
+        first, second = (
+            scenario.build_fault_injector(),
+            scenario.build_fault_injector(),
+        )
+        assert first is not None and second is not None
+        assert first is not second
+
+    def test_inert_config_builds_no_injector(self):
+        from repro.experiments.scenarios import small_scenario
+        from repro.faults import FaultConfig
+
+        scenario = small_scenario(duration_days=0.02).with_faults(FaultConfig())
+        assert scenario.build_fault_injector() is None
+
+    def test_mtbf_sweep_control_point_is_fault_free(self):
+        from repro.experiments.scenarios import run_mtbf_sweep, small_scenario
+
+        scenario = small_scenario(duration_days=0.02, nodes=3)
+        results = run_mtbf_sweep(scenario, [0.0, 0.25], fault_seed=4)
+        control, faulty = results[0.0], results[0.25]
+        assert control.collector.faults.node_failures == 0
+        assert control.restarts == 0
+        assert faulty.collector.faults.node_failures > 0
+        assert faulty.node_downtime_s > 0.0

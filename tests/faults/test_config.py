@@ -1,0 +1,42 @@
+"""FaultConfig validation and channel gating."""
+
+import pytest
+
+from repro.faults import FaultConfig
+
+
+class TestValidation:
+    def test_default_config_is_inert(self):
+        assert not FaultConfig().any_channel_active
+
+    def test_any_single_channel_activates(self):
+        assert FaultConfig(node_mtbf_s=3600.0).any_channel_active
+        assert FaultConfig(gpu_mtbf_s=3600.0).any_channel_active
+        assert FaultConfig(telemetry_mtbf_s=3600.0).any_channel_active
+        assert FaultConfig(straggler_interval_s=3600.0).any_channel_active
+
+    @pytest.mark.parametrize(
+        "field", ["node_mtbf_s", "gpu_mtbf_s", "telemetry_mtbf_s",
+                  "straggler_interval_s"]
+    )
+    def test_non_positive_rate_rejected(self, field):
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: 0.0})
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: -1.0})
+
+    def test_non_positive_repair_times_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(node_mttr_s=0.0)
+        with pytest.raises(ValueError):
+            FaultConfig(gpu_mttr_s=-5.0)
+        with pytest.raises(ValueError):
+            FaultConfig(telemetry_outage_s=0.0)
+
+    def test_straggler_factor_must_be_fractional(self):
+        with pytest.raises(ValueError):
+            FaultConfig(straggler_factor=0.0)
+        with pytest.raises(ValueError):
+            FaultConfig(straggler_factor=1.0)
+        with pytest.raises(ValueError):
+            FaultConfig(straggler_duration_s=0.0)

@@ -144,3 +144,65 @@ class TestRunLoop:
         engine.schedule(1.0, lambda: None)
         engine.run()
         assert engine.fired == 1
+
+
+class TestLivePendingCounter:
+    """``Engine.pending`` is a maintained counter, not a heap scan; every
+    transition (schedule, fire, cancel, double-cancel, cancel-after-fire)
+    must keep it exact."""
+
+    def test_counts_schedules_and_fires(self, engine):
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(5)]
+        assert engine.pending == 5
+        engine.run(max_events=2)
+        assert engine.pending == 3
+        engine.run()
+        assert engine.pending == 0
+        assert all(h.time for h in handles)  # keep handles alive
+
+    def test_double_cancel_decrements_once(self, engine):
+        engine.schedule(1.0, lambda: None)
+        handle = engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending == 1
+
+    def test_cancel_after_fire_is_a_noop(self, engine):
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run(max_events=1)
+        assert engine.pending == 1
+        handle.cancel()  # already fired: must not corrupt the counter
+        assert engine.pending == 1
+
+    def test_cancel_inside_callback_counts_once(self, engine):
+        victim = engine.schedule(3.0, lambda: None)
+
+        def kill():
+            victim.cancel()
+            victim.cancel()
+
+        engine.schedule(1.0, kill)
+        assert engine.pending == 2
+        engine.run()
+        assert engine.pending == 0
+
+    def test_counter_matches_heap_under_interleaving(self, engine):
+        import random
+
+        rng = random.Random(42)
+        live = []
+        expected = 0
+        for _ in range(300):
+            if live and rng.random() < 0.4:
+                handle, fired_or_cancelled = live.pop(rng.randrange(len(live)))
+                if not fired_or_cancelled:
+                    handle.cancel()
+                    expected -= 1
+            else:
+                live.append([engine.schedule(rng.uniform(0.1, 50.0), lambda: None), False])
+                expected += 1
+            assert engine.pending == expected
+        fired = engine.run()
+        assert fired == expected
+        assert engine.pending == 0
