@@ -1,0 +1,14 @@
+"""Runtime analysis: machine-checked guardrails over a live simulation.
+
+The static half of the guardrail story lives in ``tools/codalint``; this
+package is the dynamic half — auditors that ride along a run and verify
+the conservation laws the evaluation depends on (see
+``docs/static-analysis.md``).
+"""
+
+from repro.analysis.invariants import (
+    InvariantAuditor,
+    InvariantViolationError,
+)
+
+__all__ = ["InvariantAuditor", "InvariantViolationError"]

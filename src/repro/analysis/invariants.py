@@ -1,0 +1,377 @@
+"""The runtime invariant auditor.
+
+Attaches to a :class:`~repro.sim.engine.Engine` as a post-event observer
+and, at a configurable simulated-time cadence, sweeps the conservation
+laws the evaluation rests on:
+
+* **IV001** — per-node bounds: core/GPU usage never negative, never above
+  capacity, share bookkeeping internally consistent, downed nodes empty;
+* **IV002** — cluster-wide conservation: used + free == total and the sum
+  of all allocations equals the used vector, under allocate/preempt/fault/
+  restart alike;
+* **IV003** — event-clock monotonicity: fired events never move backwards
+  in time;
+* **IV004** — allocation/residency agreement: every cluster allocation is
+  mirrored by node shares and vice versa (no orphaned residents);
+* **IV005** — DRF dominant-share bounds: per-tenant ledger usage stays
+  non-negative and dominant shares stay within [0, 1];
+* **IV006** — throttle-state sanity: MBA throttles only on MBA-capable
+  nodes, only at hardware levels, only on resident jobs.
+
+Because the auditor is an observer — it schedules no events and never
+touches the clock — an audited run is byte-identical to an unaudited one.
+Violations land in the collector's :class:`~repro.metrics.audit.AuditStats`
+(``FaultStats``-style); with ``strict=True`` the first violation raises
+:class:`InvariantViolationError` instead, which is how the CI test run
+fails fast on a conservation bug.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Set
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.mba import MBA_LEVELS
+from repro.metrics.audit import AuditStats, InvariantViolation
+from repro.schedulers.base import Scheduler
+from repro.schedulers.drf import DrfScheduler
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.runner import SimulationRunner
+
+#: Default sweep cadence (simulated seconds) — matches the runner's
+#: cluster-sampling default so week-long runs stay cheap.
+DEFAULT_AUDIT_INTERVAL_S = 300.0
+
+#: Slack for float comparisons (dominant shares are ratios of ints).
+_EPS = 1e-9
+
+
+class InvariantViolationError(AssertionError):
+    """Raised in strict mode when a conservation law breaks."""
+
+    def __init__(self, violation: InvariantViolation) -> None:
+        super().__init__(violation.render())
+        self.violation = violation
+
+
+class InvariantAuditor:
+    """Sweeps conservation laws over a live simulation at a fixed cadence."""
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_AUDIT_INTERVAL_S,
+        *,
+        strict: bool = False,
+        stats: Optional[AuditStats] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"non-positive audit interval: {interval_s}")
+        self.interval_s = interval_s
+        self.strict = strict
+        self.stats = stats if stats is not None else AuditStats()
+        self._engine: Optional[Engine] = None
+        self._cluster: Optional[Cluster] = None
+        self._scheduler: Optional[Scheduler] = None
+        self._last_time: Optional[float] = None
+        self._next_due = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+
+    def attach(self, runner: "SimulationRunner") -> None:
+        """Audit ``runner``'s engine/cluster; violations go to its collector."""
+        self.attach_engine(
+            runner.engine,
+            runner.cluster,
+            scheduler=runner.scheduler,
+            stats=runner.collector.audit,
+        )
+
+    def attach_engine(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        *,
+        scheduler: Optional[Scheduler] = None,
+        stats: Optional[AuditStats] = None,
+    ) -> None:
+        """Register as a post-event observer of ``engine``."""
+        if self._engine is not None:
+            raise RuntimeError("invariant auditor already attached")
+        self._engine = engine
+        self._cluster = cluster
+        self._scheduler = scheduler
+        if stats is not None:
+            self.stats = stats
+        self._last_time = engine.now
+        self._next_due = engine.now
+        engine.add_observer(self._on_event)
+
+    def detach(self) -> None:
+        """Stop observing. Idempotent."""
+        if self._engine is not None:
+            self._engine.remove_observer(self._on_event)
+            self._engine = None
+
+    # ------------------------------------------------------------------ #
+    # Observation
+
+    def _on_event(self, event: Event) -> None:
+        engine = self._engine
+        if engine is None:  # pragma: no cover - detach() races are a no-op
+            return
+        if self._last_time is not None:
+            self._assert(
+                event.time >= self._last_time - _EPS,
+                "IV003",
+                lambda last=self._last_time: (
+                    f"event {event.tag!r} fired at {event.time}, before "
+                    f"the previously-fired event at {last} — the event "
+                    "clock moved backwards"
+                ),
+            )
+        self._last_time = max(self._last_time or event.time, event.time)
+        if engine.now + _EPS >= self._next_due:
+            self.check_now()
+            self._next_due = engine.now + self.interval_s
+
+    # ------------------------------------------------------------------ #
+    # The sweep
+
+    def check_now(self) -> int:
+        """Run every invariant check once; returns new violation count."""
+        if self._cluster is None:
+            raise RuntimeError("invariant auditor is not attached")
+        before = self.stats.violation_count
+        self.stats.checks_run += 1
+        self._check_node_bounds(self._cluster)
+        self._check_conservation(self._cluster)
+        self._check_allocation_residency(self._cluster)
+        self._check_throttle_states(self._cluster)
+        if isinstance(self._scheduler, DrfScheduler):
+            self._check_drf_shares(self._scheduler, self._cluster)
+        return self.stats.violation_count - before
+
+    def _assert(
+        self, condition: bool, code: str, message: Callable[[], str]
+    ) -> None:
+        self.stats.assertions_evaluated += 1
+        if condition:
+            return
+        now = self._engine.now if self._engine is not None else 0.0
+        violation = self.stats.record(now, code, message())
+        if self.strict:
+            raise InvariantViolationError(violation)
+
+    # -- IV001 ---------------------------------------------------------- #
+
+    def _check_node_bounds(self, cluster: Cluster) -> None:
+        for node in cluster.nodes:
+            self._assert(
+                node.used_cpus >= 0,
+                "IV001",
+                lambda node=node: (
+                    f"node {node.node_id} core usage negative: "
+                    f"{node.used_cpus}"
+                ),
+            )
+            self._assert(
+                node.used_cpus <= node.total_cpus,
+                "IV001",
+                lambda node=node: (
+                    f"node {node.node_id} cores oversubscribed: "
+                    f"{node.used_cpus}/{node.total_cpus}"
+                ),
+            )
+            share_cpus = sum(
+                node.share_of(job_id).cpus for job_id in node.jobs_here()
+            )
+            self._assert(
+                share_cpus == node.used_cpus,
+                "IV001",
+                lambda node=node, share_cpus=share_cpus: (
+                    f"node {node.node_id} share sum {share_cpus} != used "
+                    f"core counter {node.used_cpus}"
+                ),
+            )
+            owned: Set[int] = set()
+            for job_id in sorted(node.jobs_here()):
+                share = node.share_of(job_id)
+                for gpu_id in share.gpu_ids:
+                    self._assert(
+                        gpu_id not in owned,
+                        "IV001",
+                        lambda node=node, gpu_id=gpu_id: (
+                            f"node {node.node_id} GPU {gpu_id} appears in "
+                            "two shares (double allocation)"
+                        ),
+                    )
+                    owned.add(gpu_id)
+                    self._assert(
+                        0 <= gpu_id < node.total_gpus
+                        and node.gpus[gpu_id].owner == job_id,
+                        "IV001",
+                        lambda node=node, gpu_id=gpu_id, job_id=job_id: (
+                            f"node {node.node_id} GPU {gpu_id} share/owner "
+                            f"mismatch for job {job_id}"
+                        ),
+                    )
+            self._assert(
+                len(owned) == node.used_gpus,
+                "IV001",
+                lambda node=node, owned=owned: (
+                    f"node {node.node_id} owns {node.used_gpus} GPUs but "
+                    f"shares cover {len(owned)}"
+                ),
+            )
+            self._assert(
+                node.is_up or not node.jobs_here(),
+                "IV001",
+                lambda node=node: (
+                    f"downed node {node.node_id} still hosts "
+                    f"{sorted(node.jobs_here())}"
+                ),
+            )
+
+    # -- IV002 ---------------------------------------------------------- #
+
+    def _check_conservation(self, cluster: Cluster) -> None:
+        try:
+            total, used, free = cluster.total, cluster.used, cluster.free
+        except ValueError as error:
+            # ResourceVector refuses negative totals outright, so badly
+            # corrupted counters surface here instead of as a comparison.
+            self._assert(
+                False,
+                "IV002",
+                lambda error=error: f"cluster usage unrepresentable: {error}",
+            )
+            return
+        self._assert(
+            used.cpus >= 0 and used.gpus >= 0,
+            "IV002",
+            lambda: f"cluster usage went negative: {used}",
+        )
+        self._assert(
+            used.cpus + free.cpus == total.cpus
+            and used.gpus + free.gpus == total.gpus,
+            "IV002",
+            lambda: (
+                f"resources not conserved: used {used} + free {free} != "
+                f"total {total}"
+            ),
+        )
+        alloc_cpus = alloc_gpus = 0
+        for allocation in cluster.allocations().values():
+            for share in allocation.shares:
+                alloc_cpus += share.cpus
+                alloc_gpus += len(share.gpu_ids)
+        self._assert(
+            alloc_cpus == used.cpus and alloc_gpus == used.gpus,
+            "IV002",
+            lambda alloc_cpus=alloc_cpus, alloc_gpus=alloc_gpus: (
+                f"allocation ledger ({alloc_cpus}c/{alloc_gpus}g) "
+                f"disagrees with node usage ({used.cpus}c/{used.gpus}g)"
+            ),
+        )
+
+    # -- IV004 ---------------------------------------------------------- #
+
+    def _check_allocation_residency(self, cluster: Cluster) -> None:
+        for job_id, allocation in sorted(cluster.allocations().items()):
+            for share in allocation.shares:
+                node = cluster.node(share.node_id)
+                self._assert(
+                    node.holds(job_id)
+                    and node.share_of(job_id).cpus == share.cpus
+                    and node.share_of(job_id).gpu_ids == share.gpu_ids,
+                    "IV004",
+                    lambda job_id=job_id, share=share: (
+                        f"allocation of {job_id} not mirrored on node "
+                        f"{share.node_id}"
+                    ),
+                )
+        for node in cluster.nodes:
+            for job_id in sorted(node.jobs_here()):
+                self._assert(
+                    cluster.has_allocation(job_id),
+                    "IV004",
+                    lambda node=node, job_id=job_id: (
+                        f"node {node.node_id} hosts {job_id} which has no "
+                        "cluster allocation (orphaned resident)"
+                    ),
+                )
+
+    # -- IV005 ---------------------------------------------------------- #
+
+    def _check_drf_shares(self, scheduler: DrfScheduler, cluster: Cluster) -> None:
+        total = cluster.total
+        ledger = scheduler._ledger
+        tenant_ids = sorted(ledger._usage)
+        for tenant_id in tenant_ids:
+            usage = ledger.usage_of(tenant_id)
+            self._assert(
+                usage.cpus >= 0 and usage.gpus >= 0,
+                "IV005",
+                lambda tenant_id=tenant_id, usage=usage: (
+                    f"tenant {tenant_id} ledger usage negative: "
+                    f"{usage.cpus}c/{usage.gpus}g"
+                ),
+            )
+            share = ledger.dominant_share(tenant_id, total.cpus, total.gpus)
+            self._assert(
+                -_EPS <= share <= 1.0 + _EPS,
+                "IV005",
+                lambda tenant_id=tenant_id, share=share: (
+                    f"tenant {tenant_id} dominant share out of [0, 1]: "
+                    f"{share}"
+                ),
+            )
+
+    # -- IV006 ---------------------------------------------------------- #
+
+    def _check_throttle_states(self, cluster: Cluster) -> None:
+        for node in cluster.nodes:
+            throttled = node.mba.throttled_jobs()
+            if not throttled:
+                continue
+            self._assert(
+                node.mba.supported,
+                "IV006",
+                lambda node=node: (
+                    f"node {node.node_id} has MBA throttles but no MBA "
+                    "hardware support"
+                ),
+            )
+            for job_id, level in sorted(throttled.items()):
+                self._assert(
+                    any(abs(level - known) < _EPS for known in MBA_LEVELS),
+                    "IV006",
+                    lambda job_id=job_id, level=level: (
+                        f"job {job_id} throttled at {level}, not a "
+                        "hardware MBA level"
+                    ),
+                )
+                self._assert(
+                    node.holds(job_id),
+                    "IV006",
+                    lambda node=node, job_id=job_id: (
+                        f"node {node.node_id} throttles {job_id} which is "
+                        "not resident there"
+                    ),
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def report(self) -> str:
+        """Human-readable audit summary (one line, plus any violations)."""
+        sweeps, assertions, violations = self.stats.summary()
+        lines = [
+            f"invariant audit: {sweeps} sweep(s), {assertions} assertion(s), "
+            f"{violations} violation(s)"
+        ]
+        lines.extend(v.render() for v in self.stats.violations)
+        return "\n".join(lines)

@@ -16,6 +16,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis.invariants import DEFAULT_AUDIT_INTERVAL_S, InvariantAuditor
 from repro.core.coda import CodaConfig, CodaScheduler
 from repro.experiments.scenarios import (
     Scenario,
@@ -70,6 +71,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed of the fault injector's RNG streams (default: 0)",
     )
+    run.add_argument(
+        "--audit", action="store_true",
+        help="run the invariant auditor alongside the simulation and "
+        "print its violation report (the run itself is unchanged)",
+    )
+    run.add_argument(
+        "--audit-interval", type=float, default=DEFAULT_AUDIT_INTERVAL_S,
+        metavar="SECONDS",
+        help="audit sweep cadence in simulated seconds (default: "
+        f"{DEFAULT_AUDIT_INTERVAL_S:g})",
+    )
 
     compare = sub.add_parser(
         "compare", help="run FIFO, DRF, and CODA on the same trace"
@@ -119,7 +131,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
            if faults_on else "")
         + ") ..."
     )
-    result = run_scenario(scenario, _POLICIES[args.policy]())
+    auditor = (
+        InvariantAuditor(args.audit_interval) if args.audit else None
+    )
+    result = run_scenario(scenario, _POLICIES[args.policy](), auditor=auditor)
     collector = result.collector
     gpu_queue = collector.queueing_times(
         JobKind.GPU, include_unstarted_until=result.horizon_s
@@ -174,6 +189,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             title=f"\n{args.policy.upper()} summary:",
         )
     )
+    if auditor is not None:
+        print()
+        print(auditor.report())
+        return 0 if auditor.stats.ok else 1
     return 0
 
 

@@ -7,6 +7,7 @@ pick and *when* belongs to :mod:`repro.schedulers` and :mod:`repro.core`.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.allocation import Allocation, NodeShare
@@ -15,6 +16,8 @@ from repro.cluster.node import Node
 from repro.cluster.topology import RackedInterconnect, RackTopology
 from repro.cluster.resources import ResourceVector
 from repro.config import ClusterConfig
+
+logger = logging.getLogger(__name__)
 
 
 class Cluster:
@@ -93,7 +96,19 @@ class Cluster:
         try:
             for node_id, cpus, gpus in placements:
                 granted.append(self.nodes[node_id].allocate(job_id, cpus, gpus))
-        except Exception:
+        except (RuntimeError, ValueError, IndexError) as error:
+            # Node.allocate's capacity guards (RuntimeError), request
+            # validation (ValueError), and a bad node id (IndexError) are
+            # the only failures a placement can raise; anything else is a
+            # bug and must propagate untouched, not be absorbed into the
+            # rollback path.
+            logger.warning(
+                "rolling back partial allocation of %s after %d/%d shares: %s",
+                job_id,
+                len(granted),
+                len(placements),
+                error,
+            )
             for share in granted:
                 self.nodes[share.node_id].release(job_id)
             raise

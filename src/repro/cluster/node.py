@@ -9,7 +9,7 @@ bookkeeping on which every experiment result depends.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.allocation import NodeShare
@@ -32,11 +32,7 @@ class PcieMeter:
     """
 
     capacity_gbps: float
-    demands: Dict[str, float] = None  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self.demands is None:
-            self.demands = {}
+    demands: Dict[str, float] = field(default_factory=dict)
 
     def register(self, job_id: str, demand_gbps: float) -> None:
         if demand_gbps < 0:

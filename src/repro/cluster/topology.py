@@ -13,7 +13,7 @@ studied.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Sequence, Set
 
 from repro.cluster.interconnect import Interconnect
 

@@ -10,7 +10,7 @@ derated), 19.25 MB of LLC per socket, and PCIe 3.0 x16 per GPU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 

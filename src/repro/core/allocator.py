@@ -14,7 +14,7 @@ Responsibilities:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.historylog import TenantHistory

@@ -15,7 +15,7 @@ The multi-array scheduler divides the cluster two ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster

@@ -19,8 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.cluster.node import Node
 from repro.perfmodel.contention import BANDWIDTH_PRESSURE_THRESHOLD
 from repro.schedulers.base import SchedulerContext
+from repro.sim.events import EventHandle
 
 
 @dataclass(frozen=True)
@@ -73,7 +75,7 @@ class ContentionEliminator:
     stale_skips: int = 0
     _peak_util: Dict[str, float] = field(default_factory=dict)
     _armed: bool = field(default=False)
-    _tick_handle: Optional[object] = field(default=None)
+    _tick_handle: Optional[EventHandle] = field(default=None)
 
     def start(self, context: SchedulerContext) -> None:
         """Arm the periodic monitor (idempotent, no-op when disabled).
@@ -110,7 +112,7 @@ class ContentionEliminator:
 
     # ------------------------------------------------------------------ #
 
-    def _check_node(self, node, context: SchedulerContext) -> None:
+    def _check_node(self, node: Node, context: SchedulerContext) -> None:
         pressure = node.bandwidth.observe(context.now)
         if pressure is None:
             # Telemetry dropout.  A reading within the staleness window is
@@ -147,7 +149,7 @@ class ContentionEliminator:
             context.halve_cpu_job_cores(victim)
             self.halving_actions += 1
 
-    def _relax_node(self, node, context: SchedulerContext) -> None:
+    def _relax_node(self, node: Node, context: SchedulerContext) -> None:
         """Lift throttles whose reason has passed.
 
         A throttle is released when the node no longer hosts any training
@@ -170,7 +172,7 @@ class ContentionEliminator:
         for job_id in throttled:
             context.release_cpu_throttle(job_id, node.node_id)
 
-    def _throttle_steps_needed(self, node, victim: str) -> int:
+    def _throttle_steps_needed(self, node: Node, victim: str) -> int:
         """MBA levels to step down so the node lands below the threshold.
 
         One throttle *action* may span several 10 % levels: leaving the
@@ -191,7 +193,7 @@ class ContentionEliminator:
         steps = int(round((current_level - desired_level) / 0.1 + 0.499))
         return max(1, min(steps, 9))
 
-    def _training_degraded(self, node, context: SchedulerContext) -> bool:
+    def _training_degraded(self, node: Node, context: SchedulerContext) -> bool:
         """True when some training job on the node runs below what it would
         reach on a quiet node (the paper's second trigger condition).
 
@@ -214,7 +216,7 @@ class ContentionEliminator:
         return False
 
     @staticmethod
-    def _pick_victim(node, min_granted_gbps: float = 0.0) -> Optional[str]:
+    def _pick_victim(node: Node, min_granted_gbps: float = 0.0) -> Optional[str]:
         """The bandwidth-hungriest CPU job on this node, if any qualifies.
 
         User-facing inference jobs are exempt: they outrank training

@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.node import Node
 from repro.config import NodeConfig
-from repro.core.allocator import AdaptiveCpuAllocator
 from repro.core.coda import CodaConfig, CodaScheduler
 from repro.core.eliminator import EliminatorConfig
 from repro.core.tuning import TuningSession
@@ -101,7 +100,7 @@ def fig2_job_characteristics(
         job.requested_cpus / job.setup.gpus_per_node for job in gpu_jobs
     ]
     # Fig. 2a: job-type breakdown per tenant group.
-    from repro.workload.tenants import TenantKind, paper_tenants
+    from repro.workload.tenants import paper_tenants
 
     kind_of = {t.tenant_id: t.kind for t in paper_tenants()}
     group_counts: Dict[str, Dict[str, int]] = {}

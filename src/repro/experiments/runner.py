@@ -16,9 +16,21 @@ a simulated cluster:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+import os
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
+from repro.cluster.allocation import Allocation
 from repro.cluster.cluster import Cluster
 from repro.metrics.collector import MetricsCollector
 from repro.perfmodel.bandwidth import memory_bandwidth_demand
@@ -41,6 +53,10 @@ from repro.sim.events import EventHandle, EventPriority
 from repro.experiments.auditlog import AuditLog
 from repro.workload.job import CpuJob, GpuJob, Job, JobKind
 from repro.workload.tracegen import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.invariants import InvariantAuditor
+    from repro.faults.injector import FaultInjector
 
 #: LLC footprint a training job's CPU-side workers occupy (MB per node).
 GPU_JOB_LLC_MB = 2.0
@@ -96,6 +112,20 @@ class RunResult:
     node_downtime_s: float = 0.0
 
 
+def _env_auditor() -> Optional["InvariantAuditor"]:
+    """A strict invariant auditor when ``REPRO_AUDIT`` is set.
+
+    Lets CI (and any local run) execute the whole test suite with every
+    simulation audited — ``REPRO_AUDIT=1 python -m pytest`` — without
+    threading an argument through every call site.
+    """
+    if not os.environ.get("REPRO_AUDIT"):
+        return None
+    from repro.analysis.invariants import InvariantAuditor
+
+    return InvariantAuditor(strict=True)
+
+
 class SimulationRunner(SchedulerContext):
     """Drives one (trace, scheduler, cluster) simulation."""
 
@@ -109,7 +139,8 @@ class SimulationRunner(SchedulerContext):
         engine: Optional[Engine] = None,
         collector: Optional[MetricsCollector] = None,
         audit: Optional["AuditLog"] = None,
-        fault_injector=None,
+        fault_injector: Optional["FaultInjector"] = None,
+        auditor: Optional["InvariantAuditor"] = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError(f"non-positive sample interval: {sample_interval_s}")
@@ -119,6 +150,7 @@ class SimulationRunner(SchedulerContext):
         self.collector = collector or MetricsCollector()
         self.audit = audit
         self.fault_injector = fault_injector
+        self.auditor = auditor if auditor is not None else _env_auditor()
         self._sample_interval_s = sample_interval_s
         self._running_gpu: Dict[str, _RunningGpu] = {}
         self._running_cpu: Dict[str, _RunningCpu] = {}
@@ -129,6 +161,8 @@ class SimulationRunner(SchedulerContext):
         scheduler.attach(self)
         if fault_injector is not None:
             fault_injector.attach(self)
+        if self.auditor is not None:
+            self.auditor.attach(self)
         if trace is not None:
             self.load_trace(trace)
 
@@ -164,6 +198,8 @@ class SimulationRunner(SchedulerContext):
         """Run the simulation to the ``until`` horizon (seconds)."""
         self.enable_sampling()
         self.engine.run(until=until)
+        if self.auditor is not None:
+            self.auditor.check_now()
         return RunResult(
             scheduler_name=self.scheduler.name,
             collector=self.collector,
@@ -224,7 +260,7 @@ class SimulationRunner(SchedulerContext):
         demand = memory_bandwidth_demand(
             record.profile, record.job.setup, cpus_per_node
         )
-        touched = set()
+        touched: Set[int] = set()
         for share in allocation.shares:
             self.cluster.node(share.node_id).bandwidth.update_demand(
                 job_id, demand
@@ -340,7 +376,9 @@ class SimulationRunner(SchedulerContext):
         self.scheduler.submit(job, self.engine.now)
         self.request_schedule()
 
-    def _start_job(self, job: Job, placements: List) -> None:
+    def _start_job(
+        self, job: Job, placements: Sequence[Tuple[int, int, int]]
+    ) -> None:
         allocation = self.cluster.allocate(
             job.job_id, [(n, c, g) for n, c, g in placements]
         )
@@ -353,7 +391,9 @@ class SimulationRunner(SchedulerContext):
             raise TypeError(f"unknown job type: {type(job).__name__}")
         self.scheduler.job_started(job, placements, now)
 
-    def _start_gpu_job(self, job: GpuJob, allocation, now: float) -> None:
+    def _start_gpu_job(
+        self, job: GpuJob, allocation: Allocation, now: float
+    ) -> None:
         profile = get_model(job.model_name)
         cores = allocation.shares[0].cpus
         demand = memory_bandwidth_demand(profile, job.setup, cores)
@@ -389,7 +429,9 @@ class SimulationRunner(SchedulerContext):
         self._reprice_gpu(record)
         self._refresh_nodes(set(allocation.node_ids))
 
-    def _start_cpu_job(self, job: CpuJob, allocation, now: float) -> None:
+    def _start_cpu_job(
+        self, job: CpuJob, allocation: Allocation, now: float
+    ) -> None:
         share = allocation.shares[0]
         node = self.cluster.node(share.node_id)
         node.register_memory_traffic(
@@ -436,7 +478,9 @@ class SimulationRunner(SchedulerContext):
             pcie_grant_ratio=pcie,
         )
 
-    def _accrue(self, record, now: float) -> None:
+    def _accrue(
+        self, record: "Union[_RunningGpu, _RunningCpu]", now: float
+    ) -> None:
         span = now - record.last_update
         if span > 0:
             record.work_done += record.speed * span
@@ -503,7 +547,7 @@ class SimulationRunner(SchedulerContext):
         """Re-price every job touching the given nodes."""
         gpu_ids: Set[str] = set()
         cpu_ids: Set[str] = set()
-        for node_id in node_ids:
+        for node_id in sorted(node_ids):
             for job_id in self.cluster.node(node_id).jobs_here():
                 if job_id in self._running_gpu:
                     gpu_ids.add(job_id)
@@ -548,21 +592,21 @@ class SimulationRunner(SchedulerContext):
     def _execute_preempt(self, decision: PreemptDecision) -> None:
         job_id = decision.job_id
         if job_id in self._running_gpu:
-            record = self._running_gpu.pop(job_id)
-            self._accrue(record, self.engine.now)
-            record.completion.cancel()
+            gpu_record = self._running_gpu.pop(job_id)
+            self._accrue(gpu_record, self.engine.now)
+            gpu_record.completion.cancel()
             if decision.preserve_progress:
-                self._stashed_progress[job_id] = record.work_done
+                self._stashed_progress[job_id] = gpu_record.work_done
             allocation = self.cluster.release(job_id)
             touched = set(allocation.node_ids)
-            job: Job = record.job
+            job: Job = gpu_record.job
             preserve = decision.preserve_progress
         elif job_id in self._running_cpu:
-            record = self._running_cpu.pop(job_id)
-            record.completion.cancel()
+            cpu_record = self._running_cpu.pop(job_id)
+            cpu_record.completion.cancel()
             allocation = self.cluster.release(job_id)
             touched = set(allocation.node_ids)
-            job = record.job
+            job = cpu_record.job
             preserve = False  # aborted CPU jobs restart from scratch
         else:
             raise RuntimeError(f"cannot preempt {job_id}: not running")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Optional, Sequence
 
+from repro.analysis.invariants import InvariantAuditor
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig, paper_cluster, small_cluster
 from repro.core.coda import CodaConfig, CodaScheduler
@@ -127,14 +128,21 @@ def run_scenario(
     scheduler: Scheduler,
     *,
     sample_interval_s: float = 300.0,
+    auditor: Optional[InvariantAuditor] = None,
 ) -> RunResult:
-    """Execute one (scenario, policy) run to its horizon."""
+    """Execute one (scenario, policy) run to its horizon.
+
+    ``auditor`` (an :class:`~repro.analysis.invariants.InvariantAuditor`)
+    rides along as an engine observer; because it fires no events, the
+    result is byte-identical with or without it.
+    """
     runner = SimulationRunner(
         scenario.build_cluster(),
         scheduler,
         scenario.build_trace(),
         sample_interval_s=sample_interval_s,
         fault_injector=scenario.build_fault_injector(),
+        auditor=auditor,
     )
     return runner.run(until=scenario.horizon_s)
 

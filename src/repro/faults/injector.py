@@ -17,11 +17,17 @@ Channel processes (all renewal processes with exponential gaps):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.faults.config import FaultConfig
 from repro.sim.events import EventPriority
 from repro.sim.rng import RngRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.runner import SimulationRunner
+
+#: One injected-fault log entry: (sim time, channel kind, detail fields).
+InjectedEvent = Tuple[float, str, Dict[str, object]]
 
 
 class FaultInjector:
@@ -32,14 +38,20 @@ class FaultInjector:
     ) -> None:
         self.config = config or FaultConfig()
         self.rng = RngRegistry(seed if seed is not None else self.config.seed)
-        self._runner = None
+        self._runner: Optional["SimulationRunner"] = None
         #: Injected-event log for tests and reports: (time, kind, detail).
-        self.injected: list = []
+        self.injected: List[InjectedEvent] = []
+
+    @property
+    def _attached(self) -> "SimulationRunner":
+        if self._runner is None:
+            raise RuntimeError("fault injector is not attached to a runner")
+        return self._runner
 
     # ------------------------------------------------------------------ #
     # Wiring
 
-    def attach(self, runner) -> None:
+    def attach(self, runner: "SimulationRunner") -> None:
         """Arm every configured channel against ``runner``'s engine.
 
         Idempotent per runner; attaching twice would double the failure
@@ -62,16 +74,18 @@ class FaultInjector:
         if config.straggler_interval_s is not None:
             self._arm_straggler()
 
-    def _schedule(self, delay: float, action, tag: str) -> None:
-        self._runner.engine.schedule_in(
+    def _schedule(
+        self, delay: float, action: Callable[[], None], tag: str
+    ) -> None:
+        self._attached.engine.schedule_in(
             delay, action, priority=EventPriority.MONITOR, tag=tag
         )
 
     def _exp(self, stream: str, mean: float) -> float:
         return self.rng.stream(stream).expovariate(1.0 / mean)
 
-    def _log(self, kind: str, **detail) -> None:
-        self.injected.append((self._runner.engine.now, kind, detail))
+    def _log(self, kind: str, **detail: object) -> None:
+        self.injected.append((self._attached.engine.now, kind, detail))
 
     # ------------------------------------------------------------------ #
     # Node crash / recover
@@ -86,7 +100,7 @@ class FaultInjector:
 
     def _crash_node(self, node_id: int) -> None:
         self._log("node-crash", node_id=node_id)
-        self._runner.fail_node(node_id)
+        self._attached.fail_node(node_id)
         self._schedule(
             self.config.node_mttr_s,
             lambda: self._recover_node(node_id),
@@ -95,14 +109,14 @@ class FaultInjector:
 
     def _recover_node(self, node_id: int) -> None:
         self._log("node-recover", node_id=node_id)
-        self._runner.recover_node(node_id)
+        self._attached.recover_node(node_id)
         self._arm_node_crash(node_id)
 
     # ------------------------------------------------------------------ #
     # Single-GPU failure / repair
 
     def _arm_gpu_failure(self, node_id: int) -> None:
-        node = self._runner.cluster.node(node_id)
+        node = self._attached.cluster.node(node_id)
         per_device = self.config.gpu_mtbf_s
         if node.total_gpus == 0:
             return
@@ -116,12 +130,12 @@ class FaultInjector:
         )
 
     def _fail_gpu(self, node_id: int) -> None:
-        node = self._runner.cluster.node(node_id)
+        node = self._attached.cluster.node(node_id)
         healthy = [gpu.gpu_id for gpu in node.gpus if not gpu.failed]
         if node.is_up and healthy:
             gpu_id = self.rng.stream(f"gpu:{node_id}").choice(healthy)
             self._log("gpu-fail", node_id=node_id, gpu_id=gpu_id)
-            self._runner.fail_gpu(node_id, gpu_id)
+            self._attached.fail_gpu(node_id, gpu_id)
             self._schedule(
                 self.config.gpu_mttr_s,
                 lambda: self._repair_gpu(node_id, gpu_id),
@@ -131,7 +145,7 @@ class FaultInjector:
 
     def _repair_gpu(self, node_id: int, gpu_id: int) -> None:
         self._log("gpu-repair", node_id=node_id, gpu_id=gpu_id)
-        self._runner.repair_gpu(node_id, gpu_id)
+        self._attached.repair_gpu(node_id, gpu_id)
 
     # ------------------------------------------------------------------ #
     # MBM telemetry dropout
@@ -146,7 +160,7 @@ class FaultInjector:
 
     def _drop_telemetry(self, node_id: int) -> None:
         self._log("telemetry-dropout", node_id=node_id)
-        self._runner.begin_telemetry_outage(
+        self._attached.begin_telemetry_outage(
             node_id, self.config.telemetry_outage_s
         )
         self._arm_telemetry(node_id)
@@ -159,11 +173,11 @@ class FaultInjector:
         self._schedule(delay, self._straggle, tag="fault:straggler")
 
     def _straggle(self) -> None:
-        candidates = sorted(self._runner.running_cpu_job_ids())
+        candidates = sorted(self._attached.running_cpu_job_ids())
         if candidates:
             job_id = self.rng.stream("straggler").choice(candidates)
             self._log("straggler", job_id=job_id)
-            self._runner.apply_cpu_straggler(
+            self._attached.apply_cpu_straggler(
                 job_id,
                 factor=self.config.straggler_factor,
                 duration_s=self.config.straggler_duration_s,

@@ -6,6 +6,7 @@ the simulation's sampled series and per-job records.
 """
 
 from repro.metrics.series import SampledSeries, TimeWeightedValue
+from repro.metrics.audit import AuditStats, InvariantViolation
 from repro.metrics.collector import JobRecord, MetricsCollector
 from repro.metrics.faults import FaultStats
 from repro.metrics.stats import cdf_points, fraction_exceeding, percentile
@@ -13,7 +14,9 @@ from repro.metrics.fragmentation import FragmentationTracker
 from repro.metrics.report import render_cdf, render_series, render_table
 
 __all__ = [
+    "AuditStats",
     "FaultStats",
+    "InvariantViolation",
     "FragmentationTracker",
     "JobRecord",
     "MetricsCollector",

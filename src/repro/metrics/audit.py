@@ -1,0 +1,59 @@
+"""Invariant-audit accounting.
+
+One :class:`AuditStats` per run, owned by the metrics collector exactly
+like :class:`~repro.metrics.faults.FaultStats`.  The runtime invariant
+auditor (:mod:`repro.analysis.invariants`) pushes check counts and any
+violations into it; reports read them back out.  Everything stays zero on
+unaudited runs, so existing reports are unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One conservation/ordering law broken at one simulated instant."""
+
+    time: float
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"[t={self.time:.3f}] {self.code}: {self.message}"
+
+
+@dataclass
+class AuditStats:
+    """What the runtime invariant auditor observed over one run."""
+
+    #: Audit sweeps executed (each sweep runs every invariant check).
+    checks_run: int = 0
+    #: Individual invariant evaluations across all sweeps.
+    assertions_evaluated: int = 0
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    def record(self, time: float, code: str, message: str) -> InvariantViolation:
+        violation = InvariantViolation(time=time, code=code, message=message)
+        self.violations.append(violation)
+        return violation
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return counts
+
+    def summary(self) -> Tuple[int, int, int]:
+        """(sweeps, assertions, violations) — the report's one-liner."""
+        return (self.checks_run, self.assertions_evaluated, self.violation_count)

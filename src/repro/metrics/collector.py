@@ -6,9 +6,10 @@ cluster samples into it; the experiment harness reads figures out of it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.metrics.audit import AuditStats
 from repro.metrics.faults import FaultStats
 from repro.metrics.fragmentation import FragmentationTracker
 from repro.metrics.series import SampledSeries
@@ -75,6 +76,7 @@ class MetricsCollector:
         self.hot_nodes = SampledSeries("hot_nodes")
         self.fragmentation = FragmentationTracker()
         self.faults = FaultStats()
+        self.audit = AuditStats()
         self.throttle_events = 0
         self.core_halving_events = 0
 

@@ -15,10 +15,11 @@ never see capabilities they must not use.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 from repro.cluster.cluster import Cluster
+from repro.sim.events import EventHandle
 from repro.workload.job import Job
 
 
@@ -74,7 +75,9 @@ class SchedulerContext(abc.ABC):
     cluster: Cluster
 
     @abc.abstractmethod
-    def schedule_event(self, delay_s: float, action, tag: str = ""):
+    def schedule_event(
+        self, delay_s: float, action: Callable[[], None], tag: str = ""
+    ) -> EventHandle:
         """Register a future callback; returns a cancellable handle."""
 
     @abc.abstractmethod

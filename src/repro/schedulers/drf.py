@@ -16,7 +16,6 @@ that GPU-starved nodes are missing.
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional, Set
 

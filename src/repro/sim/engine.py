@@ -15,6 +15,9 @@ from typing import Any, Callable, Optional
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventHandle, EventPriority
 
+#: An engine observer: called after each fired event with the event record.
+Observer = Callable[[Event], None]
+
 
 class Engine:
     """Deterministic discrete-event simulation engine."""
@@ -26,6 +29,7 @@ class Engine:
         self._fired = 0
         self._live = 0
         self._running = False
+        self._observers: list[Observer] = []
 
     @property
     def now(self) -> float:
@@ -116,7 +120,25 @@ class Engine:
         self.clock.advance_to(event.time)
         self._fired += 1
         event.action()
+        for observer in tuple(self._observers):
+            observer(event)
         return True
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register a post-event callback (e.g. the invariant auditor).
+
+        Observers run after each event's action returns; they fire no
+        events and do not advance the clock, so an observed run stays
+        byte-identical to an unobserved one.
+        """
+        if observer in self._observers:
+            raise ValueError("observer already registered")
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Unregister a previously-added observer. Idempotent."""
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     def run(
         self,

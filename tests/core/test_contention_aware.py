@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.config import ClusterConfig, NodeConfig, small_cluster
+from repro.config import ClusterConfig, NodeConfig
 from repro.core.coda import CodaConfig, CodaScheduler
 from repro.core.eliminator import EliminatorConfig
 from repro.experiments.runner import SimulationRunner

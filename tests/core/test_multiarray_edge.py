@@ -1,7 +1,5 @@
 """Multi-array scheduler edge behaviours."""
 
-import pytest
-
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig, NodeConfig, small_cluster
 from repro.core.coda import CodaConfig, CodaScheduler

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import ClusterConfig, NodeConfig, paper_cluster
+from repro.config import paper_cluster
 from repro.core.coda import CodaConfig
 from repro.core.provisioning import (
     optimal_cores_per_gpu,

@@ -11,7 +11,7 @@ from repro.experiments.runner import SimulationRunner
 from repro.perfmodel.stages import TrainSetup
 from repro.schedulers.fifo import FifoScheduler
 from repro.workload.heat import heat_job
-from repro.workload.job import CpuJob, GpuJob
+from repro.workload.job import GpuJob
 
 
 def _gpu(job_id="g1", iters=50, model="resnet50"):

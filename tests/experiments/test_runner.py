@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.config import ClusterConfig, NodeConfig, small_cluster
+from repro.config import small_cluster
 from repro.experiments.runner import SimulationRunner
 from repro.perfmodel.catalog import get_model
 from repro.perfmodel.speed import iteration_time

@@ -9,7 +9,7 @@ exactly.
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.config import ClusterConfig, NodeConfig, small_cluster
+from repro.config import small_cluster
 from repro.core.coda import CodaScheduler
 from repro.experiments.runner import SimulationRunner
 from repro.faults import FaultConfig, FaultInjector

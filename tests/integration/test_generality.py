@@ -6,8 +6,6 @@ up its dominant share), while CODA's per-array DRF keeps the two job kinds
 independent.  These tests build exactly that situation.
 """
 
-import pytest
-
 from repro.cluster.cluster import Cluster
 from repro.config import ClusterConfig, NodeConfig
 from repro.core.coda import CodaScheduler

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.interconnect import Interconnect
 from repro.perfmodel.catalog import get_model
-from repro.perfmodel.contention import UNCONTENDED, ContentionState
+from repro.perfmodel.contention import ContentionState
 from repro.perfmodel.speed import iteration_time, training_speed
 from repro.perfmodel.stages import IterationBreakdown, TrainSetup
 

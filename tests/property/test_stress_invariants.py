@@ -6,8 +6,6 @@ no overcommitted node, no orphaned GPU, no leaked bandwidth registration,
 no negative ledger.
 """
 
-import math
-
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

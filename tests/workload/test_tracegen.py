@@ -6,7 +6,6 @@ import pytest
 
 from repro.sim.clock import DAY, HOUR
 from repro.workload.heat import heat_job
-from repro.workload.job import GpuJob
 from repro.workload.tracegen import (
     Trace,
     TraceConfig,

@@ -1,0 +1,29 @@
+"""codalint — simulator-specific static analysis.
+
+A small AST lint pass encoding the determinism and resource-safety rules
+this reproduction depends on (see ``docs/static-analysis.md``).  Generic
+style belongs to ruff; codalint checks the things a generic linter cannot
+know about a discrete-event simulator:
+
+* wall-clock time would silently break replay (CL001);
+* process-global randomness bypasses the seeded stream registry (CL002);
+* set iteration order is salted per process and must never feed event
+  scheduling or tie-breaking (CL003);
+* swallowed exceptions hide corrupted resource bookkeeping (CL004);
+* mutable default arguments alias state across calls (CL005);
+* float accumulation into integer resource counters drifts (CL006).
+
+Run as ``python -m tools.codalint src/``.
+"""
+
+from tools.codalint.checker import check_file, check_paths, check_source
+from tools.codalint.rules import ALL_RULES, Rule, Violation
+
+__all__ = [
+    "ALL_RULES",
+    "Rule",
+    "Violation",
+    "check_file",
+    "check_paths",
+    "check_source",
+]

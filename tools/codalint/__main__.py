@@ -1,0 +1,7 @@
+"""``python -m tools.codalint`` entry point."""
+
+import sys
+
+from tools.codalint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,95 @@
+"""Command-line front end: ``python -m tools.codalint [paths...]``.
+
+Exit codes: 0 clean, 1 violations found, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.codalint.checker import check_paths
+from tools.codalint.rules import ALL_RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="codalint",
+        description=(
+            "simulator-specific determinism and resource-safety lint "
+            "(rules CL001-CL006; see docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.summary}")
+            print(f"       {rule.rationale}")
+        return 0
+    paths = [Path(path) for path in args.paths]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"codalint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        violations = check_paths(
+            paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except ValueError as error:
+        print(f"codalint: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "violations": [v.as_dict() for v in violations],
+                    "count": len(violations),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            print(f"codalint: {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

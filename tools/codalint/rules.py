@@ -1,0 +1,109 @@
+"""Rule registry and the violation record.
+
+Every rule has a stable code (``CLxxx``), a one-line summary, and a longer
+rationale rendered by ``--list-rules`` and mirrored in
+``docs/static-analysis.md``.  The checker in :mod:`tools.codalint.checker`
+emits :class:`Violation` records tagged with these codes; suppression
+comments (``# codalint: disable=CL001`` or ``disable=all``) are matched
+against them by code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: a stable code plus human-readable documentation."""
+
+    code: str
+    summary: str
+    rationale: str
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: where, which rule, and what exactly was seen."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    Rule(
+        code="CL001",
+        summary="wall-clock time source",
+        rationale=(
+            "time.time()/datetime.now() and friends read the host clock; "
+            "simulation code must read time from the engine's Clock so a "
+            "replayed run is bit-identical regardless of the machine."
+        ),
+    ),
+    Rule(
+        code="CL002",
+        summary="unseeded process-global randomness",
+        rationale=(
+            "random.random()/choice()/... draw from the interpreter-global "
+            "generator whose state any import can perturb; all randomness "
+            "must come from named repro.sim.rng.RngRegistry streams (or an "
+            "explicitly seeded random.Random(seed))."
+        ),
+    ),
+    Rule(
+        code="CL003",
+        summary="iteration over an unordered set",
+        rationale=(
+            "Set iteration order depends on per-process string-hash "
+            "salting; feeding it into event scheduling or tie-breaking "
+            "makes runs irreproducible.  Iterate sorted(the_set) instead "
+            "(dicts are insertion-ordered and exempt)."
+        ),
+    ),
+    Rule(
+        code="CL004",
+        summary="bare or overly-broad except clause",
+        rationale=(
+            "except:/except Exception: swallows the guarded resource "
+            "errors (over-allocation, double release) this simulator "
+            "raises on purpose; catch the narrow types you can handle."
+        ),
+    ),
+    Rule(
+        code="CL005",
+        summary="mutable default argument",
+        rationale=(
+            "A list/dict/set default is evaluated once and shared across "
+            "every call, silently coupling unrelated invocations; default "
+            "to None (or a dataclass default_factory)."
+        ),
+    ),
+    Rule(
+        code="CL006",
+        summary="float accumulation into an integer resource counter",
+        rationale=(
+            "Augmenting an int-annotated counter with a float-valued "
+            "expression rebinds it to float; core/GPU counters must stay "
+            "exact integers or conservation checks start failing on "
+            "epsilon drift."
+        ),
+    ),
+)
+
+RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
