@@ -16,7 +16,10 @@ laws the evaluation rests on:
 * **IV005** — DRF dominant-share bounds: per-tenant ledger usage stays
   non-negative and dominant shares stay within [0, 1];
 * **IV006** — throttle-state sanity: MBA throttles only on MBA-capable
-  nodes, only at hardware levels, only on resident jobs.
+  nodes, only at hardware levels, only on resident jobs;
+* **IV007** — quarantine residency: no running job resides on a node the
+  health tracker currently holds in QUARANTINED state (placement must
+  skip such nodes; quarantine entry must have evicted residents).
 
 Because the auditor is an observer — it schedules no events and never
 touches the clock — an audited run is byte-identical to an unaudited one.
@@ -151,6 +154,7 @@ class InvariantAuditor:
         self._check_conservation(self._cluster)
         self._check_allocation_residency(self._cluster)
         self._check_throttle_states(self._cluster)
+        self._check_quarantine_residency(self._cluster)
         if isinstance(self._scheduler, DrfScheduler):
             self._check_drf_shares(self._scheduler, self._cluster)
         return self.stats.violation_count - before
@@ -363,6 +367,27 @@ class InvariantAuditor:
                         "not resident there"
                     ),
                 )
+
+    # -- IV007 ---------------------------------------------------------- #
+
+    def _check_quarantine_residency(self, cluster: Cluster) -> None:
+        """No job may run on a quarantined node.
+
+        ``quarantined_nodes`` is a pure deadline query — the tracker's
+        state transitions anchor to times fixed at quarantine entry — so
+        this sweep observes without perturbing the run.
+        """
+        now = self._engine.now if self._engine is not None else 0.0
+        for node_id in cluster.health.quarantined_nodes(now):
+            node = cluster.node(node_id)
+            self._assert(
+                not node.jobs_here(),
+                "IV007",
+                lambda node=node: (
+                    f"quarantined node {node.node_id} still hosts "
+                    f"{sorted(node.jobs_here())}"
+                ),
+            )
 
     # ------------------------------------------------------------------ #
 

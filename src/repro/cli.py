@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro.analysis.invariants import DEFAULT_AUDIT_INTERVAL_S, InvariantAuditor
 from repro.core.coda import CodaConfig, CodaScheduler
+from repro.core.eliminator import CHAOS_FLAP_COOLDOWN_S, EliminatorConfig
 from repro.experiments.scenarios import (
     Scenario,
     paper_scale_scenario,
@@ -25,6 +26,7 @@ from repro.experiments.scenarios import (
     small_scenario,
 )
 from repro.faults import FaultConfig
+from repro.health import HealthConfig, RestartPolicy
 from repro.metrics.report import render_table
 from repro.metrics.stats import fraction_at_most, fraction_exceeding
 from repro.perfmodel.bandwidth import memory_bandwidth_demand
@@ -42,6 +44,32 @@ _POLICIES = {
     "drf": DrfScheduler,
     "coda": lambda: CodaScheduler(CodaConfig()),
 }
+
+
+def _make_scheduler(
+    policy: str,
+    *,
+    restart_policy: Optional[RestartPolicy] = None,
+    chaos: bool = False,
+):
+    """Build the named policy with resilience knobs threaded through.
+
+    Under active fault injection (``chaos``) CODA additionally arms the
+    eliminator's flap cooldown; failure-free runs keep the 0-cooldown
+    default so their output stays byte-identical to earlier versions.
+    """
+    if policy == "fifo":
+        return FifoScheduler(restart_policy=restart_policy)
+    if policy == "drf":
+        return DrfScheduler(restart_policy=restart_policy)
+    if policy == "coda":
+        config = CodaConfig(
+            eliminator=EliminatorConfig(
+                flap_cooldown_s=CHAOS_FLAP_COOLDOWN_S if chaos else 0.0
+            )
+        )
+        return CodaScheduler(config, restart_policy=restart_policy)
+    raise ValueError(f"unknown policy: {policy}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -70,6 +98,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--fault-seed", type=int, default=0,
         help="seed of the fault injector's RNG streams (default: 0)",
+    )
+    run.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        help="failure restarts a job may consume before it is retired to "
+        "the dead-job ledger; 0 means unlimited (default: 5)",
+    )
+    run.add_argument(
+        "--quarantine-threshold", type=float, default=3.0, metavar="SCORE",
+        help="windowed failure score at which a node is quarantined "
+        "(crash/GPU strikes weigh 1.0, telemetry dropouts 0.25; "
+        "default: 3.0)",
     )
     run.add_argument(
         "--audit", action="store_true",
@@ -134,7 +173,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     auditor = (
         InvariantAuditor(args.audit_interval) if args.audit else None
     )
-    result = run_scenario(scenario, _POLICIES[args.policy](), auditor=auditor)
+    if args.max_restarts < 0:
+        print(f"--max-restarts must be >= 0: {args.max_restarts}", file=sys.stderr)
+        return 2
+    if args.quarantine_threshold <= 0:
+        print(
+            f"--quarantine-threshold must be positive: "
+            f"{args.quarantine_threshold}",
+            file=sys.stderr,
+        )
+        return 2
+    restart_policy = RestartPolicy(
+        max_restarts=args.max_restarts if args.max_restarts > 0 else None
+    )
+    scheduler = _make_scheduler(
+        args.policy, restart_policy=restart_policy, chaos=faults_on
+    )
+    health_config = (
+        HealthConfig(quarantine_threshold=args.quarantine_threshold)
+        if faults_on
+        else None
+    )
+    result = run_scenario(
+        scenario, scheduler, auditor=auditor, health_config=health_config
+    )
     collector = result.collector
     gpu_queue = collector.queueing_times(
         JobKind.GPU, include_unstarted_until=result.horizon_s
@@ -182,7 +244,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
                         "lost CPU seconds",
                         f"{collector.faults.lost_cpu_seconds:.0f}",
                     ),
+                    ("quarantines", result.quarantines),
+                    (
+                        "quarantine time",
+                        f"{result.quarantine_s / 3600.0:.2f} node-h",
+                    ),
+                    ("dead jobs", result.dead_jobs),
                 ]
+                + (
+                    [
+                        (
+                            "flap suppressions",
+                            scheduler.eliminator.flap_suppressions,
+                        )
+                    ]
+                    if isinstance(scheduler, CodaScheduler)
+                    else []
+                )
                 if faults_on
                 else []
             ),

@@ -16,6 +16,7 @@ from repro.cluster.node import Node
 from repro.cluster.topology import RackedInterconnect, RackTopology
 from repro.cluster.resources import ResourceVector
 from repro.config import ClusterConfig
+from repro.health.tracker import NodeHealthTracker
 
 logger = logging.getLogger(__name__)
 
@@ -42,6 +43,10 @@ class Cluster:
             oversubscription=self.config.rack_oversubscription,
         )
         self._allocations: Dict[str, Allocation] = {}
+        #: Per-node health states (see :mod:`repro.health`); the default
+        #: tracker never sees a strike, so every node reads HEALTHY.  The
+        #: runner swaps in a configured tracker when health is tuned.
+        self.health = NodeHealthTracker()
 
     # ------------------------------------------------------------------ #
     # Capacity and usage

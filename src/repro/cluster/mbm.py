@@ -137,6 +137,13 @@ class BandwidthMonitor:
         return sum(usage.effective_demand for usage in self._usages.values())
 
     @property
+    def unthrottled_demand_gbps(self) -> float:
+        """Total raw demand, ignoring MBA caps — what the node's pressure
+        *would* be if every throttle were lifted (the eliminator's release
+        test)."""
+        return sum(usage.demand for usage in self._usages.values())
+
+    @property
     def total_granted(self) -> float:
         return sum(usage.granted for usage in self._usages.values())
 

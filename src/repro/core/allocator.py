@@ -21,18 +21,26 @@ from repro.core.historylog import TenantHistory
 from repro.core.nstart import determine_n_start
 from repro.core.tuning import DEFAULT_EPSILON, TuningSession
 from repro.schedulers.base import SchedulerContext
+from repro.sim.events import EventHandle
 from repro.workload.job import GpuJob
 
 #: Sec. VI-F: "we sample the GPU utilization for each profiling step that
 #: lasts 90 seconds".
 PROFILING_STEP_S = 90.0
 
+#: Consecutive failure-killed profiling sessions after which the allocator
+#: enters degraded mode (stops probing, serves N_start only).
+DEFAULT_DEGRADED_AFTER_ABORTS = 3
+
+#: Default length of one degraded-mode episode.
+DEFAULT_DEGRADED_COOLDOWN_S = 1800.0
+
 
 @dataclass
 class _ActiveSession:
     job: GpuJob
     session: TuningSession
-    event_handle: object = None
+    event_handle: Optional[EventHandle] = None
 
 
 @dataclass
@@ -57,18 +65,36 @@ class AdaptiveCpuAllocator:
         epsilon: float = DEFAULT_EPSILON,
         max_cores_per_job: int = 24,
         history_window: int = 20,
+        degraded_after_aborts: int = DEFAULT_DEGRADED_AFTER_ABORTS,
+        degraded_cooldown_s: float = DEFAULT_DEGRADED_COOLDOWN_S,
     ) -> None:
         if profiling_step_s <= 0:
             raise ValueError(f"non-positive profiling step: {profiling_step_s}")
         if max_cores_per_job < 1:
-            raise ValueError(f"max_cores_per_job must be >= 1")
+            raise ValueError(f"max_cores_per_job must be >= 1: {max_cores_per_job}")
+        if degraded_after_aborts < 1:
+            raise ValueError(
+                f"degraded_after_aborts must be >= 1: {degraded_after_aborts}"
+            )
+        if degraded_cooldown_s < 0:
+            raise ValueError(
+                f"negative degraded cooldown: {degraded_cooldown_s}"
+            )
         self.profiling_step_s = profiling_step_s
         self.epsilon = epsilon
         self.max_cores_per_job = max_cores_per_job
+        self.degraded_after_aborts = degraded_after_aborts
+        self.degraded_cooldown_s = degraded_cooldown_s
         self.history = TenantHistory(window=history_window)
         self.outcomes: Dict[str, TuningOutcome] = {}
         self._active: Dict[str, _ActiveSession] = {}
         self._known_cores: Dict[str, int] = {}
+        #: Degraded-mode state: consecutive failure-killed sessions, the
+        #: sim time until which probing stays suspended, and counters.
+        self._failure_aborts = 0
+        self._degraded_until = float("-inf")
+        self.degraded_entries = 0
+        self.sessions_skipped_degraded = 0
 
     # ------------------------------------------------------------------ #
     # Placement-time: what cores should this job start with?
@@ -98,6 +124,13 @@ class AdaptiveCpuAllocator:
         if job.job_id in self._known_cores:
             return  # migrated back in at its tuned allocation
         if job.job_id in self._active:
+            return
+        if context.now < self._degraded_until:
+            # Degraded mode: repeated failure-killed sessions showed that
+            # probing is currently wasted work (every search dies with its
+            # node), so the job simply runs at its category-default
+            # N_start until the cooldown passes.
+            self.sessions_skipped_degraded += 1
             return
         session = TuningSession(
             n_start=cores_per_node,
@@ -146,7 +179,7 @@ class AdaptiveCpuAllocator:
         else:
             self._known_cores.setdefault(job.job_id, current_cores)
 
-    def on_job_failed(self, job: GpuJob) -> None:
+    def on_job_failed(self, job: GpuJob, now: Optional[float] = None) -> None:
         """The job was killed by an infrastructure failure.
 
         Unlike a migration, a crash invalidates the search: the samples
@@ -154,11 +187,30 @@ class AdaptiveCpuAllocator:
         exists, and even a settled allocation may not suit wherever the
         job restarts.  Abort the session and drop the tuned cores so the
         restarted job re-derives N_start and profiles afresh.
+
+        Each in-flight session killed this way counts toward degraded
+        mode: after ``degraded_after_aborts`` consecutive kills (with no
+        cleanly completed session in between) the allocator stops opening
+        new sessions for ``degraded_cooldown_s`` — re-probing forever on
+        hardware that keeps eating the probes wastes resize churn for
+        tuning data that never lands.  Resize-refusal aborts do *not*
+        count: those settle deterministically on the session's best cores
+        and are a normal part of a loaded, healthy cluster.
         """
         active = self._active.pop(job.job_id, None)
         if active is not None and active.event_handle is not None:
             active.event_handle.cancel()
         self._known_cores.pop(job.job_id, None)
+        if active is not None and now is not None:
+            self._failure_aborts += 1
+            if self._failure_aborts >= self.degraded_after_aborts:
+                self._degraded_until = now + self.degraded_cooldown_s
+                self._failure_aborts = 0
+                self.degraded_entries += 1
+
+    def is_degraded(self, now: float) -> bool:
+        """True while the allocator is refusing to open tuning sessions."""
+        return now < self._degraded_until
 
     def tuned_cores(self, job_id: str) -> Optional[int]:
         return self._known_cores.get(job_id)
@@ -208,6 +260,9 @@ class AdaptiveCpuAllocator:
         active = self._active.pop(job_id, None)
         if active is None:
             return
+        # A session that ran to a settled allocation is proof the control
+        # loop works again; the degraded-mode strike count starts over.
+        self._failure_aborts = 0
         session = active.session
         best = session.best_cores
         self._known_cores[job_id] = best

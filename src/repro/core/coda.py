@@ -25,6 +25,7 @@ from repro.core.arrays import DEFAULT_FOUR_GPU_FRACTION, DEFAULT_RESERVED_CORES
 from repro.core.eliminator import ContentionEliminator, EliminatorConfig
 from repro.core.multiarray import MultiArrayScheduler
 from repro.core.tuning import DEFAULT_EPSILON
+from repro.health.restarts import RestartPolicy
 from repro.schedulers.base import SchedulerContext
 from repro.workload.job import GpuJob, Job
 
@@ -39,6 +40,12 @@ class CodaConfig:
     tuning_epsilon: float = DEFAULT_EPSILON
     max_cores_per_job: int = 24
     history_window: int = 20
+    #: Consecutive failure-killed profiling sessions after which the
+    #: allocator stops probing and serves category-default N_start only
+    #: (degraded mode, see docs/resilience.md).
+    degraded_after_aborts: int = 3
+    #: How long degraded mode lasts before profiling resumes.
+    degraded_cooldown_s: float = 1800.0
     #: Extension beyond the paper: prefer placing trainers on nodes with
     #: memory-bandwidth/PCIe headroom (see MultiArrayScheduler).
     contention_aware_placement: bool = False
@@ -69,13 +76,20 @@ class CodaScheduler(MultiArrayScheduler):
 
     name = "coda"
 
-    def __init__(self, config: Optional[CodaConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[CodaConfig] = None,
+        *,
+        restart_policy: Optional[RestartPolicy] = None,
+    ) -> None:
         self.config = config or CodaConfig()
         allocator = AdaptiveCpuAllocator(
             profiling_step_s=self.config.profiling_step_s,
             epsilon=self.config.tuning_epsilon,
             max_cores_per_job=self.config.max_cores_per_job,
             history_window=self.config.history_window,
+            degraded_after_aborts=self.config.degraded_after_aborts,
+            degraded_cooldown_s=self.config.degraded_cooldown_s,
         )
         super().__init__(
             allocator,
@@ -83,6 +97,7 @@ class CodaScheduler(MultiArrayScheduler):
             four_gpu_fraction=self.config.four_gpu_fraction,
             contention_aware=self.config.contention_aware_placement,
             rack_aware=self.config.rack_aware_placement,
+            restart_policy=restart_policy,
         )
         self.eliminator = ContentionEliminator(config=self.config.eliminator)
 
@@ -122,14 +137,21 @@ class CodaScheduler(MultiArrayScheduler):
         """Failure path: unlike a migration, the allocator aborts any
         in-flight profiling search and forgets the tuned cores, so the
         restarted job falls back to N_start (Sec. V-B) on whatever node it
-        lands on next."""
+        lands on next.  The base class then charges the restart budget and
+        decides between re-queue (possibly delayed) and the dead-job
+        ledger."""
         if isinstance(job, GpuJob):
-            self.allocator.on_job_failed(job)
+            self.allocator.on_job_failed(job, now)
             self.eliminator.forget_job(job.job_id)
-        # Skip CodaScheduler.job_preempted (it would stash tuned cores);
-        # the multi-array re-queue below still lands the job at its array
-        # head.
-        super().job_preempted(job, now, preserve_progress=False)
+        super().job_failed(job, now)
+
+    def _requeue_failed_job(self, job: Job, now: float) -> None:
+        # Skip CodaScheduler.job_preempted (it would stash tuned cores the
+        # failure path just dropped); the multi-array re-queue still lands
+        # the job at its array head.
+        MultiArrayScheduler.job_preempted(
+            self, job, now, preserve_progress=False
+        )
 
     def _final_cores(self, job: GpuJob) -> Optional[int]:
         """The per-node cores the job last ran with, if discoverable."""

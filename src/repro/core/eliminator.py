@@ -20,9 +20,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.cluster.node import Node
+from repro.health.tracker import NodeHealthState
 from repro.perfmodel.contention import BANDWIDTH_PRESSURE_THRESHOLD
 from repro.schedulers.base import SchedulerContext
 from repro.sim.events import EventHandle
+
+#: Flap cooldown the CLI applies under active fault injection (the config
+#: default stays 0.0 so failure-free runs are byte-identical to the
+#: pre-damping behaviour).
+CHAOS_FLAP_COOLDOWN_S = 120.0
 
 
 @dataclass(frozen=True)
@@ -41,6 +47,12 @@ class EliminatorConfig:
     #: once that sample ages past this window the node is skipped entirely
     #: (no throttles, no halvings, no releases) until telemetry returns.
     staleness_window_s: float = 60.0
+    #: Throttle-flap damping: after a victim's throttle is released, the
+    #: same victim may not be throttled again on that node for this long.
+    #: 0 disables damping (the default — release/re-throttle cycles in
+    #: healthy runs keep their historical timing); the CLI switches it to
+    #: :data:`CHAOS_FLAP_COOLDOWN_S` whenever fault injection is armed.
+    flap_cooldown_s: float = 0.0
     enabled: bool = True
 
     def __post_init__(self) -> None:
@@ -62,6 +74,10 @@ class EliminatorConfig:
             raise ValueError(
                 f"negative staleness window: {self.staleness_window_s}"
             )
+        if self.flap_cooldown_s < 0:
+            raise ValueError(
+                f"negative flap cooldown: {self.flap_cooldown_s}"
+            )
 
 
 @dataclass
@@ -73,7 +89,11 @@ class ContentionEliminator:
     halving_actions: int = 0
     #: Ticks on which a node was skipped for stale/missing telemetry.
     stale_skips: int = 0
+    #: Throttle attempts suppressed by the flap cooldown.
+    flap_suppressions: int = 0
     _peak_util: Dict[str, float] = field(default_factory=dict)
+    #: (node_id, job_id) -> sim time of the last throttle release there.
+    _released_at: Dict[Tuple[int, str], float] = field(default_factory=dict)
     _armed: bool = field(default=False)
     _tick_handle: Optional[EventHandle] = field(default=None)
 
@@ -104,8 +124,17 @@ class ContentionEliminator:
         )
 
     def _tick(self, context: SchedulerContext) -> None:
+        health = context.cluster.health
         for node in context.cluster.nodes:
             if not node.is_up:
+                continue
+            if (
+                health.state_of(node.node_id, context.now)
+                is NodeHealthState.QUARANTINED
+            ):
+                # A quarantined node hosts nothing to police (residents
+                # were evicted at quarantine entry) and its telemetry is
+                # the least trustworthy on the floor; leave it alone.
                 continue
             self._check_node(node, context)
         self._arm(context)
@@ -136,6 +165,13 @@ class ContentionEliminator:
         )
         if victim is None:
             return
+        if self._in_flap_cooldown(node.node_id, victim, context.now):
+            # The same victim was just released; throttling it straight
+            # back would oscillate (throttle -> pressure drops -> release
+            # -> pressure returns -> throttle ...) with every cycle paid
+            # in stretched CPU jobs.  Sit this tick out.
+            self.flap_suppressions += 1
+            return
         if node.mba.supported:
             steps = self._throttle_steps_needed(node, victim)
             throttled = False
@@ -163,14 +199,20 @@ class ContentionEliminator:
             return
         has_trainers = any(gpu.owner is not None for gpu in node.gpus)
         if has_trainers:
-            unthrottled_demand = sum(
-                usage.demand for usage in node.bandwidth._usages.values()
-            )
+            unthrottled_demand = node.bandwidth.unthrottled_demand_gbps
             target = self.config.bandwidth_threshold * node.bandwidth.capacity_gbps
             if unthrottled_demand > target:
                 return
         for job_id in throttled:
             context.release_cpu_throttle(job_id, node.node_id)
+            if self.config.flap_cooldown_s > 0:
+                self._released_at[(node.node_id, job_id)] = context.now
+
+    def _in_flap_cooldown(self, node_id: int, job_id: str, now: float) -> bool:
+        if self.config.flap_cooldown_s <= 0:
+            return False
+        released = self._released_at.get((node_id, job_id))
+        return released is not None and now - released < self.config.flap_cooldown_s
 
     def _throttle_steps_needed(self, node: Node, victim: str) -> int:
         """MBA levels to step down so the node lands below the threshold.

@@ -42,6 +42,7 @@ from repro.core.arrays import (
     ArrayLayout,
     build_layout,
 )
+from repro.health.restarts import RestartPolicy
 from repro.schedulers.base import (
     Decision,
     PreemptDecision,
@@ -72,7 +73,9 @@ class MultiArrayScheduler(Scheduler):
         four_gpu_fraction: float = DEFAULT_FOUR_GPU_FRACTION,
         contention_aware: bool = False,
         rack_aware: bool = False,
+        restart_policy: Optional[RestartPolicy] = None,
     ) -> None:
+        super().__init__(restart_policy=restart_policy)
         self.allocator = allocator or AdaptiveCpuAllocator()
         self._reserved_cores = reserved_cores
         self._four_gpu_fraction = four_gpu_fraction
@@ -111,6 +114,7 @@ class MultiArrayScheduler(Scheduler):
     # Scheduler interface
 
     def attach(self, context: SchedulerContext) -> None:
+        super().attach(context)
         self._context = context
 
     @property
@@ -202,7 +206,7 @@ class MultiArrayScheduler(Scheduler):
             )
             self._topology = cluster.topology
         decisions: List[Decision] = []
-        free = FreeState.of(cluster)
+        free = FreeState.of(cluster, now=now)
         preempted: Set[str] = set()
         self._schedule_gpu_array(cluster, free, decisions, preempted)
         self._schedule_cpu_array(cluster, free, decisions, preempted)
@@ -506,7 +510,9 @@ class MultiArrayScheduler(Scheduler):
                 )
         if len(candidates) < nodes_needed:
             return None
-        candidates.sort(key=lambda c: (c[3], c[2], c[1], c[0]))
+        candidates.sort(
+            key=lambda c: (free.placement_penalty(c[0]), c[3], c[2], c[1], c[0])
+        )
         chosen = candidates[:nodes_needed]
         placements: List[Placement] = []
         for node_id, free_cpus, free_gpus, _, cpu_victims, gpu_victims in chosen:
@@ -656,19 +662,23 @@ class MultiArrayScheduler(Scheduler):
         """Best-fit within the CPU array's unreserved per-node capacity."""
         layout = self._layout
         assert layout is not None
-        best: Optional[Tuple[int, int]] = None  # (headroom, node_id)
+        best: Optional[Tuple[int, int, int]] = None  # (penalty, headroom, node_id)
         for node in cluster.nodes:
             capacity = layout.cpu_array_capacity(node.total_cpus, node.total_gpus)
             headroom = capacity - normal_used[node.node_id]
             free_cpus, _ = free.free_of(node.node_id)
             if headroom < job.cores or free_cpus < job.cores:
                 continue
-            key = (headroom, node.node_id)
+            key = (
+                free.placement_penalty(node.node_id),
+                headroom,
+                node.node_id,
+            )
             if best is None or key < best:
                 best = key
         if best is None:
             return None
-        return [(best[1], job.cores, 0)]
+        return [(best[2], job.cores, 0)]
 
     # --------------------------- shared ------------------------------- #
 

@@ -32,6 +32,8 @@ from typing import (
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.cluster import Cluster
+from repro.health.config import HealthConfig
+from repro.health.tracker import NodeHealthTracker
 from repro.metrics.collector import MetricsCollector
 from repro.perfmodel.bandwidth import memory_bandwidth_demand
 from repro.perfmodel.catalog import ModelProfile, get_model
@@ -110,6 +112,12 @@ class RunResult:
     restarts: int = 0
     #: Total node downtime over the horizon (still-open outages included).
     node_downtime_s: float = 0.0
+    #: Quarantine windows entered by the node-health tracker.
+    quarantines: int = 0
+    #: Node-seconds spent quarantined through the horizon.
+    quarantine_s: float = 0.0
+    #: Jobs retired to the dead-job ledger (restart budget exhausted).
+    dead_jobs: int = 0
 
 
 def _env_auditor() -> Optional["InvariantAuditor"]:
@@ -141,10 +149,14 @@ class SimulationRunner(SchedulerContext):
         audit: Optional["AuditLog"] = None,
         fault_injector: Optional["FaultInjector"] = None,
         auditor: Optional["InvariantAuditor"] = None,
+        health_config: Optional[HealthConfig] = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError(f"non-positive sample interval: {sample_interval_s}")
         self.cluster = cluster
+        if health_config is not None:
+            cluster.health = NodeHealthTracker(health_config)
+        self.health = cluster.health
         self.scheduler = scheduler
         self.engine = engine or Engine()
         self.collector = collector or MetricsCollector()
@@ -212,6 +224,9 @@ class SimulationRunner(SchedulerContext):
             node_downtime_s=self.collector.faults.downtime_through(
                 self.engine.now
             ),
+            quarantines=self.collector.faults.quarantines,
+            quarantine_s=self.health.total_quarantine_s(self.engine.now),
+            dead_jobs=len(self.scheduler.dead_jobs),
         )
 
     def _audit(self, event: str, job: Job, **detail: object) -> None:
@@ -644,6 +659,7 @@ class SimulationRunner(SchedulerContext):
         node.mark_down()
         self.collector.faults.node_failures += 1
         self.collector.faults.node_down(node_id, self.engine.now)
+        self._record_node_strike(node_id, kind="crash")
         self.request_schedule()
 
     def recover_node(self, node_id: int) -> None:
@@ -669,6 +685,7 @@ class SimulationRunner(SchedulerContext):
             )
         node.fail_gpu(gpu_id)
         self.collector.faults.gpu_failures += 1
+        self._record_node_strike(node_id, kind="gpu")
         self.request_schedule()
 
     def repair_gpu(self, node_id: int, gpu_id: int) -> None:
@@ -682,6 +699,7 @@ class SimulationRunner(SchedulerContext):
             self.engine.now + duration_s
         )
         self.collector.faults.telemetry_dropouts += 1
+        self._record_node_strike(node_id, kind="telemetry")
 
     def running_cpu_job_ids(self) -> List[str]:
         return list(self._running_cpu)
@@ -711,6 +729,42 @@ class SimulationRunner(SchedulerContext):
             return
         record.straggle_factor = 1.0
         self._reprice_cpu(record)
+
+    def _record_node_strike(self, node_id: int, *, kind: str) -> None:
+        """Charge one failure strike against a node's health record.
+
+        When the strike tips the node into quarantine: evict any resident
+        jobs with progress preserved (their software is fine; their
+        neighbourhood is not), count the quarantine, and schedule a
+        scheduling pass at readmission time so queued work re-discovers
+        the node the moment it leaves quarantine.
+        """
+        now = self.engine.now
+        if not self.health.record_failure(node_id, now, kind=kind):
+            return
+        self.collector.faults.quarantines += 1
+        node = self.cluster.node(node_id)
+        if node.is_up:
+            for job_id in sorted(node.jobs_here()):
+                self._execute_preempt(
+                    PreemptDecision(
+                        job_id=job_id,
+                        reason=f"node {node_id} quarantined",
+                        preserve_progress=True,
+                    )
+                )
+        self.engine.schedule(
+            self.health.quarantine_until(node_id),
+            lambda node_id=node_id: self._on_quarantine_end(node_id),
+            priority=EventPriority.MONITOR,
+            tag=f"quarantine-end:{node_id}",
+        )
+        self.request_schedule()
+
+    def _on_quarantine_end(self, node_id: int) -> None:
+        """A quarantine expired (the node is on probation now); let the
+        scheduler re-discover its capacity."""
+        self.request_schedule()
 
     def _execute_failure(self, job_id: str, *, reason: str) -> None:
         """Kill one running job because its hardware failed."""

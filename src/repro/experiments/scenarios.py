@@ -19,6 +19,7 @@ from repro.config import ClusterConfig, paper_cluster, small_cluster
 from repro.core.coda import CodaConfig, CodaScheduler
 from repro.experiments.runner import RunResult, SimulationRunner
 from repro.faults import FaultConfig, FaultInjector
+from repro.health.config import HealthConfig
 from repro.schedulers.base import Scheduler
 from repro.schedulers.drf import DrfScheduler
 from repro.schedulers.fifo import FifoScheduler
@@ -129,12 +130,16 @@ def run_scenario(
     *,
     sample_interval_s: float = 300.0,
     auditor: Optional[InvariantAuditor] = None,
+    health_config: Optional[HealthConfig] = None,
 ) -> RunResult:
     """Execute one (scenario, policy) run to its horizon.
 
     ``auditor`` (an :class:`~repro.analysis.invariants.InvariantAuditor`)
     rides along as an engine observer; because it fires no events, the
-    result is byte-identical with or without it.
+    result is byte-identical with or without it.  ``health_config``
+    replaces the cluster's default node-health tracker — only meaningful
+    under fault injection, since without failures no node ever collects a
+    strike.
     """
     runner = SimulationRunner(
         scenario.build_cluster(),
@@ -143,6 +148,7 @@ def run_scenario(
         sample_interval_s=sample_interval_s,
         fault_injector=scenario.build_fault_injector(),
         auditor=auditor,
+        health_config=health_config,
     )
     return runner.run(until=scenario.horizon_s)
 

@@ -1,0 +1,23 @@
+"""Node-health quarantine and restart budgets (see docs/resilience.md).
+
+The graceful-degradation layer: a per-node health state machine driven by
+the runner's observed failures (:mod:`repro.health.tracker`), and per-job
+restart budgets with a dead-job ledger (:mod:`repro.health.restarts`).
+"""
+
+from repro.health.config import HealthConfig
+from repro.health.restarts import DeadJob, RestartPolicy
+from repro.health.tracker import (
+    NodeHealthState,
+    NodeHealthTracker,
+    QuarantineSpan,
+)
+
+__all__ = [
+    "DeadJob",
+    "HealthConfig",
+    "NodeHealthState",
+    "NodeHealthTracker",
+    "QuarantineSpan",
+    "RestartPolicy",
+]

@@ -1,0 +1,81 @@
+"""Knobs of the node-health state machine.
+
+All thresholds are expressed in *strike weight*: a whole-node crash or a
+GPU failure counts 1.0, a transient MBM telemetry dropout only 0.25 — the
+node still computes correctly through a blind monitor, so it takes a
+sustained pattern of dropouts to look as sick as a crash-looping machine
+(the asymmetry the Philly trace study motivates: most failures are not
+equally predictive of the next one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tunables of :class:`~repro.health.tracker.NodeHealthTracker`."""
+
+    #: Strike weight within the failure window at which a node is
+    #: quarantined (3.0 = three crashes, or twelve telemetry dropouts).
+    quarantine_threshold: float = 3.0
+    #: Sliding window over which strikes are summed; older ones expire.
+    failure_window_s: float = 3600.0
+    #: First quarantine duration; doubles per consecutive quarantine.
+    base_quarantine_s: float = 1800.0
+    #: Multiplier applied to the quarantine window per consecutive
+    #: quarantine (reset once the node completes a clean probation).
+    quarantine_backoff: float = 2.0
+    #: Ceiling on any single quarantine window.
+    max_quarantine_s: float = 4 * 3600.0
+    #: Post-quarantine observation period: any strike during probation
+    #: re-quarantines immediately (with the longer, backed-off window).
+    probation_s: float = 900.0
+    #: Strike weights per failure kind.
+    crash_weight: float = 1.0
+    gpu_failure_weight: float = 1.0
+    telemetry_weight: float = 0.25
+    #: Master switch: disabled, the tracker records nothing and every node
+    #: reads HEALTHY forever (the pre-quarantine behaviour).
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.quarantine_threshold <= 0:
+            raise ValueError(
+                f"non-positive quarantine threshold: {self.quarantine_threshold}"
+            )
+        if self.failure_window_s <= 0:
+            raise ValueError(
+                f"non-positive failure window: {self.failure_window_s}"
+            )
+        if self.base_quarantine_s <= 0:
+            raise ValueError(
+                f"non-positive base quarantine: {self.base_quarantine_s}"
+            )
+        if self.quarantine_backoff < 1.0:
+            raise ValueError(
+                f"quarantine backoff below 1: {self.quarantine_backoff}"
+            )
+        if self.max_quarantine_s < self.base_quarantine_s:
+            raise ValueError(
+                f"max quarantine {self.max_quarantine_s} below base "
+                f"{self.base_quarantine_s}"
+            )
+        if self.probation_s < 0:
+            raise ValueError(f"negative probation: {self.probation_s}")
+        for name in ("crash_weight", "gpu_failure_weight", "telemetry_weight"):
+            weight = getattr(self, name)
+            if weight < 0:
+                raise ValueError(f"negative {name}: {weight}")
+
+    def weight_of(self, kind: str) -> float:
+        """Strike weight for a failure kind (crash | gpu | telemetry)."""
+        weights = {
+            "crash": self.crash_weight,
+            "gpu": self.gpu_failure_weight,
+            "telemetry": self.telemetry_weight,
+        }
+        if kind not in weights:
+            raise ValueError(f"unknown failure kind: {kind!r}")
+        return weights[kind]

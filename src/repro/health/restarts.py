@@ -1,0 +1,64 @@
+"""Per-job restart budgets and the dead-job ledger.
+
+The scheduler base class consults a :class:`RestartPolicy` on every
+infrastructure failure: the first failure re-queues immediately (matching
+the pre-budget behaviour, so a one-off crash costs nothing extra), repeat
+failures back off exponentially, and a job that exhausts its budget is
+moved to the dead-job ledger instead of livelocking its array head — the
+"poison job" pathology the Philly trace study documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """How many failures a job may survive, and how fast it retries."""
+
+    #: Failures after which the job is declared dead; None = unlimited.
+    max_restarts: Optional[int] = 5
+    #: Re-queue delay after the *second* failure; the first re-queues
+    #: immediately (a single crash is overwhelmingly a node problem, not a
+    #: job problem, and must not slow recovery).
+    base_delay_s: float = 30.0
+    #: Delay multiplier per further failure.
+    backoff: float = 2.0
+    #: Ceiling on any single re-queue delay.
+    max_delay_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_restarts is not None and self.max_restarts < 1:
+            raise ValueError(f"max_restarts below 1: {self.max_restarts}")
+        if self.base_delay_s < 0:
+            raise ValueError(f"negative base delay: {self.base_delay_s}")
+        if self.backoff < 1.0:
+            raise ValueError(f"restart backoff below 1: {self.backoff}")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                f"max delay {self.max_delay_s} below base {self.base_delay_s}"
+            )
+
+    def exhausted(self, failure_count: int) -> bool:
+        """True once ``failure_count`` failures exceed the budget."""
+        return self.max_restarts is not None and failure_count > self.max_restarts
+
+    def requeue_delay(self, failure_count: int) -> float:
+        """Seconds to wait before re-queueing after failure number
+        ``failure_count`` (1-based)."""
+        if failure_count <= 1:
+            return 0.0
+        delay = self.base_delay_s * self.backoff ** (failure_count - 2)
+        return min(delay, self.max_delay_s)
+
+
+@dataclass(frozen=True)
+class DeadJob:
+    """One entry of the dead-job ledger."""
+
+    job_id: str
+    time: float
+    failures: int
+    reason: str

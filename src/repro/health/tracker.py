@@ -1,0 +1,199 @@
+"""The per-node health state machine.
+
+States and transitions::
+
+    HEALTHY --strike--> SUSPECT --threshold--> QUARANTINED
+       ^                   |                        |
+       |   window expires  |                 window elapses
+       +-------------------+                        v
+       +----clean probation------------------- PROBATION
+                                                    |
+                                             any strike: back to
+                                             QUARANTINED (longer)
+
+Strikes come from the failure events the runner already observes (node
+crashes, GPU failures, MBM telemetry dropouts), weighted per
+:class:`~repro.health.config.HealthConfig` and summed over a sliding
+window.  Crossing the threshold quarantines the node for a window that
+doubles with every consecutive quarantine (exponential-backoff
+readmission); a completed probation resets the backoff.
+
+Determinism contract: quarantine entry is *eager* (decided inside
+:meth:`record_failure`, which only the runner's failure paths call), while
+QUARANTINED → PROBATION → HEALTHY transitions are *lazy* and anchored to
+deadlines fixed at entry time — so querying a node's state never changes
+what any later query returns.  An observer (the invariant auditor) may
+read states freely without perturbing the run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.health.config import HealthConfig
+
+
+class NodeHealthState(Enum):
+    """Where a node stands in the quarantine life cycle."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    QUARANTINED = "quarantined"
+    PROBATION = "probation"
+
+
+@dataclass(frozen=True)
+class QuarantineSpan:
+    """One quarantine window of one node (end fixed at entry time)."""
+
+    node_id: int
+    start: float
+    end: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class _NodeRecord:
+    state: NodeHealthState = NodeHealthState.HEALTHY
+    #: Recent (time, weight) strikes inside the failure window.
+    strikes: Deque[Tuple[float, float]] = field(default_factory=deque)
+    #: Consecutive quarantines without a clean probation in between.
+    backoff_level: int = 0
+    quarantine_until: float = float("-inf")
+    probation_until: float = float("-inf")
+
+
+class NodeHealthTracker:
+    """Tracks every node's health state from observed failure events."""
+
+    def __init__(self, config: Optional[HealthConfig] = None) -> None:
+        self.config = config or HealthConfig()
+        self._records: Dict[int, _NodeRecord] = {}
+        #: All quarantine windows ever entered (for metrics).
+        self.spans: List[QuarantineSpan] = []
+        self.quarantines_started: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Strike intake (runner failure paths only)
+
+    def record_failure(self, node_id: int, now: float, *, kind: str) -> bool:
+        """Register one failure on ``node_id``; True when this strike
+        pushes the node into QUARANTINED (the caller must then evict any
+        residents and arm a readmission wake-up at
+        :meth:`quarantine_until`)."""
+        if not self.config.enabled:
+            return False
+        record = self._records.setdefault(node_id, _NodeRecord())
+        self._advance(record, now)
+        if record.state is NodeHealthState.QUARANTINED:
+            # Already benched; a strike against an empty node (e.g. a GPU
+            # burning out while idle) must not extend the sentence, or a
+            # flaky-but-idle node could never serve again.
+            return False
+        weight = self.config.weight_of(kind)
+        record.strikes.append((now, weight))
+        self._expire_strikes(record, now)
+        if record.state is NodeHealthState.PROBATION:
+            # Zero tolerance during probation: the node just proved the
+            # quarantine window was too short.
+            self._enter_quarantine(record, node_id, now)
+            return True
+        if self._strike_score(record) >= self.config.quarantine_threshold:
+            self._enter_quarantine(record, node_id, now)
+            return True
+        record.state = NodeHealthState.SUSPECT
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Queries (lazy, idempotent at fixed ``now``)
+
+    def state_of(self, node_id: int, now: float) -> NodeHealthState:
+        record = self._records.get(node_id)
+        if record is None:
+            return NodeHealthState.HEALTHY
+        self._advance(record, now)
+        return record.state
+
+    def quarantine_until(self, node_id: int) -> float:
+        """Deadline of the node's current/most recent quarantine window."""
+        record = self._records.get(node_id)
+        return float("-inf") if record is None else record.quarantine_until
+
+    def quarantined_nodes(self, now: float) -> List[int]:
+        return [
+            node_id
+            for node_id in sorted(self._records)
+            if self.state_of(node_id, now) is NodeHealthState.QUARANTINED
+        ]
+
+    def deprioritized_nodes(self, now: float) -> List[int]:
+        """Nodes placement should prefer to avoid: SUSPECT or PROBATION."""
+        flagged = (NodeHealthState.SUSPECT, NodeHealthState.PROBATION)
+        return [
+            node_id
+            for node_id in sorted(self._records)
+            if self.state_of(node_id, now) in flagged
+        ]
+
+    def total_quarantine_s(self, now: float) -> float:
+        """Quarantine time accumulated through ``now`` across all nodes."""
+        return sum(
+            max(0.0, min(span.end, now) - span.start) for span in self.spans
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+
+    def _advance(self, record: _NodeRecord, now: float) -> None:
+        """Apply every deadline-anchored transition due by ``now``."""
+        if (
+            record.state is NodeHealthState.QUARANTINED
+            and now >= record.quarantine_until
+        ):
+            record.state = NodeHealthState.PROBATION
+        if (
+            record.state is NodeHealthState.PROBATION
+            and now >= record.probation_until
+        ):
+            # Clean probation: full rehabilitation, backoff forgotten.
+            record.state = NodeHealthState.HEALTHY
+            record.backoff_level = 0
+            record.strikes.clear()
+        if record.state is NodeHealthState.SUSPECT:
+            self._expire_strikes(record, now)
+            if not record.strikes:
+                record.state = NodeHealthState.HEALTHY
+
+    def _expire_strikes(self, record: _NodeRecord, now: float) -> None:
+        horizon = now - self.config.failure_window_s
+        while record.strikes and record.strikes[0][0] <= horizon:
+            record.strikes.popleft()
+
+    @staticmethod
+    def _strike_score(record: _NodeRecord) -> float:
+        return sum(weight for _, weight in record.strikes)
+
+    def _enter_quarantine(
+        self, record: _NodeRecord, node_id: int, now: float
+    ) -> None:
+        config = self.config
+        duration = min(
+            config.max_quarantine_s,
+            config.base_quarantine_s
+            * config.quarantine_backoff**record.backoff_level,
+        )
+        record.backoff_level += 1
+        record.state = NodeHealthState.QUARANTINED
+        record.quarantine_until = now + duration
+        record.probation_until = record.quarantine_until + config.probation_s
+        record.strikes.clear()
+        self.spans.append(
+            QuarantineSpan(node_id=node_id, start=now, end=record.quarantine_until)
+        )
+        self.quarantines_started += 1

@@ -27,6 +27,8 @@ class FaultStats:
     stragglers: int = 0
     #: Jobs killed by a failure and sent back to their array head.
     restarts: int = 0
+    #: Quarantine windows entered by the node-health tracker.
+    quarantines: int = 0
     #: Training iterations lost between the last checkpoint and the crash.
     lost_gpu_iterations: float = 0.0
     #: CPU-job work-seconds lost (CPU jobs restart from scratch).

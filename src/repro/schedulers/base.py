@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.cluster import Cluster
+from repro.health.restarts import DeadJob, RestartPolicy
 from repro.sim.events import EventHandle
 from repro.workload.job import Job
 
@@ -112,15 +113,40 @@ class SchedulerContext(abc.ABC):
     def preempt_job(self, job_id: str, *, preserve_progress: bool, reason: str) -> None:
         """Evict a running job now and hand it back to the scheduler."""
 
+    @abc.abstractmethod
+    def request_schedule(self) -> None:
+        """Ask for a scheduling pass at the current instant (coalesced)."""
+
 
 class Scheduler(abc.ABC):
-    """Base class for all scheduling policies."""
+    """Base class for all scheduling policies.
+
+    Besides queue management, the base class owns the failure-resilience
+    bookkeeping every policy shares: a per-job restart budget with
+    exponential-backoff re-queueing, and the dead-job ledger that absorbs
+    poison jobs once their budget runs out (see docs/resilience.md).
+    """
 
     #: Human-readable policy name used in reports.
     name: str = "base"
 
+    def __init__(
+        self, *, restart_policy: Optional[RestartPolicy] = None
+    ) -> None:
+        self.restart_policy = restart_policy or RestartPolicy()
+        #: Jobs retired after exhausting their restart budget.
+        self.dead_jobs: List[DeadJob] = []
+        self._restart_counts: Dict[str, int] = {}
+        self._base_context: Optional[SchedulerContext] = None
+
     def attach(self, context: SchedulerContext) -> None:
-        """Receive the runtime-control surface.  Baselines ignore it."""
+        """Receive the runtime-control surface.  Baselines only use it for
+        deferred (backed-off) failure re-queues."""
+        self._base_context = context
+
+    def restart_count(self, job_id: str) -> int:
+        """How many infrastructure failures ``job_id`` has taken so far."""
+        return self._restart_counts.get(job_id, 0)
 
     @abc.abstractmethod
     def submit(self, job: Job, now: float) -> None:
@@ -142,11 +168,49 @@ class Scheduler(abc.ABC):
 
     def job_failed(self, job: Job, now: float) -> None:
         """A running job was killed by an infrastructure failure (node
-        crash, GPU failure).  Default: the same abort/re-queue path as a
-        progress-losing preemption — queue-head policies (the multi-array
-        scheduler) thereby put displaced jobs back at their array head.
-        Any surviving checkpoint progress is the runner's business, not the
-        queue's."""
+        crash, GPU failure).
+
+        The base class charges the job's restart budget: the first failure
+        re-queues immediately (the pre-budget behaviour), repeat failures
+        re-queue after an exponentially growing delay, and a job that
+        exhausts its budget lands in :attr:`dead_jobs` instead of
+        livelocking its array head.  Where the job re-enters its queue is
+        :meth:`_requeue_failed_job`'s business; any surviving checkpoint
+        progress is the runner's, not the queue's."""
+        count = self._restart_counts.get(job.job_id, 0) + 1
+        self._restart_counts[job.job_id] = count
+        policy = self.restart_policy
+        if policy.exhausted(count):
+            self.dead_jobs.append(
+                DeadJob(
+                    job_id=job.job_id,
+                    time=now,
+                    failures=count,
+                    reason="restart budget exhausted",
+                )
+            )
+            return
+        delay = policy.requeue_delay(count)
+        context = self._base_context
+        if delay <= 0 or context is None:
+            self._requeue_failed_job(job, now)
+            return
+
+        def _deferred_requeue(
+            job: Job = job, context: SchedulerContext = context
+        ) -> None:
+            self._requeue_failed_job(job, context.now)
+            context.request_schedule()
+
+        context.schedule_event(
+            delay, _deferred_requeue, tag=f"requeue:{job.job_id}"
+        )
+
+    def _requeue_failed_job(self, job: Job, now: float) -> None:
+        """Put a failed (but not dead) job back in its queue.  Default:
+        the same abort/re-queue path as a progress-losing preemption —
+        queue-head policies (the multi-array scheduler) thereby put
+        displaced jobs back at their array head."""
         self.job_preempted(job, now, preserve_progress=False)
 
     @abc.abstractmethod

@@ -20,6 +20,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Set
 
 from repro.cluster.cluster import Cluster
+from repro.health.restarts import RestartPolicy
 from repro.schedulers.base import Decision, Scheduler, StartDecision, UsageLedger
 from repro.schedulers.placement import FreeState, place_cpu_job, place_gpu_job
 from repro.workload.job import CpuJob, GpuJob, Job
@@ -30,7 +31,10 @@ class DrfScheduler(Scheduler):
 
     name = "drf"
 
-    def __init__(self) -> None:
+    def __init__(
+        self, *, restart_policy: Optional[RestartPolicy] = None
+    ) -> None:
+        super().__init__(restart_policy=restart_policy)
         self._queues: Dict[int, Deque[Job]] = {}
         self._ledger = UsageLedger()
 
@@ -52,7 +56,7 @@ class DrfScheduler(Scheduler):
 
     def schedule(self, cluster: Cluster, now: float) -> List[Decision]:
         decisions: List[Decision] = []
-        free = FreeState.of(cluster)
+        free = FreeState.of(cluster, now=now)
         total = cluster.total
         blocked: Set[int] = set()
 

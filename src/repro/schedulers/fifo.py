@@ -20,9 +20,10 @@ fragmentation mechanism of Sec. VI-C.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List
+from typing import Deque, List, Optional
 
 from repro.cluster.cluster import Cluster
+from repro.health.restarts import RestartPolicy
 from repro.schedulers.base import Decision, Scheduler, StartDecision
 from repro.schedulers.placement import FreeState, place_cpu_job, place_gpu_job
 from repro.workload.job import CpuJob, GpuJob, Job
@@ -33,7 +34,10 @@ class FifoScheduler(Scheduler):
 
     name = "fifo"
 
-    def __init__(self) -> None:
+    def __init__(
+        self, *, restart_policy: Optional[RestartPolicy] = None
+    ) -> None:
+        super().__init__(restart_policy=restart_policy)
         self._gpu_queue: Deque[GpuJob] = deque()
         self._cpu_queue: Deque[CpuJob] = deque()
 
@@ -57,7 +61,7 @@ class FifoScheduler(Scheduler):
 
     def schedule(self, cluster: Cluster, now: float) -> List[Decision]:
         decisions: List[Decision] = []
-        free = FreeState.of(cluster)
+        free = FreeState.of(cluster, now=now)
 
         while self._gpu_queue:
             head = self._gpu_queue[0]

@@ -8,12 +8,20 @@ Placement heuristics are best-fit: pack GPU jobs onto the nodes whose free
 GPU count (then free core count) is tightest, and CPU jobs onto the nodes
 with the tightest free cores.  Best-fit keeps large-GPU nodes whole, which
 matters for the paper's 4-GPU jobs.
+
+Node health (see :mod:`repro.health`) folds in at snapshot time: passing
+``now`` to :meth:`FreeState.of` reads the cluster's health tracker, zeroes
+out QUARANTINED nodes (they take no placements, same as a downed node),
+and de-prioritizes SUSPECT/PROBATION nodes — every best-fit sort tries all
+clean nodes before touching a flagged one.  Without ``now`` (or with no
+strikes on record) the snapshot and orderings are byte-identical to the
+health-unaware ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.workload.job import CpuJob, GpuJob
@@ -31,28 +39,61 @@ class _NodeFree:
 class FreeState:
     """Per-node free (cpus, gpus) snapshot with commit semantics."""
 
-    def __init__(self, free: Dict[int, Tuple[int, int]]) -> None:
+    def __init__(
+        self,
+        free: Dict[int, Tuple[int, int]],
+        *,
+        deprioritized: Optional[Iterable[int]] = None,
+    ) -> None:
         self._nodes: Dict[int, _NodeFree] = {
             node_id: _NodeFree(node_id, cpus, gpus)
             for node_id, (cpus, gpus) in free.items()
         }
+        self._deprioritized: Set[int] = set(deprioritized or ())
 
     @classmethod
     def of(
-        cls, cluster: Cluster, *, among: Optional[Iterable[int]] = None
+        cls,
+        cluster: Cluster,
+        *,
+        among: Optional[Iterable[int]] = None,
+        now: Optional[float] = None,
     ) -> "FreeState":
+        """Snapshot free capacity; with ``now``, health-filtered.
+
+        QUARANTINED nodes stay in the snapshot (so ``free_of`` keeps
+        working for reclaim bookkeeping) but report zero free capacity —
+        a policy that still places there trips :meth:`commit`'s guard,
+        which is a bug worth crashing on.
+        """
         node_ids = (
             range(len(cluster.nodes)) if among is None else among
         )
+        quarantined: Set[int] = set()
+        deprioritized: Set[int] = set()
+        if now is not None:
+            health = cluster.health
+            quarantined = set(health.quarantined_nodes(now))
+            deprioritized = set(health.deprioritized_nodes(now))
         return cls(
             {
                 node_id: (
-                    cluster.nodes[node_id].free_cpus,
-                    cluster.nodes[node_id].free_gpus,
+                    (0, 0)
+                    if node_id in quarantined
+                    else (
+                        cluster.nodes[node_id].free_cpus,
+                        cluster.nodes[node_id].free_gpus,
+                    )
                 )
                 for node_id in node_ids
-            }
+            },
+            deprioritized=deprioritized,
         )
+
+    def placement_penalty(self, node_id: int) -> int:
+        """1 for nodes placement should avoid (SUSPECT/PROBATION), else 0;
+        prefixed to every best-fit sort key."""
+        return 1 if node_id in self._deprioritized else 0
 
     def free_of(self, node_id: int) -> Tuple[int, int]:
         node = self._nodes[node_id]
@@ -117,7 +158,14 @@ def place_gpu_job(
     candidates = free._candidates(cores, gpus, among)
     if len(candidates) < job.setup.num_nodes:
         return None
-    candidates.sort(key=lambda node: (node.gpus, node.cpus, node.node_id))
+    candidates.sort(
+        key=lambda node: (
+            free.placement_penalty(node.node_id),
+            node.gpus,
+            node.cpus,
+            node.node_id,
+        )
+    )
     chosen = candidates[: job.setup.num_nodes]
     return [(node.node_id, cores, gpus) for node in chosen]
 
@@ -137,5 +185,11 @@ def place_cpu_job(
     candidates = free._candidates(job.cores, 0, among)
     if not candidates:
         return None
-    candidates.sort(key=lambda node: (node.cpus, node.node_id))
+    candidates.sort(
+        key=lambda node: (
+            free.placement_penalty(node.node_id),
+            node.cpus,
+            node.node_id,
+        )
+    )
     return [(candidates[0].node_id, job.cores, 0)]

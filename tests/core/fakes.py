@@ -45,6 +45,7 @@ class FakeContext(SchedulerContext):
         self.preempted: List[str] = []
         self.mba_supported = True
         self.running: set = set()
+        self.schedule_requests = 0
 
     # ------------------------------------------------------------------ #
     # SchedulerContext
@@ -86,6 +87,9 @@ class FakeContext(SchedulerContext):
 
     def preempt_job(self, job_id: str, *, preserve_progress: bool, reason: str) -> None:
         self.preempted.append(job_id)
+
+    def request_schedule(self) -> None:
+        self.schedule_requests += 1
 
     # ------------------------------------------------------------------ #
     # Test driving

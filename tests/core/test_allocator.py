@@ -178,6 +178,86 @@ class TestPreemption:
         assert len(context.events) == events_before
 
 
+class TestDegradedMode:
+    """Repeated failure-killed profiling sessions suspend new sessions
+    for a cooldown; the allocator then serves N_start only."""
+
+    def _fail_active_session(self, allocator, context, job_id, at):
+        job = _job(job_id=job_id)
+        context.start_job(job.job_id, 4)
+        allocator.on_job_started(job, 4, context)
+        assert allocator.is_tuning(job.job_id)
+        context._now = at
+        context.stop_job(job.job_id)
+        allocator.on_job_failed(job, now=at)
+
+    def test_enters_degraded_after_threshold_aborts(self):
+        allocator = AdaptiveCpuAllocator(
+            degraded_after_aborts=3, degraded_cooldown_s=1000.0
+        )
+        context = FakeContext(curve_with_knee(5))
+        for i in range(3):
+            self._fail_active_session(allocator, context, f"g{i}", at=10.0 * (i + 1))
+        assert allocator.degraded_entries == 1
+        assert allocator.is_degraded(30.0)
+        # New jobs run at N_start with no session opened.
+        job = _job(job_id="after")
+        context.start_job(job.job_id, 4)
+        allocator.on_job_started(job, 4, context)
+        assert not allocator.is_tuning(job.job_id)
+        assert allocator.sessions_skipped_degraded == 1
+
+    def test_probing_resumes_after_cooldown(self):
+        allocator = AdaptiveCpuAllocator(
+            degraded_after_aborts=2, degraded_cooldown_s=100.0
+        )
+        context = FakeContext(curve_with_knee(5))
+        for i in range(2):
+            self._fail_active_session(allocator, context, f"g{i}", at=10.0)
+        assert allocator.is_degraded(50.0)
+        context._now = 200.0
+        assert not allocator.is_degraded(200.0)
+        job = _job(job_id="later")
+        context.start_job(job.job_id, 4)
+        allocator.on_job_started(job, 4, context)
+        assert allocator.is_tuning(job.job_id)
+
+    def test_clean_session_resets_the_strike_count(self):
+        allocator = AdaptiveCpuAllocator(
+            degraded_after_aborts=2, degraded_cooldown_s=1000.0
+        )
+        context = FakeContext(curve_with_knee(5))
+        self._fail_active_session(allocator, context, "g0", at=10.0)
+        # A session that converges cleanly proves the loop works again.
+        ok = _job(job_id="ok")
+        context.start_job(ok.job_id, 4)
+        allocator.on_job_started(ok, 4, context)
+        context.fire_all()
+        assert not allocator.is_tuning(ok.job_id)
+        self._fail_active_session(allocator, context, "g1", at=500.0)
+        assert allocator.degraded_entries == 0
+        assert not allocator.is_degraded(500.0)
+
+    def test_failures_without_active_session_do_not_count(self):
+        allocator = AdaptiveCpuAllocator(
+            degraded_after_aborts=1, degraded_cooldown_s=1000.0
+        )
+        # The job never opened a session (e.g. it was already tuned).
+        allocator.on_job_failed(_job(job_id="idle"), now=10.0)
+        assert allocator.degraded_entries == 0
+
+    def test_failed_job_forgets_tuned_cores(self):
+        allocator = AdaptiveCpuAllocator()
+        context = FakeContext(curve_with_knee(5))
+        job = _job()
+        context.start_job(job.job_id, 4)
+        allocator.on_job_started(job, 4, context)
+        context.fire_all()
+        assert allocator.tuned_cores(job.job_id) == 5
+        allocator.on_job_failed(job, now=1000.0)
+        assert allocator.tuned_cores(job.job_id) is None
+
+
 class TestValidation:
     def test_bad_profiling_step(self):
         with pytest.raises(ValueError):
@@ -186,3 +266,9 @@ class TestValidation:
     def test_bad_max_cores(self):
         with pytest.raises(ValueError):
             AdaptiveCpuAllocator(max_cores_per_job=0)
+
+    def test_bad_degraded_knobs(self):
+        with pytest.raises(ValueError):
+            AdaptiveCpuAllocator(degraded_after_aborts=0)
+        with pytest.raises(ValueError):
+            AdaptiveCpuAllocator(degraded_cooldown_s=-1.0)

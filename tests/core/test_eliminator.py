@@ -222,6 +222,90 @@ class TestTelemetryStaleness:
         assert eliminator.throttle_actions == 1
 
 
+class TestStalenessBoundary:
+    """The staleness window is inclusive: a sample aged *exactly*
+    ``staleness_window_s`` is still trusted; one instant past it the node
+    is skipped and ``stale_skips`` increments."""
+
+    def _hot_context(self):
+        context, node = _context()
+        _setup_node(node, trainer_util=0.5)
+        context.start_job("trainer", 4)
+        return context, node
+
+    def test_sample_aged_exactly_window_is_trusted(self):
+        context, node = self._hot_context()
+        eliminator = ContentionEliminator(
+            config=EliminatorConfig(
+                monitor_interval_s=60.0, staleness_window_s=60.0
+            )
+        )
+        eliminator.start(context)
+        context.fire_next()  # t=60: telemetry up, sample taken, throttles
+        assert eliminator.throttle_actions == 1
+        node.bandwidth.begin_outage(float("inf"))
+        context.fire_next()  # t=120: sample age == 60.0 exactly — trusted
+        assert eliminator.stale_skips == 0
+
+    def test_one_instant_past_window_is_skipped(self):
+        context, node = self._hot_context()
+        eliminator = ContentionEliminator(
+            config=EliminatorConfig(
+                monitor_interval_s=60.0, staleness_window_s=59.999
+            )
+        )
+        eliminator.start(context)
+        context.fire_next()  # t=60: sampled
+        node.bandwidth.begin_outage(float("inf"))
+        before = eliminator.throttle_actions + eliminator.halving_actions
+        context.fire_next()  # t=120: age 60 > 59.999 — skipped
+        assert eliminator.stale_skips == 1
+        assert eliminator.throttle_actions + eliminator.halving_actions == before
+
+
+class TestFlapDamping:
+    """After a release, the same victim may not be re-throttled on that
+    node until the flap cooldown passes (chaos-mode damping)."""
+
+    def _flappy_context(self, cooldown):
+        context, node = _context()
+        _setup_node(node, trainer_util=0.5)
+        context.start_job("trainer", 4)
+        eliminator = ContentionEliminator(
+            config=EliminatorConfig(flap_cooldown_s=cooldown)
+        )
+        eliminator.start(context)
+        context.fire_next()  # t=30: hot → throttle "heat"
+        assert eliminator.throttle_actions == 1
+        # FakeContext records throttles without mutating node state;
+        # mirror the throttle onto the node the way the runner does so
+        # the release path has something to lift.
+        node.mba.throttle_down("heat")
+        node.bandwidth.update_demand("heat", 20.0)  # pressure collapses
+        context.fire_next()  # t=60: quiet → release, cooldown starts
+        assert not node.mba.throttled_jobs()
+        node.bandwidth.update_demand("heat", 100.0)  # hot again
+        return context, node, eliminator
+
+    def test_rethrottle_within_cooldown_is_suppressed(self):
+        context, node, eliminator = self._flappy_context(cooldown=100.0)
+        context.fire_next()  # t=90: 30 s since release — suppressed
+        assert eliminator.flap_suppressions == 1
+        assert eliminator.throttle_actions == 1
+
+    def test_rethrottle_after_cooldown_proceeds(self):
+        context, node, eliminator = self._flappy_context(cooldown=100.0)
+        context.fire_all(limit=4)  # t=90..180; cooldown ends at t=160
+        assert eliminator.flap_suppressions == 3
+        assert eliminator.throttle_actions == 2
+
+    def test_zero_cooldown_keeps_historical_behaviour(self):
+        context, node, eliminator = self._flappy_context(cooldown=0.0)
+        context.fire_next()  # t=90: immediately re-throttled
+        assert eliminator.flap_suppressions == 0
+        assert eliminator.throttle_actions == 2
+
+
 class TestStopAndRearm:
     def test_stop_cancels_the_pending_tick(self):
         context, _ = _context()

@@ -84,3 +84,65 @@ class TestFaultFlags:
         assert main(["run", "--days", "0.05"]) == 0
         out = capsys.readouterr().out
         assert "node failures" not in out
+
+
+class TestResilienceFlags:
+    def test_fault_run_prints_resilience_rows(self, capsys):
+        assert main(
+            ["run", "--days", "0.05", "--mtbf", "1.5", "--fault-seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "quarantines" in out
+        assert "quarantine time" in out
+        assert "dead jobs" in out
+        assert "flap suppressions" in out  # coda is the default policy
+
+    def test_fifo_fault_run_has_no_flap_row(self, capsys):
+        assert main(
+            ["run", "--policy", "fifo", "--days", "0.05", "--mtbf", "1.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "quarantines" in out
+        assert "flap suppressions" not in out
+
+    def test_failure_free_run_hides_resilience_rows(self, capsys):
+        assert main(["run", "--days", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "quarantines" not in out
+        assert "dead jobs" not in out
+
+    def test_quarantine_threshold_flag_accepted(self, capsys):
+        assert main(
+            [
+                "run", "--days", "0.05", "--mtbf", "0.5",
+                "--quarantine-threshold", "1.0", "--max-restarts", "2",
+            ]
+        ) == 0
+        assert "quarantines" in capsys.readouterr().out
+
+    def test_zero_max_restarts_means_unlimited(self, capsys):
+        assert main(
+            ["run", "--days", "0.05", "--mtbf", "1.0", "--max-restarts", "0"]
+        ) == 0
+        # Unlimited budget: the ledger row renders and stays empty.
+        assert "dead jobs" in capsys.readouterr().out
+
+    def test_negative_max_restarts_rejected(self, capsys):
+        assert main(["run", "--days", "0.05", "--max-restarts", "-1"]) == 2
+        assert "max-restarts" in capsys.readouterr().err
+
+    def test_non_positive_quarantine_threshold_rejected(self, capsys):
+        assert (
+            main(["run", "--days", "0.05", "--quarantine-threshold", "0"]) == 2
+        )
+        assert "quarantine-threshold" in capsys.readouterr().err
+
+    def test_audited_fault_run_passes_iv007(self, capsys):
+        assert main(
+            [
+                "run", "--days", "0.05", "--mtbf", "0.5",
+                "--fault-seed", "7", "--audit",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out

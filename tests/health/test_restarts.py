@@ -1,0 +1,41 @@
+"""Unit tests for the restart-budget policy."""
+
+import pytest
+
+from repro.health.restarts import RestartPolicy
+
+
+class TestRequeueDelay:
+    def test_first_failure_requeues_immediately(self):
+        assert RestartPolicy().requeue_delay(1) == 0.0
+
+    def test_later_failures_back_off_exponentially(self):
+        policy = RestartPolicy(base_delay_s=30.0, backoff=2.0)
+        assert policy.requeue_delay(2) == pytest.approx(30.0)
+        assert policy.requeue_delay(3) == pytest.approx(60.0)
+        assert policy.requeue_delay(4) == pytest.approx(120.0)
+
+    def test_delay_caps_at_max(self):
+        policy = RestartPolicy(base_delay_s=30.0, backoff=2.0, max_delay_s=100.0)
+        assert policy.requeue_delay(10) == pytest.approx(100.0)
+
+
+class TestBudget:
+    def test_exhausted_after_max_restarts(self):
+        policy = RestartPolicy(max_restarts=3)
+        assert not policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_none_means_unlimited(self):
+        policy = RestartPolicy(max_restarts=None)
+        assert not policy.exhausted(10_000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RestartPolicy(max_restarts=-1)
+        with pytest.raises(ValueError):
+            RestartPolicy(base_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            RestartPolicy(backoff=0.5)
+        with pytest.raises(ValueError):
+            RestartPolicy(max_delay_s=-1.0)

@@ -1,0 +1,157 @@
+"""Unit tests for the node-health state machine."""
+
+import pytest
+
+from repro.health.config import HealthConfig
+from repro.health.tracker import NodeHealthState, NodeHealthTracker
+
+
+def make_tracker(**overrides) -> NodeHealthTracker:
+    return NodeHealthTracker(HealthConfig(**overrides))
+
+
+class TestStrikeAccumulation:
+    def test_fresh_node_is_healthy(self):
+        tracker = make_tracker()
+        assert tracker.state_of(0, 0.0) is NodeHealthState.HEALTHY
+
+    def test_single_crash_makes_suspect_not_quarantined(self):
+        tracker = make_tracker()
+        assert not tracker.record_failure(0, 10.0, kind="crash")
+        assert tracker.state_of(0, 10.0) is NodeHealthState.SUSPECT
+
+    def test_third_crash_quarantines_at_default_threshold(self):
+        tracker = make_tracker()
+        assert not tracker.record_failure(0, 10.0, kind="crash")
+        assert not tracker.record_failure(0, 20.0, kind="crash")
+        assert tracker.record_failure(0, 30.0, kind="crash")
+        assert tracker.state_of(0, 30.0) is NodeHealthState.QUARANTINED
+        assert tracker.quarantines_started == 1
+
+    def test_telemetry_strikes_weigh_a_quarter(self):
+        tracker = make_tracker()
+        # 11 dropouts at 0.25 each = 2.75 < 3.0; the 12th crosses.
+        for i in range(11):
+            assert not tracker.record_failure(0, float(i), kind="telemetry")
+        assert tracker.record_failure(0, 11.0, kind="telemetry")
+
+    def test_strikes_outside_window_expire(self):
+        tracker = make_tracker(failure_window_s=100.0)
+        tracker.record_failure(0, 0.0, kind="crash")
+        tracker.record_failure(0, 50.0, kind="crash")
+        # The first strike has aged out by t=150; score is 2.0, not 3.0.
+        assert not tracker.record_failure(0, 150.0, kind="crash")
+        assert tracker.state_of(0, 150.0) is NodeHealthState.SUSPECT
+
+    def test_suspect_decays_to_healthy_when_strikes_expire(self):
+        tracker = make_tracker(failure_window_s=100.0)
+        tracker.record_failure(0, 0.0, kind="crash")
+        assert tracker.state_of(0, 50.0) is NodeHealthState.SUSPECT
+        assert tracker.state_of(0, 200.0) is NodeHealthState.HEALTHY
+
+    def test_unknown_kind_rejected(self):
+        tracker = make_tracker()
+        with pytest.raises(ValueError):
+            tracker.record_failure(0, 0.0, kind="cosmic-ray")
+
+    def test_disabled_tracker_never_quarantines(self):
+        tracker = make_tracker(enabled=False)
+        for i in range(10):
+            assert not tracker.record_failure(0, float(i), kind="crash")
+        assert tracker.state_of(0, 10.0) is NodeHealthState.HEALTHY
+
+    def test_nodes_tracked_independently(self):
+        tracker = make_tracker()
+        for i in range(3):
+            tracker.record_failure(0, float(i), kind="crash")
+        assert tracker.state_of(0, 3.0) is NodeHealthState.QUARANTINED
+        assert tracker.state_of(1, 3.0) is NodeHealthState.HEALTHY
+
+
+class TestQuarantineLifecycle:
+    def quarantine(self, tracker, node_id=0, at=0.0):
+        for i in range(3):
+            tracker.record_failure(node_id, at + i, kind="crash")
+
+    def test_quarantine_lasts_base_duration_then_probation(self):
+        tracker = make_tracker(base_quarantine_s=1000.0, probation_s=500.0)
+        self.quarantine(tracker)
+        until = tracker.quarantine_until(0)
+        assert until == pytest.approx(2.0 + 1000.0)
+        assert tracker.state_of(0, until - 1.0) is NodeHealthState.QUARANTINED
+        assert tracker.state_of(0, until) is NodeHealthState.PROBATION
+        assert tracker.state_of(0, until + 500.0) is NodeHealthState.HEALTHY
+
+    def test_probation_strike_requarantines_with_doubled_window(self):
+        tracker = make_tracker(base_quarantine_s=1000.0, probation_s=500.0)
+        self.quarantine(tracker)
+        first_end = tracker.quarantine_until(0)
+        # One strike during probation re-benches the node immediately.
+        assert tracker.record_failure(0, first_end + 10.0, kind="gpu")
+        second_end = tracker.quarantine_until(0)
+        assert second_end - (first_end + 10.0) == pytest.approx(2000.0)
+        assert tracker.quarantines_started == 2
+
+    def test_quarantine_duration_caps_at_max(self):
+        tracker = make_tracker(
+            base_quarantine_s=1000.0,
+            quarantine_backoff=2.0,
+            max_quarantine_s=3000.0,
+            probation_s=100.0,
+        )
+        self.quarantine(tracker)
+        for _ in range(4):  # re-strike every probation: 2000, 3000, 3000...
+            end = tracker.quarantine_until(0)
+            tracker.record_failure(0, end + 1.0, kind="crash")
+        last = tracker.spans[-1]
+        assert last.duration_s == pytest.approx(3000.0)
+
+    def test_clean_probation_resets_backoff(self):
+        tracker = make_tracker(base_quarantine_s=1000.0, probation_s=500.0)
+        self.quarantine(tracker)
+        end = tracker.quarantine_until(0)
+        healthy_at = end + 500.0
+        assert tracker.state_of(0, healthy_at) is NodeHealthState.HEALTHY
+        # A later quarantine starts at the base duration again.
+        self.quarantine(tracker, at=healthy_at + 10.0)
+        assert tracker.spans[-1].duration_s == pytest.approx(1000.0)
+
+    def test_strike_while_quarantined_does_not_extend(self):
+        tracker = make_tracker(base_quarantine_s=1000.0)
+        self.quarantine(tracker)
+        end = tracker.quarantine_until(0)
+        assert not tracker.record_failure(0, end - 500.0, kind="gpu")
+        assert tracker.quarantine_until(0) == end
+
+    def test_query_is_idempotent(self):
+        tracker = make_tracker()
+        self.quarantine(tracker)
+        end = tracker.quarantine_until(0)
+        for _ in range(5):
+            assert tracker.state_of(0, end - 1.0) is NodeHealthState.QUARANTINED
+        assert tracker.quarantine_until(0) == end
+
+
+class TestQueries:
+    def test_quarantined_and_deprioritized_listings(self):
+        tracker = make_tracker()
+        for i in range(3):
+            tracker.record_failure(2, float(i), kind="crash")
+        tracker.record_failure(5, 0.0, kind="crash")
+        assert tracker.quarantined_nodes(3.0) == [2]
+        assert tracker.deprioritized_nodes(3.0) == [5]
+
+    def test_probation_node_is_deprioritized(self):
+        tracker = make_tracker(base_quarantine_s=100.0, probation_s=100.0)
+        for i in range(3):
+            tracker.record_failure(0, float(i), kind="crash")
+        end = tracker.quarantine_until(0)
+        assert tracker.deprioritized_nodes(end + 1.0) == [0]
+
+    def test_total_quarantine_seconds_clips_open_spans(self):
+        tracker = make_tracker(base_quarantine_s=1000.0)
+        for i in range(3):
+            tracker.record_failure(0, float(i), kind="crash")
+        # Half-way through the window only half the span has accrued.
+        assert tracker.total_quarantine_s(502.0) == pytest.approx(500.0)
+        assert tracker.total_quarantine_s(10_000.0) == pytest.approx(1000.0)

@@ -111,3 +111,64 @@ class TestPlaceCpuJob:
         free = FreeState.of(tiny_cluster)
         placements = place_cpu_job(_cpu_job(), free, among={1})
         assert placements[0][0] == 1
+
+
+class TestHealthAwarePlacement:
+    """FreeState with ``now`` consults the cluster's health tracker:
+    quarantined nodes offer zero capacity; suspect/probation nodes are
+    only used when no healthy node fits."""
+
+    def _quarantine(self, cluster, node_id, at=0.0):
+        for i in range(3):
+            cluster.health.record_failure(node_id, at + i, kind="crash")
+
+    def test_quarantined_node_offers_no_capacity(self, tiny_cluster):
+        self._quarantine(tiny_cluster, 0)
+        free = FreeState.of(tiny_cluster, now=10.0)
+        assert free.free_of(0) == (0, 0)
+        assert free.free_of(1) == (28, 4)
+
+    def test_gpu_job_skips_quarantined_node(self, tiny_cluster):
+        self._quarantine(tiny_cluster, 0)
+        free = FreeState.of(tiny_cluster, now=10.0)
+        placements = place_gpu_job(_gpu_job(), free)
+        assert placements[0][0] == 1
+
+    def test_cpu_job_skips_quarantined_node(self, tiny_cluster):
+        self._quarantine(tiny_cluster, 1)
+        free = FreeState.of(tiny_cluster, now=10.0)
+        placements = place_cpu_job(_cpu_job(), free)
+        assert placements[0][0] == 0
+
+    def test_all_nodes_quarantined_places_nothing(self, tiny_cluster):
+        self._quarantine(tiny_cluster, 0)
+        self._quarantine(tiny_cluster, 1)
+        free = FreeState.of(tiny_cluster, now=10.0)
+        assert place_gpu_job(_gpu_job(), free) is None
+        assert place_cpu_job(_cpu_job(), free) is None
+
+    def test_suspect_node_deprioritized_not_excluded(self, tiny_cluster):
+        # One strike: node 0 is SUSPECT.  Best-fit alone would pick it
+        # (equal free resources, lowest id); the penalty flips the choice.
+        tiny_cluster.health.record_failure(0, 0.0, kind="crash")
+        free = FreeState.of(tiny_cluster, now=10.0)
+        assert free.placement_penalty(0) == 1
+        assert free.placement_penalty(1) == 0
+        assert place_gpu_job(_gpu_job(), free)[0][0] == 1
+        assert place_cpu_job(_cpu_job(), free)[0][0] == 1
+
+    def test_suspect_node_still_used_as_last_resort(self, tiny_cluster):
+        tiny_cluster.health.record_failure(0, 0.0, kind="crash")
+        tiny_cluster.allocate("x", [(1, 28, 4)])  # node 1 is full
+        free = FreeState.of(tiny_cluster, now=10.0)
+        assert place_gpu_job(_gpu_job(), free)[0][0] == 0
+
+    def test_without_now_health_is_ignored(self, tiny_cluster):
+        self._quarantine(tiny_cluster, 0)
+        free = FreeState.of(tiny_cluster)
+        assert free.free_of(0) == (28, 4)
+
+    def test_healthy_cluster_penalties_are_zero(self, tiny_cluster):
+        free = FreeState.of(tiny_cluster, now=10.0)
+        assert free.placement_penalty(0) == 0
+        assert free.placement_penalty(1) == 0
