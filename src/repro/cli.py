@@ -16,6 +16,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import profiling
 from repro.analysis.invariants import DEFAULT_AUDIT_INTERVAL_S, InvariantAuditor
 from repro.core.coda import CodaConfig, CodaScheduler
 from repro.core.eliminator import CHAOS_FLAP_COOLDOWN_S, EliminatorConfig
@@ -121,6 +122,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="audit sweep cadence in simulated seconds (default: "
         f"{DEFAULT_AUDIT_INTERVAL_S:g})",
     )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="measure per-subsystem wall-clock time shares during the run "
+        "and print them after the summary (the run's outputs are "
+        "unchanged)",
+    )
 
     compare = sub.add_parser(
         "compare", help="run FIFO, DRF, and CODA on the same trace"
@@ -194,9 +201,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if faults_on
         else None
     )
-    result = run_scenario(
-        scenario, scheduler, auditor=auditor, health_config=health_config
-    )
+    profiler = profiling.enable() if args.profile else None
+    try:
+        result = run_scenario(
+            scenario, scheduler, auditor=auditor, health_config=health_config
+        )
+    finally:
+        if profiler is not None:
+            profiling.disable()
     collector = result.collector
     gpu_queue = collector.queueing_times(
         JobKind.GPU, include_unstarted_until=result.horizon_s
@@ -267,6 +279,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
             title=f"\n{args.policy.upper()} summary:",
         )
     )
+    if profiler is not None:
+        total = profiler.total_timed_s()
+        print(
+            render_table(
+                ["section", "seconds", "share"],
+                [
+                    (name, f"{seconds:.3f}", f"{share:6.1%}")
+                    for name, seconds, share in profiler.time_shares(total)
+                ],
+                title="\nTime shares (of instrumented event time):",
+            )
+        )
     if auditor is not None:
         print()
         print(auditor.report())

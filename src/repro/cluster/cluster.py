@@ -8,11 +8,11 @@ pick and *when* belongs to :mod:`repro.schedulers` and :mod:`repro.core`.
 from __future__ import annotations
 
 import logging
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.cluster.allocation import Allocation, NodeShare
 from repro.cluster.interconnect import Interconnect
-from repro.cluster.node import Node
+from repro.cluster.node import GenerationCounter, Node
 from repro.cluster.topology import RackedInterconnect, RackTopology
 from repro.cluster.resources import ResourceVector
 from repro.config import ClusterConfig
@@ -47,16 +47,33 @@ class Cluster:
         #: tracker never sees a strike, so every node reads HEALTHY.  The
         #: runner swaps in a configured tracker when health is tuned.
         self.health = NodeHealthTracker()
+        #: One mutation counter shared by every node, so a single integer
+        #: answers "has any free capacity changed since I last looked".
+        self._generation = GenerationCounter()
+        for node in self.nodes:
+            node.generation = self._generation
+        #: Single-entry free-capacity snapshot memo, managed by
+        #: :mod:`repro.schedulers.placement` and invalidated through
+        #: :attr:`version` (plus the health tracker's own version).
+        self.free_snapshot_cache: Any = None
+        # Total capacity never changes after construction (a failed GPU
+        # still counts toward the total), so compute it once.
+        self._total = ResourceVector(
+            cpus=sum(node.total_cpus for node in self.nodes),
+            gpus=sum(node.total_gpus for node in self.nodes),
+        )
 
     # ------------------------------------------------------------------ #
     # Capacity and usage
 
     @property
+    def version(self) -> int:
+        """Monotone counter bumped by every capacity-affecting mutation."""
+        return self._generation.value
+
+    @property
     def total(self) -> ResourceVector:
-        return ResourceVector(
-            cpus=sum(node.total_cpus for node in self.nodes),
-            gpus=sum(node.total_gpus for node in self.nodes),
-        )
+        return self._total
 
     @property
     def used(self) -> ResourceVector:

@@ -74,6 +74,10 @@ class MbaController:
     def throttled_jobs(self) -> Dict[str, float]:
         return dict(self._levels)
 
+    def has_throttles(self) -> bool:
+        """O(1): is any job currently throttled on this node?"""
+        return bool(self._levels)
+
     def _apply(self, job_id: str, level: float) -> None:
         usage = self.monitor.usage_of(job_id)
         if abs(level - 1.0) < 1e-9:

@@ -48,6 +48,10 @@ class BandwidthMonitor:
         self._usages: Dict[str, BandwidthUsage] = {}
         self._outage_until = float("-inf")
         self._last_sample_time: Optional[float] = None
+        # Grants only change inside _arbitrate, so the total is maintained
+        # there instead of being re-summed on every pressure reading.
+        self._total_granted = 0.0
+        self._cpu_job_count = 0
 
     # ------------------------------------------------------------------ #
     # Telemetry health (fault injection)
@@ -104,6 +108,8 @@ class BandwidthMonitor:
             is_cpu_job=is_cpu_job,
             is_inference=is_inference,
         )
+        if is_cpu_job:
+            self._cpu_job_count += 1
         self._arbitrate()
 
     def update_demand(self, job_id: str, demand_gbps: float) -> None:
@@ -116,7 +122,10 @@ class BandwidthMonitor:
     def unregister(self, job_id: str) -> None:
         """Stop tracking ``job_id``; silently ignores unknown ids so release
         paths do not have to know whether a job ever touched memory."""
-        if self._usages.pop(job_id, None) is not None:
+        usage = self._usages.pop(job_id, None)
+        if usage is not None:
+            if usage.is_cpu_job:
+                self._cpu_job_count -= 1
             self._arbitrate()
 
     # ------------------------------------------------------------------ #
@@ -145,18 +154,22 @@ class BandwidthMonitor:
 
     @property
     def total_granted(self) -> float:
-        return sum(usage.granted for usage in self._usages.values())
+        return self._total_granted
 
     @property
     def pressure(self) -> float:
         """Total granted bandwidth as a fraction of capacity, in [0, 1]."""
-        return self.total_granted / self.capacity_gbps
+        return self._total_granted / self.capacity_gbps
 
     def usage_of(self, job_id: str) -> BandwidthUsage:
         return self._usages[job_id]
 
     def has(self, job_id: str) -> bool:
         return job_id in self._usages
+
+    def has_cpu_jobs(self) -> bool:
+        """O(1): does any registered usage belong to a CPU job?"""
+        return self._cpu_job_count > 0
 
     def cpu_job_usages(self) -> Dict[str, BandwidthUsage]:
         """CPU jobs' usages, sorted view for the eliminator to pick victims."""
@@ -204,7 +217,10 @@ class BandwidthMonitor:
                 remaining = 0.0
                 pending = []
         # Guard against float drift producing grants epsilon above demand.
+        total = 0.0
         for usage in self._usages.values():
             usage.granted = min(usage.granted, usage.effective_demand)
             if math.isnan(usage.granted):
                 raise ArithmeticError(f"NaN bandwidth grant for {usage.job_id}")
+            total += usage.granted
+        self._total_granted = total

@@ -20,6 +20,25 @@ from repro.cluster.resources import ResourceVector
 from repro.config import NodeConfig
 
 
+class GenerationCounter:
+    """A shared mutation counter for cheap snapshot invalidation.
+
+    Every capacity-affecting node mutation bumps it; consumers (the
+    placement layer's memoized :class:`~repro.schedulers.placement.FreeState`)
+    compare the value instead of re-reading every node.  The cluster hands
+    one shared counter to all of its nodes, so a single integer captures
+    "has any free capacity changed anywhere".
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> None:
+        self.value += 1
+
+
 @dataclass
 class PcieMeter:
     """Host PCIe fabric accounting (all values in GB/s).
@@ -70,6 +89,9 @@ class Node:
         self._shares: Dict[str, NodeShare] = {}
         self._used_cpus = 0
         self._up = True
+        #: Bumped on every capacity mutation; the cluster replaces it with
+        #: one counter shared across all of its nodes.
+        self.generation = GenerationCounter()
 
     # ------------------------------------------------------------------ #
     # Availability (fault injection)
@@ -92,10 +114,12 @@ class Node:
                 "evict residents before marking it down"
             )
         self._up = False
+        self.generation.bump()
 
     def mark_up(self) -> None:
         """Return a crashed node to service. Idempotent."""
         self._up = True
+        self.generation.bump()
 
     # ------------------------------------------------------------------ #
     # Capacity queries
@@ -170,6 +194,7 @@ class Node:
         self._used_cpus += cpus
         share = NodeShare(node_id=self.node_id, cpus=cpus, gpu_ids=granted_ids)
         self._shares[job_id] = share
+        self.generation.bump()
         return share
 
     def release(self, job_id: str) -> NodeShare:
@@ -185,6 +210,7 @@ class Node:
         self.bandwidth.unregister(job_id)
         self.pcie.unregister(job_id)
         self.llc_occupancy_mb.pop(job_id, None)
+        self.generation.bump()
         return share
 
     def resize_cpus(self, job_id: str, new_cpus: int) -> NodeShare:
@@ -205,6 +231,7 @@ class Node:
             node_id=self.node_id, cpus=new_cpus, gpu_ids=share.gpu_ids
         )
         self._shares[job_id] = new_share
+        self.generation.bump()
         return new_share
 
     # ------------------------------------------------------------------ #
@@ -214,9 +241,11 @@ class Node:
         """Break one GPU; its (already evicted) slot disappears from the
         free pool until :meth:`repair_gpu`."""
         self.gpus[gpu_id].mark_failed()
+        self.generation.bump()
 
     def repair_gpu(self, gpu_id: int) -> None:
         self.gpus[gpu_id].repair()
+        self.generation.bump()
 
     @property
     def failed_gpu_ids(self) -> List[int]:

@@ -155,6 +155,13 @@ class ContentionEliminator:
                 self.stale_skips += 1
                 return
             pressure = node.bandwidth.pressure
+        if not node.bandwidth.has_cpu_jobs() and not node.mba.has_throttles():
+            # Fast path for the common tick: with no CPU job to throttle
+            # and no throttle to relax, neither branch below can act —
+            # any pressure here is the trainers' own, which Sec. IV-C
+            # deems benign.  (The observe() above still ran, so sample
+            # freshness bookkeeping is identical to the slow path.)
+            return
         if pressure < self.config.bandwidth_threshold:
             self._relax_node(node, context)
             return

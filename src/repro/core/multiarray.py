@@ -103,6 +103,16 @@ class MultiArrayScheduler(Scheduler):
         self._cpu_ledger = UsageLedger()
 
         self._running: Dict[str, Job] = {}
+        #: Non-borrowing, non-inference CPU jobs: job_id -> home node_id.
+        #: Maintained so the CPU-array pass can total per-node usage from
+        #: the handful of tracked jobs instead of scanning every resident
+        #: of every node.  Core counts are still read live from the node
+        #: (the eliminator halves cores without telling the scheduler).
+        self._cpu_node: Dict[str, int] = {}
+        #: Static per-cluster placement inputs, filled when the layout is
+        #: first built (node totals never change after construction).
+        self._biggest_node_cores: int = 0
+        self._cpu_capacity: Dict[int, int] = {}
         #: CPU jobs sitting on reserved (GPU-array) cores: job_id -> node_id.
         self._borrowed_cpu: Dict[str, int] = {}
         #: Small GPU jobs sitting on 4-GPU sub-array nodes: job_id -> node_id.
@@ -154,6 +164,8 @@ class MultiArrayScheduler(Scheduler):
             if job.job_id in self._pending_borrow_cpu:
                 self._pending_borrow_cpu.discard(job.job_id)
                 self._borrowed_cpu[job.job_id] = placements[0][0]
+            elif isinstance(job, CpuJob) and not job.is_inference:
+                self._cpu_node[job.job_id] = placements[0][0]
 
     def job_finished(self, job: Job, now: float) -> None:
         self._forget(job.job_id)
@@ -171,6 +183,7 @@ class MultiArrayScheduler(Scheduler):
         self._running.pop(job_id, None)
         self._gpu_ledger.finish(job_id)
         self._cpu_ledger.finish(job_id)
+        self._cpu_node.pop(job_id, None)
         self._borrowed_cpu.pop(job_id, None)
         self._borrowed_gpu.pop(job_id, None)
         self._pending_borrow_cpu.discard(job_id)
@@ -205,6 +218,15 @@ class MultiArrayScheduler(Scheduler):
                 four_gpu_fraction=self._four_gpu_fraction,
             )
             self._topology = cluster.topology
+            self._biggest_node_cores = max(
+                node.total_cpus for node in cluster.nodes
+            )
+            self._cpu_capacity = {
+                node.node_id: self._layout.cpu_array_capacity(
+                    node.total_cpus, node.total_gpus
+                )
+                for node in cluster.nodes
+            }
         decisions: List[Decision] = []
         free = FreeState.of(cluster, now=now)
         preempted: Set[str] = set()
@@ -245,7 +267,7 @@ class MultiArrayScheduler(Scheduler):
         preempted: Set[str],
     ) -> None:
         total = cluster.total
-        biggest_node = max(node.total_cpus for node in cluster.nodes)
+        biggest_node = self._biggest_node_cores
         blocked: Set[int] = set()
         while True:
             tenant_id = self._next_tenant(
@@ -585,23 +607,25 @@ class MultiArrayScheduler(Scheduler):
     ) -> None:
         layout = self._layout
         assert layout is not None
+        if not any(self._inference_queues.values()) and not any(
+            self._cpu_queues.values()
+        ):
+            # Nothing queued in either CPU class: both tenant loops below
+            # would spin zero iterations, so skip the headroom census too.
+            return
         total = cluster.total
         # Normal CPU-array headroom per node: unreserved cores minus what
-        # non-borrowing CPU jobs already hold there (measured live, so the
-        # eliminator's core-halvings free capacity immediately).
-        normal_used: Dict[int, int] = {}
-        for node in cluster.nodes:
-            used = 0
-            for job_id in node.jobs_here():
-                job = self._running.get(job_id)
-                if (
-                    isinstance(job, CpuJob)
-                    and not job.is_inference
-                    and job_id not in self._borrowed_cpu
-                    and job_id not in preempted
-                ):
-                    used += node.share_of(job_id).cpus
-            normal_used[node.node_id] = used
+        # non-borrowing CPU jobs already hold there.  The census walks the
+        # tracked-job map rather than every resident of every node; core
+        # counts are read live from the node, so the eliminator's
+        # core-halvings free capacity immediately.
+        normal_used: Dict[int, int] = {node.node_id: 0 for node in cluster.nodes}
+        for job_id, node_id in self._cpu_node.items():
+            if job_id in preempted:
+                continue
+            node = cluster.node(node_id)
+            if node.holds(job_id):
+                normal_used[node_id] += node.share_of(job_id).cpus
 
         # User-facing inference first: it outranks training, so it may use
         # any free cores (reserved or not) and is never a borrower.
@@ -663,8 +687,9 @@ class MultiArrayScheduler(Scheduler):
         layout = self._layout
         assert layout is not None
         best: Optional[Tuple[int, int, int]] = None  # (penalty, headroom, node_id)
+        capacities = self._cpu_capacity
         for node in cluster.nodes:
-            capacity = layout.cpu_array_capacity(node.total_cpus, node.total_gpus)
+            capacity = capacities[node.node_id]
             headroom = capacity - normal_used[node.node_id]
             free_cpus, _ = free.free_of(node.node_id)
             if headroom < job.cores or free_cpus < job.cores:

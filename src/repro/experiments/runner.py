@@ -30,6 +30,7 @@ from typing import (
     Union,
 )
 
+from repro import profiling
 from repro.cluster.allocation import Allocation
 from repro.cluster.cluster import Cluster
 from repro.health.config import HealthConfig
@@ -170,6 +171,9 @@ class SimulationRunner(SchedulerContext):
         self._pass_pending = False
         self._preemptions = 0
         self._sampling = False
+        active_profiler = profiling.active()
+        if active_profiler is not None:
+            self.engine.set_profiler(active_profiler)
         scheduler.attach(self)
         if fault_injector is not None:
             fault_injector.attach(self)

@@ -78,6 +78,13 @@ class NodeHealthTracker:
         #: All quarantine windows ever entered (for metrics).
         self.spans: List[QuarantineSpan] = []
         self.quarantines_started: int = 0
+        #: Bumped on every strike intake; cache keys and snapshot memos
+        #: (see :mod:`repro.schedulers.placement`) key on it.  Lazy
+        #: deadline transitions do NOT bump it: they are pure functions of
+        #: (records, now), so a (now, version) key stays sound.
+        self.version: int = 0
+        self._scan_key: Optional[Tuple[float, int]] = None
+        self._scan_result: Tuple[List[int], List[int]] = ([], [])
 
     # ------------------------------------------------------------------ #
     # Strike intake (runner failure paths only)
@@ -89,6 +96,7 @@ class NodeHealthTracker:
         :meth:`quarantine_until`)."""
         if not self.config.enabled:
             return False
+        self.version += 1
         record = self._records.setdefault(node_id, _NodeRecord())
         self._advance(record, now)
         if record.state is NodeHealthState.QUARANTINED:
@@ -126,20 +134,35 @@ class NodeHealthTracker:
         return float("-inf") if record is None else record.quarantine_until
 
     def quarantined_nodes(self, now: float) -> List[int]:
-        return [
-            node_id
-            for node_id in sorted(self._records)
-            if self.state_of(node_id, now) is NodeHealthState.QUARANTINED
-        ]
+        return list(self._scan(now)[0])
 
     def deprioritized_nodes(self, now: float) -> List[int]:
         """Nodes placement should prefer to avoid: SUSPECT or PROBATION."""
+        return list(self._scan(now)[1])
+
+    def _scan(self, now: float) -> Tuple[List[int], List[int]]:
+        """One pass over all records: (quarantined, deprioritized) node
+        ids, memoized on ``(now, version)``.
+
+        Sound because the only eager mutation path (:meth:`record_failure`)
+        bumps :attr:`version`, and the lazy transitions applied by
+        :meth:`state_of` are idempotent at fixed ``now``.
+        """
+        key = (now, self.version)
+        if self._scan_key == key:
+            return self._scan_result
+        quarantined: List[int] = []
+        deprioritized: List[int] = []
         flagged = (NodeHealthState.SUSPECT, NodeHealthState.PROBATION)
-        return [
-            node_id
-            for node_id in sorted(self._records)
-            if self.state_of(node_id, now) in flagged
-        ]
+        for node_id in sorted(self._records):
+            state = self.state_of(node_id, now)
+            if state is NodeHealthState.QUARANTINED:
+                quarantined.append(node_id)
+            elif state in flagged:
+                deprioritized.append(node_id)
+        self._scan_key = key
+        self._scan_result = (quarantined, deprioritized)
+        return self._scan_result
 
     def total_quarantine_s(self, now: float) -> float:
         """Quarantine time accumulated through ``now`` across all nodes."""

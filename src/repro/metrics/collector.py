@@ -143,13 +143,23 @@ class MetricsCollector:
         free_gpu_fraction: float,
         hot_nodes: int = 0,
     ) -> None:
-        self.gpu_active_rate.record(now, gpu_active_rate)
-        self.gpu_utilization.record(now, gpu_utilization)
-        self.gpu_utilization_overall.record(now, gpu_utilization_overall)
-        self.cpu_active_rate.record(now, cpu_active_rate)
-        self.gpu_queue_depth.record(now, gpu_queue_depth)
-        self.cpu_queue_depth.record(now, cpu_queue_depth)
-        self.hot_nodes.record(now, hot_nodes)
+        # This method is the only writer of the seven series below, so they
+        # share one time column: one monotonicity check covers the whole
+        # batch and each sample is appended directly instead of re-checking
+        # per series (this runs on every monitor tick).
+        anchor = self.gpu_active_rate.points
+        if anchor and now < anchor[-1][0]:
+            raise ValueError(
+                f"series gpu_active_rate: sample at {now} before last "
+                f"{anchor[-1][0]}"
+            )
+        anchor.append((now, gpu_active_rate))
+        self.gpu_utilization.points.append((now, gpu_utilization))
+        self.gpu_utilization_overall.points.append((now, gpu_utilization_overall))
+        self.cpu_active_rate.points.append((now, cpu_active_rate))
+        self.gpu_queue_depth.points.append((now, gpu_queue_depth))
+        self.cpu_queue_depth.points.append((now, cpu_queue_depth))
+        self.hot_nodes.points.append((now, hot_nodes))
         self.fragmentation.record(now, free_gpu_fraction, gpu_queue_depth)
 
     # ------------------------------------------------------------------ #

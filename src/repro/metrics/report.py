@@ -15,7 +15,14 @@ def render_table(
     *,
     title: Optional[str] = None,
 ) -> str:
-    """Render an aligned ASCII table."""
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["policy", "util"], [("fifo", 0.61), ("coda", 0.85)]))
+    policy  util
+    ------  ----
+    fifo    0.61
+    coda    0.85
+    """
     cells = [[str(cell) for cell in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in cells:

@@ -14,7 +14,18 @@ from typing import List, Optional, Tuple
 
 @dataclass
 class SampledSeries:
-    """(time, value) samples in nondecreasing time order."""
+    """(time, value) samples in nondecreasing time order.
+
+    >>> series = SampledSeries("gpu_util")
+    >>> series.record(0.0, 0.5)
+    >>> series.record(30.0, 0.7)
+    >>> series.mean()
+    0.6
+    >>> series.record(10.0, 0.9)
+    Traceback (most recent call last):
+        ...
+    ValueError: series gpu_util: sample at 10.0 before last 30.0
+    """
 
     name: str
     points: List[Tuple[float, float]] = field(default_factory=list)
@@ -50,7 +61,16 @@ class SampledSeries:
 
 @dataclass
 class TimeWeightedValue:
-    """Exact integral of a piecewise-constant signal."""
+    """Exact integral of a piecewise-constant signal.
+
+    >>> occupancy = TimeWeightedValue("cores")
+    >>> occupancy.set(0.0, 4.0)
+    >>> occupancy.set(10.0, 0.0)
+    >>> occupancy.mean()
+    4.0
+    >>> occupancy.mean(until=20.0)
+    2.0
+    """
 
     name: str
     _current: float = 0.0

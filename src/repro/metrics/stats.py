@@ -17,6 +17,11 @@ def percentile(values: Sequence[float], q: float) -> float:
 
     Raises on an empty input: a percentile of nothing is a caller bug, not
     a zero.
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 100)
+    4.0
     """
     if not values:
         raise ValueError("percentile of an empty sequence")
@@ -37,7 +42,13 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 def fraction_exceeding(values: Sequence[float], threshold: float) -> float:
-    """Fraction of values strictly greater than ``threshold`` (0 if empty)."""
+    """Fraction of values strictly greater than ``threshold`` (0 if empty).
+
+    >>> fraction_exceeding([5.0, 15.0, 25.0, 35.0], 20.0)
+    0.5
+    >>> fraction_exceeding([], 20.0)
+    0.0
+    """
     if not values:
         return 0.0
     return sum(1 for v in values if v > threshold) / len(values)

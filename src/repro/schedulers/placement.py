@@ -39,6 +39,12 @@ class _NodeFree:
 class FreeState:
     """Per-node free (cpus, gpus) snapshot with commit semantics."""
 
+    #: Cumulative count of full snapshot rebuilds performed by
+    #: :meth:`of` (cache misses).  Exists for the memoization regression
+    #: test: with no intervening cluster/health mutation, repeated calls
+    #: must not rebuild.
+    rebuilds: int = 0
+
     def __init__(
         self,
         free: Dict[int, Tuple[int, int]],
@@ -50,6 +56,10 @@ class FreeState:
             for node_id, (cpus, gpus) in free.items()
         }
         self._deprioritized: Set[int] = set(deprioritized or ())
+        #: Lazily-built candidate orderings (see ``_gpu_sorted`` /
+        #: ``_cpu_sorted``); invalidated whenever the snapshot mutates.
+        self._gpu_order: Optional[List[_NodeFree]] = None
+        self._cpu_order: Optional[List[_NodeFree]] = None
 
     @classmethod
     def of(
@@ -65,10 +75,40 @@ class FreeState:
         working for reclaim bookkeeping) but report zero free capacity —
         a policy that still places there trips :meth:`commit`'s guard,
         which is a bug worth crashing on.
+
+        The whole-cluster snapshot (``among=None``) is memoized on the
+        cluster's and health tracker's generation counters plus ``now``:
+        calling :meth:`of` twice in the same scheduling round with no
+        intervening commit reuses the previous scan instead of re-reading
+        every node.
         """
-        node_ids = (
-            range(len(cluster.nodes)) if among is None else among
-        )
+        if among is not None:
+            return cls._build(cluster, among, now)
+        health = cluster.health
+        key = (cluster.version, health.version, now)
+        cached = cluster.free_snapshot_cache
+        if cached is not None and cached[0] == key and cached[1] is health:
+            free, deprioritized = cached[2], cached[3]
+        else:
+            state = cls._build(cluster, range(len(cluster.nodes)), now)
+            free = {
+                node_id: (node.cpus, node.gpus)
+                for node_id, node in state._nodes.items()
+            }
+            deprioritized = frozenset(state._deprioritized)
+            cluster.free_snapshot_cache = (key, health, free, deprioritized)
+            return state
+        return cls(free, deprioritized=deprioritized)
+
+    @classmethod
+    def _build(
+        cls,
+        cluster: Cluster,
+        node_ids: Iterable[int],
+        now: Optional[float],
+    ) -> "FreeState":
+        """Uncached snapshot construction (one read per node)."""
+        cls.rebuilds += 1
         quarantined: Set[int] = set()
         deprioritized: Set[int] = set()
         if now is not None:
@@ -107,6 +147,8 @@ class FreeState:
         node = self._nodes[node_id]
         node.cpus += cpus
         node.gpus += gpus
+        self._gpu_order = None
+        self._cpu_order = None
 
     def commit(self, placements: Iterable[Placement]) -> None:
         """Deduct a decision from the snapshot.
@@ -124,6 +166,45 @@ class FreeState:
                 )
             node.cpus -= cpus
             node.gpus -= gpus
+        self._gpu_order = None
+        self._cpu_order = None
+
+    def _gpu_sorted(self) -> List[_NodeFree]:
+        """All nodes in GPU best-fit order, cached between mutations.
+
+        The sort key ``(penalty, gpus, cpus, node_id)`` is a total order
+        (node_id is unique), so selecting the first qualifying nodes from
+        this list is byte-identical to sorting the qualifying subset —
+        which lets repeated placement attempts (the slimming ladder tries
+        several core counts between commits) reuse one sort.
+        """
+        if self._gpu_order is None:
+            deprioritized = self._deprioritized
+            self._gpu_order = sorted(
+                self._nodes.values(),
+                key=lambda node: (
+                    1 if node.node_id in deprioritized else 0,
+                    node.gpus,
+                    node.cpus,
+                    node.node_id,
+                ),
+            )
+        return self._gpu_order
+
+    def _cpu_sorted(self) -> List[_NodeFree]:
+        """All nodes in CPU best-fit order ``(penalty, cpus, node_id)``,
+        cached between mutations (see :meth:`_gpu_sorted`)."""
+        if self._cpu_order is None:
+            deprioritized = self._deprioritized
+            self._cpu_order = sorted(
+                self._nodes.values(),
+                key=lambda node: (
+                    1 if node.node_id in deprioritized else 0,
+                    node.cpus,
+                    node.node_id,
+                ),
+            )
+        return self._cpu_order
 
     def _candidates(
         self, cpus: int, gpus: int, among: Optional[Iterable[int]] = None
@@ -155,19 +236,23 @@ def place_gpu_job(
     """
     cores = cpus_per_node if cpus_per_node is not None else job.requested_cpus
     gpus = job.setup.gpus_per_node
-    candidates = free._candidates(cores, gpus, among)
-    if len(candidates) < job.setup.num_nodes:
-        return None
-    candidates.sort(
-        key=lambda node: (
-            free.placement_penalty(node.node_id),
-            node.gpus,
-            node.cpus,
-            node.node_id,
-        )
+    needed = job.setup.num_nodes
+    allowed = (
+        None
+        if among is None
+        else (among if isinstance(among, (set, frozenset)) else set(among))
     )
-    chosen = candidates[: job.setup.num_nodes]
-    return [(node.node_id, cores, gpus) for node in chosen]
+    chosen: List[_NodeFree] = []
+    for node in free._gpu_sorted():
+        if (
+            node.gpus >= gpus
+            and node.cpus >= cores
+            and (allowed is None or node.node_id in allowed)
+        ):
+            chosen.append(node)
+            if len(chosen) == needed:
+                return [(node.node_id, cores, gpus) for node in chosen]
+    return None
 
 
 def place_cpu_job(
@@ -182,14 +267,14 @@ def place_cpu_job(
     *not* done here: the baselines happily stuff CPU jobs onto GPU nodes,
     which is exactly the interference CODA's multi-array design removes.
     """
-    candidates = free._candidates(job.cores, 0, among)
-    if not candidates:
-        return None
-    candidates.sort(
-        key=lambda node: (
-            free.placement_penalty(node.node_id),
-            node.cpus,
-            node.node_id,
-        )
+    allowed = (
+        None
+        if among is None
+        else (among if isinstance(among, (set, frozenset)) else set(among))
     )
-    return [(candidates[0].node_id, job.cores, 0)]
+    for node in free._cpu_sorted():
+        if node.cpus >= job.cores and (
+            allowed is None or node.node_id in allowed
+        ):
+            return [(node.node_id, job.cores, 0)]
+    return None

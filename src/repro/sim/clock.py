@@ -4,6 +4,19 @@ Time in this library is a float number of **seconds** since the start of the
 simulation.  A handful of helpers convert to the human units that the paper
 uses (minutes for queueing-time CDFs, hours for runtimes, days for the
 week-long utilization trend of Fig. 1).
+
+Example::
+
+    >>> clock = Clock()
+    >>> clock.advance_to(90.0)
+    >>> clock.now
+    90.0
+    >>> fmt_duration(90.0)
+    '1.5min'
+    >>> clock.advance_to(30.0)
+    Traceback (most recent call last):
+        ...
+    ValueError: time cannot move backwards: now=90.0, requested=30.0
 """
 
 from __future__ import annotations

@@ -5,15 +5,32 @@ records, a :class:`~repro.sim.clock.Clock`, and a run loop with optional
 horizon and step limits.  Everything else in the library (jobs arriving,
 training iterations completing, profiling steps firing, bandwidth monitors
 sampling) is expressed as events against this engine.
+
+Example — same-time events fire in schedule order, time advances with the
+head of the queue::
+
+    >>> engine = Engine()
+    >>> order = []
+    >>> _ = engine.schedule(2.0, lambda: order.append("late"))
+    >>> _ = engine.schedule(1.0, lambda: order.append("early"))
+    >>> engine.run()
+    2
+    >>> order
+    ['early', 'late']
+    >>> engine.now
+    2.0
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventHandle, EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.profiling import Profiler
 
 #: An engine observer: called after each fired event with the event record.
 Observer = Callable[[Event], None]
@@ -24,12 +41,16 @@ class Engine:
 
     def __init__(self, start: float = 0.0) -> None:
         self.clock = Clock(start)
-        self._queue: list[Event] = []
+        # Heap entries are (time, priority, seq, event) tuples rather than
+        # Event records: tuple comparison short-circuits in C, and seq is
+        # unique so the Event field is never compared.
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._fired = 0
         self._live = 0
         self._running = False
         self._observers: list[Observer] = []
+        self._profiler: Optional["Profiler"] = None
 
     @property
     def now(self) -> float:
@@ -79,7 +100,9 @@ class Engine:
             tag=tag,
         )
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        heapq.heappush(
+            self._queue, (event.time, event.priority, event.seq, event)
+        )
         self._live += 1
         return EventHandle(event, self)
 
@@ -103,7 +126,7 @@ class Engine:
         self._discard_dead()
         if not self._queue:
             return None
-        return self._queue[0].time
+        return self._queue[0][0]
 
     def step(self) -> bool:
         """Fire the single next live event.
@@ -114,15 +137,38 @@ class Engine:
         self._discard_dead()
         if not self._queue:
             return False
-        event = heapq.heappop(self._queue)
+        self._fire(heapq.heappop(self._queue)[3])
+        return True
+
+    def _fire(self, event: Event) -> None:
+        """Execute one just-popped live event."""
         self._live -= 1
         event.fired = True
         self.clock.advance_to(event.time)
         self._fired += 1
-        event.action()
-        for observer in tuple(self._observers):
-            observer(event)
-        return True
+        profiler = self._profiler
+        if profiler is None:
+            event.action()
+        else:
+            # Time each event under its tag category ("gpu-done:j17" ->
+            # "gpu-done"), giving disjoint per-subsystem wall-time shares.
+            category = event.tag.partition(":")[0] or "untagged"
+            with profiler.section(category):
+                event.action()
+            profiler.count("events")
+        if self._observers:
+            for observer in tuple(self._observers):
+                observer(event)
+
+    def set_profiler(self, profiler: Optional["Profiler"]) -> None:
+        """Attach (or with ``None``, detach) a wall-clock profiler.
+
+        When attached, each event's action is timed under its tag category
+        and an ``events`` counter is kept.  Profiling reads the host clock
+        only — it never advances simulation time or fires events, so a
+        profiled run is byte-identical to an unprofiled one.
+        """
+        self._profiler = profiler
 
     def add_observer(self, observer: Observer) -> None:
         """Register a post-event callback (e.g. the invariant auditor).
@@ -160,16 +206,18 @@ class Engine:
             raise RuntimeError("engine.run() is not reentrant")
         self._running = True
         fired_before = self._fired
+        queue = self._queue
         try:
             while True:
                 if max_events is not None and self._fired - fired_before >= max_events:
                     break
-                next_time = self.peek_time()
-                if next_time is None:
+                while queue and queue[0][3].cancelled:
+                    heapq.heappop(queue)
+                if not queue:
                     break
-                if until is not None and next_time > until:
+                if until is not None and queue[0][0] > until:
                     break
-                self.step()
+                self._fire(heapq.heappop(queue)[3])
         finally:
             self._running = False
         if until is not None and self.clock.now < until:
@@ -183,7 +231,7 @@ class Engine:
     def _discard_dead(self) -> None:
         # Dead events were already removed from the live count at cancel
         # time; here they only leave the heap.
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][3].cancelled:
             heapq.heappop(self._queue)
 
     def __repr__(self) -> str:

@@ -22,6 +22,9 @@ class EventPriority(enum.IntEnum):
     Completions run before arrivals so that resources freed at time ``t`` are
     visible to jobs arriving at ``t``; scheduler passes run last so they see
     a settled cluster state.
+
+    >>> EventPriority.COMPLETION < EventPriority.ARRIVAL < EventPriority.SCHEDULE
+    True
     """
 
     COMPLETION = 0

@@ -168,3 +168,48 @@ class TestReportRendering:
 
     def test_cdf_empty(self):
         assert "empty" in render_cdf("delay", [])
+
+
+class TestBatchedSampling:
+    """sample_cluster appends one batch across seven series; the shared
+    time column must still reject clock regressions."""
+
+    def _sample(self, collector, now, depth=0):
+        collector.sample_cluster(
+            now,
+            gpu_active_rate=0.5,
+            gpu_utilization=0.6,
+            gpu_utilization_overall=0.4,
+            cpu_active_rate=0.7,
+            gpu_queue_depth=depth,
+            cpu_queue_depth=depth,
+            free_gpu_fraction=0.5,
+            hot_nodes=1,
+        )
+
+    def test_batch_lands_in_every_series(self):
+        collector = MetricsCollector()
+        self._sample(collector, 10.0)
+        self._sample(collector, 20.0)
+        for series in (
+            collector.gpu_active_rate,
+            collector.gpu_utilization,
+            collector.gpu_utilization_overall,
+            collector.cpu_active_rate,
+            collector.gpu_queue_depth,
+            collector.cpu_queue_depth,
+            collector.hot_nodes,
+        ):
+            assert series.times() == [10.0, 20.0]
+
+    def test_time_regression_rejected(self):
+        collector = MetricsCollector()
+        self._sample(collector, 10.0)
+        with pytest.raises(ValueError):
+            self._sample(collector, 9.0)
+
+    def test_equal_timestamps_allowed(self):
+        collector = MetricsCollector()
+        self._sample(collector, 10.0)
+        self._sample(collector, 10.0)
+        assert len(collector.hot_nodes) == 2

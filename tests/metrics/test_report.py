@@ -1,0 +1,105 @@
+"""Golden-output tests for the plain-text report renderers.
+
+The exact strings matter: the CLI summary and the benchmark harness both
+print these tables, so a formatting drift would silently change every
+tracked artifact.  Each golden below is the byte-exact expected render.
+"""
+
+import pytest
+
+from repro.metrics.report import render_cdf, render_series, render_table
+
+
+class TestRenderTableGolden:
+    def test_aligned_table_with_title(self):
+        out = render_table(
+            ["policy", "gpu util"],
+            [("fifo", "0.612"), ("coda", "0.847")],
+            title="Summary:",
+        )
+        assert out == (
+            "Summary:\n"
+            "policy  gpu util\n"
+            "------  --------\n"
+            "fifo    0.612   \n"
+            "coda    0.847   "
+        )
+
+    def test_column_width_tracks_longest_cell(self):
+        out = render_table(["x"], [("longer-than-header",)])
+        lines = out.split("\n")
+        assert lines[1] == "-" * len("longer-than-header")
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [("only-one",)])
+
+    def test_no_title_omits_title_line(self):
+        out = render_table(["a"], [("1",)])
+        assert out.split("\n")[0] == "a"
+
+
+class TestRenderSeriesDownsampling:
+    def test_short_series_renders_every_point(self):
+        out = render_series("util", [(0.0, 0.5), (30.0, 0.75)])
+        assert out == (
+            "t(s)  util \n"
+            "----  -----\n"
+            "0     0.500\n"
+            "30    0.750"
+        )
+
+    def test_thinning_keeps_last_point(self):
+        points = [(float(i), i / 10.0) for i in range(5)]
+        out = render_series("util", points, max_points=2)
+        # Stride 2 keeps t=0, 2, 4; the final sample must survive thinning.
+        assert out == (
+            "t(s)  util \n"
+            "----  -----\n"
+            "0     0.000\n"
+            "2     0.200\n"
+            "4     0.400"
+        )
+
+    def test_thinning_appends_dropped_final_point(self):
+        points = [(float(i), 0.0) for i in range(10)]
+        out = render_series("util", points, max_points=3)
+        rows = out.split("\n")[2:]
+        assert rows[-1].startswith("9")
+
+    def test_empty_series(self):
+        assert render_series("util", []) == "util: (empty)"
+
+    def test_single_sample(self):
+        out = render_series("util", [(60.0, 0.25)])
+        assert out == (
+            "t(s)  util \n"
+            "----  -----\n"
+            "60    0.250"
+        )
+
+    def test_respects_value_format(self):
+        out = render_series("util", [(0.0, 0.5)], value_format="{:.1f}")
+        assert out.split("\n")[-1] == "0     0.5 "
+
+
+class TestRenderCdfGolden:
+    def test_quantile_rows(self):
+        out = render_cdf(
+            "queueing",
+            [(1.0, 0.5), (4.0, 0.9), (9.0, 1.0)],
+            fractions=(0.5, 0.95),
+        )
+        assert out == (
+            "fraction  queueing\n"
+            "--------  --------\n"
+            "p50       1.0     \n"
+            "p95       9.0     "
+        )
+
+    def test_fraction_beyond_data_uses_last_value(self):
+        out = render_cdf("q", [(2.0, 0.4)], fractions=(0.99,))
+        assert out.split("\n")[-1].split()[1] == "2.0"
+
+    def test_empty_cdf(self):
+        assert render_cdf("queueing", []) == "queueing: (empty)"

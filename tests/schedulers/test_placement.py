@@ -172,3 +172,53 @@ class TestHealthAwarePlacement:
         free = FreeState.of(tiny_cluster, now=10.0)
         assert free.placement_penalty(0) == 0
         assert free.placement_penalty(1) == 0
+
+
+class TestFreeStateMemo:
+    """The whole-cluster snapshot memoizes on (cluster, health, now)
+    generations: exactly one rebuild per mutation, not one per call."""
+
+    def test_repeat_snapshot_reuses_scan(self, tiny_cluster):
+        FreeState.of(tiny_cluster, now=0.0)
+        before = FreeState.rebuilds
+        again = FreeState.of(tiny_cluster, now=0.0)
+        assert FreeState.rebuilds == before
+        assert again.free_of(0) == (28, 4)
+
+    def test_one_rebuild_per_cluster_mutation(self, tiny_cluster):
+        FreeState.of(tiny_cluster, now=0.0)
+        before = FreeState.rebuilds
+        tiny_cluster.allocate("x", [(0, 4, 1)])
+        fresh = FreeState.of(tiny_cluster, now=0.0)
+        assert FreeState.rebuilds == before + 1
+        assert fresh.free_of(0) == (24, 3)
+        FreeState.of(tiny_cluster, now=0.0)
+        assert FreeState.rebuilds == before + 1  # second call reuses
+
+    def test_cached_snapshots_are_independent(self, tiny_cluster):
+        first = FreeState.of(tiny_cluster, now=0.0)
+        first.commit([(0, 8, 2)])
+        second = FreeState.of(tiny_cluster, now=0.0)
+        # A cache hit must hand back the *pre-commit* free capacity: the
+        # commit mutated the first snapshot, never the shared cache.
+        assert second.free_of(0) == (28, 4)
+
+    def test_health_strike_invalidates(self, tiny_cluster):
+        FreeState.of(tiny_cluster, now=0.0)
+        before = FreeState.rebuilds
+        tiny_cluster.health.record_failure(0, 0.0, kind="crash")
+        FreeState.of(tiny_cluster, now=0.0)
+        assert FreeState.rebuilds == before + 1
+
+    def test_now_change_invalidates(self, tiny_cluster):
+        FreeState.of(tiny_cluster, now=0.0)
+        before = FreeState.rebuilds
+        FreeState.of(tiny_cluster, now=30.0)
+        assert FreeState.rebuilds == before + 1
+
+    def test_among_bypasses_cache(self, tiny_cluster):
+        FreeState.of(tiny_cluster, now=0.0)
+        before = FreeState.rebuilds
+        restricted = FreeState.of(tiny_cluster, among=[1], now=0.0)
+        assert FreeState.rebuilds == before + 1
+        assert restricted.node_ids() == [1]

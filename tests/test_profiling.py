@@ -1,0 +1,125 @@
+"""The profiling module and its engine wiring.
+
+Profiling must be observational only: enabling it may never change what a
+run computes, and the disabled path must stay allocation-free (a shared
+no-op section object).
+"""
+
+from repro import profiling
+from repro.profiling import Profiler
+from repro.sim.engine import Engine
+
+
+class TestProfiler:
+    def test_counters_accumulate(self):
+        profiler = Profiler()
+        profiler.count("events")
+        profiler.count("events", 4)
+        assert profiler.counters["events"] == 5
+
+    def test_section_accumulates_time(self):
+        profiler = Profiler()
+        with profiler.section("work"):
+            pass
+        with profiler.section("work"):
+            pass
+        assert profiler.timers["work"] >= 0.0
+        assert set(profiler.timers) == {"work"}
+
+    def test_add_time_and_total(self):
+        profiler = Profiler()
+        profiler.add_time("a", 1.0)
+        profiler.add_time("b", 3.0)
+        profiler.add_time("a", 1.0)
+        assert profiler.total_timed_s() == 5.0
+
+    def test_time_shares_sorted_largest_first(self):
+        profiler = Profiler()
+        profiler.add_time("small", 1.0)
+        profiler.add_time("big", 3.0)
+        rows = profiler.time_shares()
+        assert [name for name, _, _ in rows] == ["big", "small"]
+        assert rows[0] == ("big", 3.0, 0.75)
+
+    def test_time_shares_explicit_total(self):
+        profiler = Profiler()
+        profiler.add_time("a", 2.0)
+        rows = profiler.time_shares(8.0)
+        assert rows == [("a", 2.0, 0.25)]
+
+    def test_time_shares_zero_total(self):
+        profiler = Profiler()
+        profiler.add_time("a", 0.0)
+        assert profiler.time_shares() == [("a", 0.0, 0.0)]
+
+    def test_snapshot_is_json_ready_copy(self):
+        profiler = Profiler()
+        profiler.add_time("a", 1.5)
+        profiler.count("n", 2)
+        snap = profiler.snapshot()
+        assert snap == {"timers_s": {"a": 1.5}, "counters": {"n": 2.0}}
+        snap["timers_s"]["a"] = 99.0
+        assert profiler.timers["a"] == 1.5
+
+
+class TestModuleGlobal:
+    def test_disabled_by_default_and_noop(self):
+        profiling.disable()
+        assert profiling.active() is None
+        with profiling.section("anything"):
+            pass
+        profiling.count("anything")  # silently dropped
+
+    def test_disabled_section_is_shared_singleton(self):
+        profiling.disable()
+        assert profiling.section("a") is profiling.section("b")
+
+    def test_enable_installs_fresh_profiler(self):
+        try:
+            first = profiling.enable()
+            profiling.count("n")
+            second = profiling.enable()
+            assert second is profiling.active()
+            assert second is not first
+            assert "n" not in second.counters
+        finally:
+            profiling.disable()
+
+    def test_active_profiler_records(self):
+        try:
+            profiler = profiling.enable()
+            with profiling.section("tick"):
+                pass
+            profiling.count("ticks")
+            assert profiler.counters["ticks"] == 1
+            assert "tick" in profiler.timers
+        finally:
+            profiling.disable()
+
+
+class TestEngineWiring:
+    def test_events_grouped_by_tag_category(self):
+        engine = Engine()
+        profiler = Profiler()
+        engine.set_profiler(profiler)
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("a"), tag="arrival:j1")
+        engine.schedule(2.0, lambda: fired.append("b"), tag="sample")
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert profiler.counters["events"] == 3
+        assert set(profiler.timers) == {"arrival", "sample", "untagged"}
+
+    def test_profiler_does_not_change_event_order(self):
+        def run(profiler):
+            engine = Engine()
+            if profiler is not None:
+                engine.set_profiler(profiler)
+            order = []
+            engine.schedule(2.0, lambda: order.append("late"), tag="a")
+            engine.schedule(1.0, lambda: order.append("early"), tag="b")
+            engine.run()
+            return order, engine.fired
+
+        assert run(None) == run(Profiler())

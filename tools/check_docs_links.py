@@ -1,0 +1,86 @@
+"""Docs link checker.
+
+Walks every Markdown file under ``docs/`` plus the top-level ``README.md``
+and verifies that each *relative* link target resolves to a real file (or
+directory) in the repository.  External links (``http(s)://``, ``mailto:``)
+and pure in-page anchors (``#section``) are out of scope — this guards
+against the cheap-and-common failure of renaming a doc page and leaving a
+dangling cross-reference behind.
+
+Usage::
+
+    python tools/check_docs_links.py          # check docs/ and README.md
+    python tools/check_docs_links.py a.md ...  # check the given files
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link, ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links: [text](target).  Images ![alt](target) match the
+#: same tail.  Reference-style definitions ([name]: target) are rare in
+#: this repo's docs and intentionally unsupported.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def default_files() -> List[Path]:
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    readme = REPO_ROOT / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def broken_links(path: Path) -> List[Tuple[int, str]]:
+    """(line number, target) for every unresolvable relative link."""
+    bad: List[Tuple[int, str]] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                bad.append((lineno, target))
+    return bad
+
+
+def main(argv: Iterable[str] = ()) -> int:
+    args = list(argv)
+    files = [Path(arg) for arg in args] if args else default_files()
+    failures = 0
+    for path in files:
+        if not path.exists():
+            print(f"{path}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        for lineno, target in broken_links(path):
+            print(
+                f"{path.relative_to(REPO_ROOT) if path.is_absolute() else path}"
+                f":{lineno}: broken link target: {target}",
+                file=sys.stderr,
+            )
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"docs links OK ({len(files)} file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
