@@ -25,6 +25,13 @@ holds a ``baseline`` section (captured on the pre-optimization code) and a
 events/sec regresses more than ``--tolerance`` (default 20 %) against the
 committed ``current`` numbers.
 
+``--matrix`` switches to the scenario-matrix fan-out benchmark: the
+3-policy × 4-seed replica matrix timed at ``--jobs 1`` vs ``--jobs N``
+(uncached, byte-identity asserted), recorded under the separate
+``matrix`` section of ``BENCH_speed.json`` — informational, never gated
+by ``--check-against``, since its speedup depends on the host's core
+count.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_speed.py              # full
@@ -32,12 +39,14 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_speed.py --quick \\
         --check-against BENCH_speed.json                         # gate
     PYTHONPATH=src python benchmarks/bench_speed.py --baseline   # re-pin
+    PYTHONPATH=src python benchmarks/bench_speed.py --quick --matrix --jobs 4
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
@@ -47,7 +56,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-from bench_util import peak_rss_kb, timed  # noqa: E402
+from bench_util import fanout_timed, peak_rss_kb, timed  # noqa: E402
 
 from repro import profiling  # noqa: E402
 from repro.config import small_cluster  # noqa: E402
@@ -65,6 +74,8 @@ from repro.experiments.scenarios import (  # noqa: E402
 from repro.faults import FaultConfig  # noqa: E402
 from repro.health import HealthConfig, RestartPolicy  # noqa: E402
 from repro.metrics.report import render_table  # noqa: E402
+from repro.metrics.serialize import run_result_to_dict  # noqa: E402
+from repro.parallel import SCHEDULER_NAMES, RunSpec  # noqa: E402
 from repro.schedulers.base import Scheduler  # noqa: E402
 from repro.workload.tracegen import TraceConfig  # noqa: E402
 
@@ -162,6 +173,58 @@ def run_one(name: str, *, quick: bool) -> Dict[str, object]:
     return entry
 
 
+#: Trace seeds of the matrix mode's replica fan-out.
+MATRIX_SEEDS = (0, 1, 2, 3)
+
+
+def matrix_specs(quick: bool) -> list:
+    """The scenario matrix: every policy × every replica seed.
+
+    This is the multi-seed fan-out shape every sweep in the evaluation
+    reduces to — independent runs differing only in policy and trace seed.
+    """
+    days = 0.05 if quick else 0.25
+    base = paper_scale_scenario(duration_days=days, seed=0)
+    return [
+        RunSpec(scenario=base, scheduler=name).with_seed(seed)
+        for name in SCHEDULER_NAMES
+        for seed in MATRIX_SEEDS
+    ]
+
+
+def run_matrix(*, quick: bool, jobs: int) -> Dict[str, object]:
+    """Aggregate wall-clock of the matrix at jobs=1 vs ``jobs`` workers.
+
+    Both passes run uncached (pure compute); the parallel pass must
+    reproduce the serial results byte-for-byte or the benchmark aborts.
+    """
+    specs = matrix_specs(quick)
+    print(f"[bench] matrix: {len(specs)} runs serial ...", flush=True)
+    serial_results, serial_wall = fanout_timed(specs, jobs=1)
+    print(f"[bench] matrix: {len(specs)} runs at --jobs {jobs} ...", flush=True)
+    parallel_results, parallel_wall = fanout_timed(specs, jobs=jobs)
+    for spec, serial, parallel in zip(specs, serial_results, parallel_results):
+        if json.dumps(run_result_to_dict(serial), sort_keys=True) != json.dumps(
+            run_result_to_dict(parallel), sort_keys=True
+        ):
+            raise RuntimeError(
+                f"parallel result diverged from serial for {spec.scheduler} "
+                f"seed {spec.seed}"
+            )
+    return {
+        "runs": len(specs),
+        "jobs": jobs,
+        # Context for the speedup: fan-out cannot beat physical cores, so
+        # a 1-core host legitimately records < 1x (spawn overhead, no
+        # parallelism) while the byte-identity assertion still bites.
+        "host_cpus": os.cpu_count() or 1,
+        "serial_wall_s": round(serial_wall, 3),
+        "parallel_wall_s": round(parallel_wall, 3),
+        "speedup": round(serial_wall / parallel_wall, 2),
+        "byte_identical": True,
+    }
+
+
 def load_json(path: Path) -> Dict[str, object]:
     if path.exists():
         with path.open() as handle:
@@ -218,6 +281,17 @@ def main(argv: Optional[list] = None) -> int:
         help="run only the named scenario(s); default: all",
     )
     parser.add_argument(
+        "--matrix", action="store_true",
+        help="instead of the per-scenario throughput set, time the "
+        "policy×seed scenario matrix at --jobs 1 vs --jobs N and record "
+        "the aggregate fan-out speedup under the 'matrix' section",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the --matrix parallel pass "
+        "(default: the machine's CPU count)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT,
         help=f"result JSON path (default: {DEFAULT_OUTPUT})",
     )
@@ -233,6 +307,32 @@ def main(argv: Optional[list] = None) -> int:
     args = parser.parse_args(argv)
 
     mode = "quick" if args.quick else "full"
+
+    if args.matrix:
+        jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+        entry = run_matrix(quick=args.quick, jobs=jobs)
+        print(
+            render_table(
+                ["runs", "jobs", "serial_s", "parallel_s", "speedup"],
+                [
+                    (
+                        entry["runs"],
+                        entry["jobs"],
+                        entry["serial_wall_s"],
+                        entry["parallel_wall_s"],
+                        f"{entry['speedup']:.2f}x",
+                    )
+                ],
+                title=f"\nbench_speed matrix ({mode}):",
+            )
+        )
+        data = load_json(args.output)
+        data["schema"] = SCHEMA_VERSION
+        data.setdefault("matrix", {})[mode] = entry
+        args.output.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"\n[bench] wrote matrix/{mode} results to {args.output}")
+        return 0
+
     names = args.scenario or sorted(SCENARIOS)
     fresh: Dict[str, Dict[str, object]] = {}
     for name in names:

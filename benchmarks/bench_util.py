@@ -5,7 +5,11 @@ from __future__ import annotations
 import resource
 import time
 from pathlib import Path
-from typing import Callable, Tuple, TypeVar
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, TypeVar
+
+if TYPE_CHECKING:
+    from repro.experiments.runner import RunResult
+    from repro.parallel import ResultCache, RunSpec
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -23,6 +27,23 @@ def timed(fn: Callable[[], T]) -> Tuple[T, float]:
     start = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - start
+
+
+def fanout_timed(
+    specs: Sequence["RunSpec"],
+    *,
+    jobs: int,
+    cache: Optional["ResultCache"] = None,
+) -> Tuple[List["RunResult"], float]:
+    """Time a :class:`~repro.parallel.SimPool` execution of ``specs``.
+
+    ``cache=None`` (the default) measures pure compute; pass a cache to
+    measure warm-replay behaviour instead.
+    """
+    from repro.parallel import SimPool
+
+    pool = SimPool(jobs=jobs, cache=cache)
+    return timed(lambda: pool.map(specs))
 
 
 def peak_rss_kb() -> int:

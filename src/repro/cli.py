@@ -18,11 +18,12 @@ from typing import List, Optional
 
 from repro import profiling
 from repro.analysis.invariants import DEFAULT_AUDIT_INTERVAL_S, InvariantAuditor
-from repro.core.coda import CodaConfig, CodaScheduler
+from repro.core.coda import CodaConfig
 from repro.core.eliminator import CHAOS_FLAP_COOLDOWN_S, EliminatorConfig
 from repro.experiments.scenarios import (
     Scenario,
     paper_scale_scenario,
+    run_comparison,
     run_scenario,
     small_scenario,
 )
@@ -30,47 +31,60 @@ from repro.faults import FaultConfig
 from repro.health import HealthConfig, RestartPolicy
 from repro.metrics.report import render_table
 from repro.metrics.stats import fraction_at_most, fraction_exceeding
+from repro.parallel import (
+    SCHEDULER_NAMES,
+    ResultCache,
+    RunSpec,
+    SimPool,
+    build_scheduler,
+    default_cache,
+    default_jobs,
+)
 from repro.perfmodel.bandwidth import memory_bandwidth_demand
 from repro.perfmodel.catalog import ALL_MODEL_NAMES, get_model
 from repro.perfmodel.stages import TrainSetup
 from repro.perfmodel.utilization import optimal_cores, utilization_curve
-from repro.schedulers.drf import DrfScheduler
-from repro.schedulers.fifo import FifoScheduler
 from repro.workload.job import JobKind
 from repro.workload.tracegen import TraceConfig, generate_trace
 from repro.workload.traceio import save_trace
 
-_POLICIES = {
-    "fifo": FifoScheduler,
-    "drf": DrfScheduler,
-    "coda": lambda: CodaScheduler(CodaConfig()),
-}
 
-
-def _make_scheduler(
-    policy: str,
-    *,
-    restart_policy: Optional[RestartPolicy] = None,
-    chaos: bool = False,
-):
-    """Build the named policy with resilience knobs threaded through.
+def _chaos_coda_config(chaos: bool) -> CodaConfig:
+    """CODA's config with resilience knobs threaded through.
 
     Under active fault injection (``chaos``) CODA additionally arms the
     eliminator's flap cooldown; failure-free runs keep the 0-cooldown
     default so their output stays byte-identical to earlier versions.
     """
-    if policy == "fifo":
-        return FifoScheduler(restart_policy=restart_policy)
-    if policy == "drf":
-        return DrfScheduler(restart_policy=restart_policy)
-    if policy == "coda":
-        config = CodaConfig(
-            eliminator=EliminatorConfig(
-                flap_cooldown_s=CHAOS_FLAP_COOLDOWN_S if chaos else 0.0
-            )
+    return CodaConfig(
+        eliminator=EliminatorConfig(
+            flap_cooldown_s=CHAOS_FLAP_COOLDOWN_S if chaos else 0.0
         )
-        return CodaScheduler(config, restart_policy=restart_policy)
-    raise ValueError(f"unknown policy: {policy}")
+    )
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache directory (default: "
+        "$REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always simulate; neither read nor write the result cache",
+    )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print cache hit/miss/store counters after the run",
+    )
+
+
+def _cache_from_args(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The cache the flags select: --no-cache wins, --cache-dir pins the
+    directory, otherwise the environment defaults decide."""
+    if args.no_cache:
+        return None
+    return default_cache(args.cache_dir)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -82,7 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="simulate a scenario under a policy")
     run.add_argument(
-        "--policy", choices=sorted(_POLICIES), default="coda",
+        "--policy", choices=sorted(SCHEDULER_NAMES), default="coda",
         help="scheduling policy (default: coda)",
     )
     run.add_argument(
@@ -128,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "and print them after the summary (the run's outputs are "
         "unchanged)",
     )
+    _add_cache_flags(run)
 
     compare = sub.add_parser(
         "compare", help="run FIFO, DRF, and CODA on the same trace"
@@ -137,6 +152,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--days", type=float, default=0.25)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the three policy runs (default: "
+        "$REPRO_JOBS or 1 = serial)",
+    )
+    _add_cache_flags(compare)
 
     trace = sub.add_parser("trace", help="generate a synthetic trace (JSONL)")
     trace.add_argument("output", help="output path, e.g. trace.jsonl")
@@ -193,19 +214,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     restart_policy = RestartPolicy(
         max_restarts=args.max_restarts if args.max_restarts > 0 else None
     )
-    scheduler = _make_scheduler(
-        args.policy, restart_policy=restart_policy, chaos=faults_on
+    coda_config = (
+        _chaos_coda_config(True)
+        if args.policy == "coda" and faults_on
+        else None
     )
     health_config = (
         HealthConfig(quarantine_threshold=args.quarantine_threshold)
         if faults_on
         else None
     )
+    # The auditor and the profiler observe the simulation as it executes,
+    # so those runs bypass the result cache — a cached result has nothing
+    # left to observe.
+    observed = args.audit or args.profile
+    pool = SimPool(cache=None if observed else _cache_from_args(args))
     profiler = profiling.enable() if args.profile else None
     try:
-        result = run_scenario(
-            scenario, scheduler, auditor=auditor, health_config=health_config
-        )
+        if observed:
+            scheduler = build_scheduler(
+                args.policy,
+                coda_config=coda_config,
+                restart_policy=restart_policy,
+            )
+            result = run_scenario(
+                scenario, scheduler, auditor=auditor, health_config=health_config
+            )
+        else:
+            spec = RunSpec(
+                scenario=scenario,
+                scheduler=args.policy,
+                coda_config=coda_config,
+                restart_policy=restart_policy,
+                health_config=health_config,
+            )
+            result = pool.map([spec])[0]
     finally:
         if profiler is not None:
             profiling.disable()
@@ -264,13 +307,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     ("dead jobs", result.dead_jobs),
                 ]
                 + (
-                    [
-                        (
-                            "flap suppressions",
-                            scheduler.eliminator.flap_suppressions,
-                        )
-                    ]
-                    if isinstance(scheduler, CodaScheduler)
+                    [("flap suppressions", result.flap_suppressions)]
+                    if args.policy == "coda"
                     else []
                 )
                 if faults_on
@@ -279,6 +317,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             title=f"\n{args.policy.upper()} summary:",
         )
     )
+    if args.cache_stats:
+        print(f"\ncache: {pool.stats.render()}" if pool.cache is not None
+              else "\ncache: disabled")
     if profiler is not None:
         total = profiler.total_timed_s()
         print(
@@ -305,9 +346,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     else:
         scenario = small_scenario(duration_days=args.days, seed=args.seed)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        print(f"--jobs must be >= 1: {jobs}", file=sys.stderr)
+        return 2
+    pool = SimPool(jobs=jobs, cache=_cache_from_args(args))
+    results = run_comparison(scenario, executor=pool.map)
     rows = []
     for name in ("fifo", "drf", "coda"):
-        result = run_scenario(scenario, _POLICIES[name]())
+        result = results[name]
         collector = result.collector
         gpu_queue = collector.queueing_times(
             JobKind.GPU, include_unstarted_until=result.horizon_s
@@ -337,6 +384,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title="FIFO vs DRF vs CODA:",
         )
     )
+    if args.cache_stats:
+        print(f"\ncache: {pool.stats.render()}" if pool.cache is not None
+              else "\ncache: disabled")
     return 0
 
 

@@ -10,7 +10,9 @@ from repro.experiments.auditlog import AuditLog, AuditRecord
 from repro.experiments.runner import RunResult, SimulationRunner
 from repro.experiments.scenarios import (
     paper_scale_scenario,
+    run_comparison,
     run_mtbf_sweep,
+    run_scenario,
     small_scenario,
 )
 
@@ -20,6 +22,8 @@ __all__ = [
     "RunResult",
     "SimulationRunner",
     "paper_scale_scenario",
+    "run_comparison",
     "run_mtbf_sweep",
+    "run_scenario",
     "small_scenario",
 ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.node import Node
 from repro.config import NodeConfig
@@ -21,7 +21,7 @@ from repro.experiments.runner import RunResult, SimulationRunner
 from repro.experiments.scenarios import (
     Scenario,
     paper_scale_scenario,
-    run_scenario,
+    run_comparison,
 )
 from repro.metrics.stats import (
     cdf_points,
@@ -37,11 +37,12 @@ from repro.perfmodel.pcie import pcie_grant_ratio, pcie_peak_demand
 from repro.perfmodel.speed import iteration_time, training_speed
 from repro.perfmodel.stages import TrainSetup
 from repro.perfmodel.utilization import optimal_cores, utilization_curve
-from repro.schedulers.drf import DrfScheduler
-from repro.schedulers.fifo import FifoScheduler
 from repro.workload.heat import HEAT_GBPS_PER_THREAD, HEAT_LLC_MB_PER_THREAD
 from repro.workload.job import JobKind
 from repro.workload.tracegen import TraceConfig, generate_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel import SimPool
 
 #: The configurations Figs. 3/5/6 sweep.
 CHARACTERIZATION_SETUPS = ("1N1G", "1N2G", "1N4G", "2N4G")
@@ -51,17 +52,26 @@ CHARACTERIZATION_SETUPS = ("1N1G", "1N2G", "1N4G", "2N4G")
 # Shared cluster runs (Figs. 1, 2, 10-14, fragmentation, ablation)
 
 
+def _figure_pool() -> "SimPool":
+    """The executor the expensive cluster figures share.
+
+    Honours ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``, so
+    a figure regeneration sweep fans out and re-uses prior runs without
+    any figure function knowing.  Built per call — the disk cache, not
+    the pool object, carries state worth keeping.
+    """
+    from repro.parallel import SimPool, default_cache, default_jobs
+
+    return SimPool(jobs=default_jobs(), cache=default_cache())
+
+
 @lru_cache(maxsize=4)
 def run_cached_comparison(
     duration_days: float = 1.0, seed: int = 3
 ) -> Dict[str, RunResult]:
     """FIFO/DRF/CODA on the identical paper-scale trace, memoized."""
-    results: Dict[str, RunResult] = {}
-    for factory in (FifoScheduler, DrfScheduler, CodaScheduler):
-        scenario = paper_scale_scenario(duration_days=duration_days, seed=seed)
-        result = run_scenario(scenario, factory())
-        results[result.scheduler_name] = result
-    return results
+    scenario = paper_scale_scenario(duration_days=duration_days, seed=seed)
+    return run_comparison(scenario, executor=_figure_pool().map)
 
 
 # ---------------------------------------------------------------------- #
@@ -72,8 +82,11 @@ def fig1_cluster_trend(
     duration_days: float = 2.0, seed: int = 3
 ) -> Dict[str, List[Tuple[float, float]]]:
     """The Fig. 1 series under the status-quo FIFO policy."""
+    from repro.parallel import RunSpec
+
     scenario = paper_scale_scenario(duration_days=duration_days, seed=seed)
-    result = run_scenario(scenario, FifoScheduler())
+    spec = RunSpec(scenario=scenario, scheduler="fifo")
+    result = _figure_pool().map([spec])[0]
     collector = result.collector
     return {
         "gpu_active_rate": collector.gpu_active_rate.points,
@@ -524,12 +537,20 @@ def reservation_sweep(
     reserved cores protect training starts, fewer serve CPU jobs faster.
     """
     from repro.metrics.stats import fraction_at_most
+    from repro.parallel import RunSpec
 
+    scenario = paper_scale_scenario(duration_days=duration_days, seed=seed)
+    specs = [
+        RunSpec(
+            scenario=scenario,
+            scheduler="coda",
+            coda_config=CodaConfig(reserved_cores=reserved),
+        )
+        for reserved in reservations
+    ]
+    results = _figure_pool().map(specs)
     rows: List[Tuple[int, float, float, float]] = []
-    for reserved in reservations:
-        scenario = paper_scale_scenario(duration_days=duration_days, seed=seed)
-        config = CodaConfig(reserved_cores=reserved)
-        result = run_scenario(scenario, CodaScheduler(config))
+    for reserved, result in zip(reservations, results):
         collector = result.collector
         gpu_queue = collector.queueing_times(
             JobKind.GPU, include_unstarted_until=result.horizon_s
@@ -726,16 +747,26 @@ def eliminator_ablation(
         heat_fraction=heat_fraction,
         seed=seed,
     )
-    outcomes: Dict[str, Dict[str, float]] = {}
-    for label, enabled in (("with_eliminator", True), ("without_eliminator", False)):
-        scenario = paper_scale_scenario(duration_days=duration_days, seed=seed)
-        scenario = Scenario(
-            cluster_config=scenario.cluster_config,
-            trace_config=trace_config,
-            drain_s=scenario.drain_s,
+    from repro.parallel import RunSpec
+
+    base = paper_scale_scenario(duration_days=duration_days, seed=seed)
+    scenario = Scenario(
+        cluster_config=base.cluster_config,
+        trace_config=trace_config,
+        drain_s=base.drain_s,
+    )
+    variants = (("with_eliminator", True), ("without_eliminator", False))
+    specs = [
+        RunSpec(
+            scenario=scenario,
+            scheduler="coda",
+            coda_config=CodaConfig(eliminator=EliminatorConfig(enabled=enabled)),
         )
-        config = CodaConfig(eliminator=EliminatorConfig(enabled=enabled))
-        result = run_scenario(scenario, CodaScheduler(config))
+        for _, enabled in variants
+    ]
+    results = _figure_pool().map(specs)
+    outcomes: Dict[str, Dict[str, float]] = {}
+    for (label, _), result in zip(variants, results):
         collector = result.collector
         depths = collector.gpu_queue_depth.values()
         cpu_depths = collector.cpu_queue_depth.values()

@@ -119,6 +119,9 @@ class RunResult:
     quarantine_s: float = 0.0
     #: Jobs retired to the dead-job ledger (restart budget exhausted).
     dead_jobs: int = 0
+    #: Eliminator actions suppressed by the flap cooldown (CODA only;
+    #: zero for schedulers without an eliminator).
+    flap_suppressions: int = 0
 
 
 def _env_auditor() -> Optional["InvariantAuditor"]:
@@ -231,6 +234,11 @@ class SimulationRunner(SchedulerContext):
             quarantines=self.collector.faults.quarantines,
             quarantine_s=self.health.total_quarantine_s(self.engine.now),
             dead_jobs=len(self.scheduler.dead_jobs),
+            flap_suppressions=getattr(
+                getattr(self.scheduler, "eliminator", None),
+                "flap_suppressions",
+                0,
+            ),
         )
 
     def _audit(self, event: str, job: Job, **detail: object) -> None:

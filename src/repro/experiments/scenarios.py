@@ -11,7 +11,7 @@ Two scales:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.invariants import InvariantAuditor
 from repro.cluster.cluster import Cluster
@@ -24,6 +24,15 @@ from repro.schedulers.base import Scheduler
 from repro.schedulers.drf import DrfScheduler
 from repro.schedulers.fifo import FifoScheduler
 from repro.workload.tracegen import Trace, TraceConfig, generate_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.spec import RunSpec
+
+#: An executor maps a batch of independent run specs to their results,
+#: aligned by index.  The default is in-process serial execution;
+#: :meth:`repro.parallel.SimPool.map` plugs in process fan-out and the
+#: content-addressed result cache without the drivers knowing.
+Executor = Callable[[Sequence["RunSpec"]], List[RunResult]]
 
 
 @dataclass(frozen=True)
@@ -158,14 +167,55 @@ def run_comparison(
     *,
     coda_config: Optional[CodaConfig] = None,
     sample_interval_s: float = 300.0,
+    executor: Optional[Executor] = None,
 ) -> Dict[str, RunResult]:
-    """Run FIFO, DRF, and CODA on identical traces (the Fig. 10-13 setup)."""
-    results: Dict[str, RunResult] = {}
-    for name, factory in default_schedulers(coda_config).items():
-        results[name] = run_scenario(
-            scenario, factory(), sample_interval_s=sample_interval_s
+    """Run FIFO, DRF, and CODA on identical traces (the Fig. 10-13 setup).
+
+    The three runs are independent; ``executor`` decides how they execute.
+    ``None`` keeps the historical serial loop; pass
+    :meth:`repro.parallel.SimPool.map` for process fan-out and caching.
+    Results are keyed by policy regardless of completion order.
+    """
+    from repro.parallel import RunSpec, serial_map
+
+    specs = [
+        RunSpec(
+            scenario=scenario,
+            scheduler=name,
+            coda_config=coda_config,
+            sample_interval_s=sample_interval_s,
         )
-    return results
+        for name in ("fifo", "drf", "coda")
+    ]
+    run = executor if executor is not None else serial_map
+    return {
+        spec.scheduler: result for spec, result in zip(specs, run(specs))
+    }
+
+
+def mtbf_sweep_points(
+    scenario: Scenario,
+    mtbf_hours: Sequence[float],
+    *,
+    fault_seed: int = 0,
+    node_mttr_s: float = 1800.0,
+) -> Dict[float, Scenario]:
+    """One scenario per sweep point: the identical workload under a
+    harsher (smaller MTBF) or gentler failure schedule.  0 or ``inf``
+    hours disables faults — the control point."""
+    points: Dict[float, Scenario] = {}
+    for hours in mtbf_hours:
+        if hours <= 0 or hours == float("inf"):
+            points[hours] = replace(scenario, fault_config=None)
+        else:
+            points[hours] = scenario.with_faults(
+                FaultConfig(
+                    seed=fault_seed,
+                    node_mtbf_s=hours * 3600.0,
+                    node_mttr_s=node_mttr_s,
+                )
+            )
+    return points
 
 
 def run_mtbf_sweep(
@@ -173,32 +223,52 @@ def run_mtbf_sweep(
     mtbf_hours: Sequence[float],
     *,
     scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+    scheduler: str = "coda",
+    coda_config: Optional[CodaConfig] = None,
     fault_seed: int = 0,
     node_mttr_s: float = 1800.0,
     sample_interval_s: float = 300.0,
+    executor: Optional[Executor] = None,
 ) -> Dict[float, RunResult]:
     """Sweep the per-node crash MTBF over the same workload.
 
-    Every point replays the identical trace under a harsher (smaller MTBF)
-    or gentler failure schedule, isolating how much goodput the recovery
-    path gives back.  ``mtbf_hours`` of 0 or ``inf`` means no faults — the
-    control point.  The fault seed is held fixed so schedules at different
-    MTBFs differ only in rate, not in which RNG streams exist.
+    Every point replays the identical trace under a different failure
+    schedule, isolating how much goodput the recovery path gives back.
+    The fault seed is held fixed so schedules at different MTBFs differ
+    only in rate, not in which RNG streams exist.
+
+    Points are independent and route through ``executor`` like
+    :func:`run_comparison`.  ``scheduler_factory`` remains as an escape
+    hatch for custom scheduler objects; such factories cannot cross a
+    process boundary, so they force the in-process serial path.
     """
-    factory = scheduler_factory or CodaScheduler
-    results: Dict[float, RunResult] = {}
-    for hours in mtbf_hours:
-        if hours <= 0 or hours == float("inf"):
-            point = replace(scenario, fault_config=None)
-        else:
-            point = scenario.with_faults(
-                FaultConfig(
-                    seed=fault_seed,
-                    node_mtbf_s=hours * 3600.0,
-                    node_mttr_s=node_mttr_s,
-                )
+    points = mtbf_sweep_points(
+        scenario, mtbf_hours, fault_seed=fault_seed, node_mttr_s=node_mttr_s
+    )
+    if scheduler_factory is not None:
+        if executor is not None:
+            raise ValueError(
+                "scheduler_factory runs in-process; pass a scheduler name "
+                "(and coda_config) to use an executor"
             )
-        results[hours] = run_scenario(
-            point, factory(), sample_interval_s=sample_interval_s
+        return {
+            hours: run_scenario(
+                point,
+                scheduler_factory(),
+                sample_interval_s=sample_interval_s,
+            )
+            for hours, point in points.items()
+        }
+    from repro.parallel import RunSpec, serial_map
+
+    specs = [
+        RunSpec(
+            scenario=point,
+            scheduler=scheduler,
+            coda_config=coda_config,
+            sample_interval_s=sample_interval_s,
         )
-    return results
+        for point in points.values()
+    ]
+    run = executor if executor is not None else serial_map
+    return dict(zip(points.keys(), run(specs)))

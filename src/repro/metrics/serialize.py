@@ -1,0 +1,191 @@
+"""Exact JSON serialization of :class:`~repro.experiments.runner.RunResult`.
+
+The parallel experiment harness (:mod:`repro.parallel`) moves results
+across process boundaries and in and out of the on-disk result cache, so
+the round trip must be *exact*: deserializing a serialized result yields a
+result whose re-serialization is byte-identical.  JSON gives that for free
+— Python emits floats via ``repr``, the shortest string that parses back
+to the same IEEE-754 value — as long as every container is restored to
+its original shape (tuples back to tuples, enum members back from their
+values, insertion order preserved).
+
+Only plain data crosses this boundary.  Callables, engines, and scheduler
+state never enter a :class:`RunResult`, which is what makes the cache
+sound: a result is a pure function of its :class:`~repro.parallel.RunSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple, cast
+
+from repro.metrics.audit import AuditStats, InvariantViolation
+from repro.metrics.collector import JobRecord, MetricsCollector
+from repro.metrics.faults import FaultStats
+from repro.metrics.fragmentation import FragmentationTracker
+from repro.metrics.series import SampledSeries
+from repro.workload.job import JobKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.runner import RunResult
+
+#: Bumped whenever the serialized shape changes; part of the result
+#: cache's code fingerprint, so stale cache entries never deserialize.
+RESULT_SCHEMA_VERSION = 1
+
+#: JobRecord fields serialized verbatim (everything except the enum).
+_RECORD_FIELDS = (
+    "job_id",
+    "tenant_id",
+    "submit_time",
+    "first_start",
+    "finish_time",
+    "start_count",
+    "preempt_count",
+    "failure_count",
+    "requested_cpus",
+    "final_cpus",
+    "gpus",
+    "model",
+    "setup_label",
+)
+
+#: The collector's sampled series, in declaration order.
+_SERIES_NAMES = (
+    "gpu_active_rate",
+    "gpu_utilization",
+    "gpu_utilization_overall",
+    "cpu_active_rate",
+    "gpu_queue_depth",
+    "cpu_queue_depth",
+    "hot_nodes",
+)
+
+#: FaultStats scalar counters (the open-outage map is handled separately).
+_FAULT_FIELDS = (
+    "node_failures",
+    "gpu_failures",
+    "telemetry_dropouts",
+    "stragglers",
+    "restarts",
+    "quarantines",
+    "lost_gpu_iterations",
+    "lost_cpu_seconds",
+    "node_downtime_s",
+)
+
+#: RunResult scalar fields besides the collector.
+_RESULT_FIELDS = (
+    "scheduler_name",
+    "horizon_s",
+    "finished_gpu_jobs",
+    "finished_cpu_jobs",
+    "preemptions",
+    "events_fired",
+    "restarts",
+    "node_downtime_s",
+    "quarantines",
+    "quarantine_s",
+    "dead_jobs",
+    "flap_suppressions",
+)
+
+
+def _record_to_dict(record: JobRecord) -> Dict[str, Any]:
+    data: Dict[str, Any] = {name: getattr(record, name) for name in _RECORD_FIELDS}
+    data["kind"] = record.kind.value
+    return data
+
+
+def _record_from_dict(data: Dict[str, Any]) -> JobRecord:
+    fields = {name: data[name] for name in _RECORD_FIELDS}
+    return JobRecord(kind=JobKind(data["kind"]), **fields)
+
+
+def _series_points(series: SampledSeries) -> List[List[float]]:
+    return [[t, value] for t, value in series.points]
+
+
+def _restore_points(points: List[List[float]]) -> List[Tuple[float, float]]:
+    return [(t, value) for t, value in points]
+
+
+def collector_to_dict(collector: MetricsCollector) -> Dict[str, Any]:
+    """Plain-data snapshot of a collector; see :func:`collector_from_dict`."""
+    faults = collector.faults
+    audit = collector.audit
+    return {
+        # A list, not a mapping: JSON objects would survive, but a list
+        # keeps insertion order explicit and independent of key sorting.
+        "records": [_record_to_dict(r) for r in collector.records.values()],
+        "series": {
+            name: _series_points(getattr(collector, name))
+            for name in _SERIES_NAMES
+        },
+        "fragmentation": [list(sample) for sample in collector.fragmentation.samples],
+        "faults": {
+            **{name: getattr(faults, name) for name in _FAULT_FIELDS},
+            "down_since": sorted(faults._down_since.items()),
+        },
+        "audit": {
+            "checks_run": audit.checks_run,
+            "assertions_evaluated": audit.assertions_evaluated,
+            "violations": [
+                [v.time, v.code, v.message] for v in audit.violations
+            ],
+        },
+        "throttle_events": collector.throttle_events,
+        "core_halving_events": collector.core_halving_events,
+    }
+
+
+def collector_from_dict(data: Dict[str, Any]) -> MetricsCollector:
+    collector = MetricsCollector()
+    for record_data in data["records"]:
+        record = _record_from_dict(record_data)
+        collector.records[record.job_id] = record
+    for name in _SERIES_NAMES:
+        series = cast(SampledSeries, getattr(collector, name))
+        series.points = _restore_points(data["series"][name])
+    collector.fragmentation = FragmentationTracker(
+        samples=[(t, frac, depth) for t, frac, depth in data["fragmentation"]]
+    )
+    faults = FaultStats(
+        **{name: data["faults"][name] for name in _FAULT_FIELDS}
+    )
+    faults._down_since = {
+        node_id: since for node_id, since in data["faults"]["down_since"]
+    }
+    collector.faults = faults
+    audit_data = data["audit"]
+    collector.audit = AuditStats(
+        checks_run=audit_data["checks_run"],
+        assertions_evaluated=audit_data["assertions_evaluated"],
+        violations=[
+            InvariantViolation(time=time, code=code, message=message)
+            for time, code, message in audit_data["violations"]
+        ],
+    )
+    collector.throttle_events = data["throttle_events"]
+    collector.core_halving_events = data["core_halving_events"]
+    return collector
+
+
+def run_result_to_dict(result: "RunResult") -> Dict[str, Any]:
+    """Serialize a run result to plain JSON-safe data."""
+    data: Dict[str, Any] = {name: getattr(result, name) for name in _RESULT_FIELDS}
+    data["schema"] = RESULT_SCHEMA_VERSION
+    data["collector"] = collector_to_dict(result.collector)
+    return data
+
+
+def run_result_from_dict(data: Dict[str, Any]) -> "RunResult":
+    """Rebuild a run result from :func:`run_result_to_dict` output."""
+    from repro.experiments.runner import RunResult
+
+    schema = data.get("schema")
+    if schema != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"serialized result schema {schema!r} != {RESULT_SCHEMA_VERSION}"
+        )
+    fields = {name: data[name] for name in _RESULT_FIELDS}
+    return RunResult(collector=collector_from_dict(data["collector"]), **fields)

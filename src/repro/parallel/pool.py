@@ -1,0 +1,112 @@
+"""The process-level fan-out pool.
+
+:class:`SimPool` executes independent :class:`~repro.parallel.RunSpec`
+runs across a ``multiprocessing`` worker pool (``spawn`` context — fresh
+interpreters, no inherited state) and memoizes them through an optional
+:class:`~repro.parallel.ResultCache`.
+
+Determinism contract:
+
+* every run is a pure function of its spec (seeded trace, seeded faults,
+  no wall-clock reads in the simulator), so a worker process computes the
+  byte-identical result the caller would have computed serially;
+* results are returned **in spec order**, never completion order;
+* every result — fresh, pooled, or cached — passes through the same
+  exact JSON round trip (:mod:`repro.metrics.serialize`), so a warm-cache
+  result is indistinguishable from a cold one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import RunResult
+from repro.metrics.serialize import run_result_from_dict, run_result_to_dict
+from repro.parallel.cache import CacheStats, ResultCache
+from repro.parallel.spec import RunSpec
+
+#: Environment override consulted by :func:`default_jobs`.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS``; 1 (serial) when unset."""
+    value = os.environ.get(JOBS_ENV)
+    if not value:
+        return 1
+    return max(1, int(value))
+
+
+def _execute_to_dict(spec: RunSpec) -> Dict[str, Any]:
+    """Pool worker: run one spec and return its serialized result.
+
+    Module-level so ``spawn`` can import it; returns plain data so the
+    parent deserializes through the same path the cache uses.
+    """
+    return run_result_to_dict(spec.execute())
+
+
+def serial_map(specs: Sequence[RunSpec]) -> List[RunResult]:
+    """Execute specs one after another in this process (no round trip).
+
+    The executor the refactored drivers default to — byte-identical to
+    the historical hard-coded serial loops.
+    """
+    return [spec.execute() for spec in specs]
+
+
+class SimPool:
+    """Fans independent runs out over processes, through the cache.
+
+    ``jobs=1`` executes in-process (no spawn overhead) but still takes
+    the serialization round trip, keeping all three paths — serial,
+    parallel, cached — structurally identical.
+    """
+
+    def __init__(
+        self, jobs: int = 1, *, cache: Optional[ResultCache] = None
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+
+    @property
+    def stats(self) -> CacheStats:
+        """The attached cache's counters (all zero when uncached)."""
+        return self.cache.stats if self.cache is not None else CacheStats()
+
+    def map(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every spec; results align with ``specs`` by index."""
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        pending: List[Tuple[int, RunSpec, Optional[str]]] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                key = self.cache.key_for(spec)
+                hit = self.cache.load(key)
+                if hit is not None:
+                    results[index] = hit
+                    continue
+                pending.append((index, spec, key))
+            else:
+                pending.append((index, spec, None))
+
+        if pending:
+            payloads = self._execute([spec for _, spec, _ in pending])
+            for (index, _, key), payload in zip(pending, payloads):
+                if self.cache is not None and key is not None:
+                    self.cache.store(key, payload)
+                results[index] = run_result_from_dict(payload)
+
+        return [result for result in results if result is not None]
+
+    def _execute(self, todo: List[RunSpec]) -> List[Dict[str, Any]]:
+        if self.jobs == 1 or len(todo) == 1:
+            return [_execute_to_dict(spec) for spec in todo]
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=min(self.jobs, len(todo))) as pool:
+            # chunksize=1: runs are few and long, so load balance beats
+            # batching; map (not imap_unordered) pins result order.
+            return pool.map(_execute_to_dict, todo, chunksize=1)

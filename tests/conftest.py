@@ -1,12 +1,22 @@
-"""Shared fixtures."""
+"""Shared fixtures.
+
+The suite runs with the result cache disabled (``REPRO_NO_CACHE``) so no
+test reads another's — or a previous working-tree run's — cached results;
+cache-specific tests opt back in with explicit ``ResultCache`` roots
+under tmp_path.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.cluster.cluster import Cluster
-from repro.config import ClusterConfig, NodeConfig, small_cluster
-from repro.sim.engine import Engine
+os.environ.setdefault("REPRO_NO_CACHE", "1")
+
+from repro.cluster.cluster import Cluster  # noqa: E402
+from repro.config import ClusterConfig, NodeConfig, small_cluster  # noqa: E402
+from repro.sim.engine import Engine  # noqa: E402
 
 
 @pytest.fixture

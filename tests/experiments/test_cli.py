@@ -29,6 +29,61 @@ class TestCompare:
         assert "fifo" in out and "drf" in out and "coda" in out
 
 
+class TestCacheFlags:
+    def test_run_warm_cache_hit(self, tmp_path, capsys):
+        argv = [
+            "run", "--days", "0.02", "--seed", "1",
+            "--cache-dir", str(tmp_path / "c"), "--cache-stats",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "1 miss(es)" in cold and "1 store(s)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "1 hit(s)" in warm and "0 miss(es)" in warm
+        # The cached replay renders the identical summary table.
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if "cache:" not in line
+        ]
+        assert strip(cold) == strip(warm)
+
+    def test_no_cache_disables(self, tmp_path, capsys):
+        assert main(
+            [
+                "run", "--days", "0.02", "--no-cache",
+                "--cache-dir", str(tmp_path / "c"), "--cache-stats",
+            ]
+        ) == 0
+        assert "cache: disabled" in capsys.readouterr().out
+        assert not (tmp_path / "c").exists()
+
+    def test_audit_run_bypasses_cache(self, tmp_path, capsys):
+        assert main(
+            [
+                "run", "--days", "0.02", "--audit",
+                "--cache-dir", str(tmp_path / "c"), "--cache-stats",
+            ]
+        ) == 0
+        assert "cache: disabled" in capsys.readouterr().out
+        assert not (tmp_path / "c").exists()
+
+    def test_compare_jobs_and_cache(self, tmp_path, capsys):
+        argv = [
+            "compare", "--days", "0.02", "--seed", "1", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "c"), "--cache-stats",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "3 miss(es)" in cold and "3 store(s)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "3 hit(s)" in warm and "0 miss(es)" in warm
+
+    def test_compare_rejects_bad_jobs(self, capsys):
+        assert main(["compare", "--days", "0.02", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
 class TestTrace:
     def test_trace_round_trip(self, tmp_path, capsys):
         path = tmp_path / "trace.jsonl"

@@ -1,0 +1,112 @@
+"""SimPool execution paths and executor injection into the drivers."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import (
+    run_comparison,
+    run_mtbf_sweep,
+    small_scenario,
+)
+from repro.metrics.serialize import run_result_to_dict
+from repro.parallel import ResultCache, RunSpec, SimPool, serial_map
+from repro.schedulers.fifo import FifoScheduler
+
+
+def _dumps(result):
+    return json.dumps(run_result_to_dict(result), sort_keys=True)
+
+
+@pytest.fixture
+def scenario():
+    return small_scenario(duration_days=0.02, nodes=4, seed=1)
+
+
+class TestSimPool:
+    def test_rejects_non_positive_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SimPool(jobs=0)
+
+    def test_jobs1_matches_serial_map(self, scenario):
+        specs = [
+            RunSpec(scenario=scenario, scheduler=name)
+            for name in ("fifo", "coda")
+        ]
+        serial = serial_map(specs)
+        pooled = SimPool(jobs=1).map(specs)
+        for left, right in zip(serial, pooled):
+            assert _dumps(left) == _dumps(right)
+
+    def test_results_align_with_spec_order(self, scenario):
+        specs = [
+            RunSpec(scenario=scenario, scheduler=name)
+            for name in ("coda", "fifo", "drf")
+        ]
+        results = SimPool(jobs=1).map(specs)
+        assert [r.scheduler_name for r in results] == ["coda", "fifo", "drf"]
+
+    def test_spawn_parallel_is_byte_identical_to_serial(self, scenario):
+        specs = [
+            RunSpec(scenario=scenario, scheduler=name)
+            for name in ("fifo", "drf", "coda")
+        ]
+        serial = serial_map(specs)
+        parallel = SimPool(jobs=2).map(specs)
+        assert [r.scheduler_name for r in parallel] == ["fifo", "drf", "coda"]
+        for left, right in zip(serial, parallel):
+            assert _dumps(left) == _dumps(right)
+
+    def test_mixed_hit_miss_batch_keeps_order(self, tmp_path, scenario):
+        cache = ResultCache(tmp_path / "cache")
+        first = RunSpec(scenario=scenario, scheduler="fifo")
+        second = RunSpec(scenario=scenario, scheduler="drf")
+        SimPool(cache=cache).map([first])  # prime only the first
+        results = SimPool(cache=cache).map([first, second])
+        assert [r.scheduler_name for r in results] == ["fifo", "drf"]
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 2
+
+
+class TestExecutorInjection:
+    def test_run_comparison_serial_equals_pooled(self, scenario):
+        serial = run_comparison(scenario)
+        pooled = run_comparison(scenario, executor=SimPool(jobs=1).map)
+        assert set(serial) == set(pooled) == {"fifo", "drf", "coda"}
+        for name in serial:
+            assert _dumps(serial[name]) == _dumps(pooled[name])
+
+    def test_run_comparison_executor_sees_all_specs(self, scenario):
+        seen = []
+
+        def spy(specs):
+            seen.extend(specs)
+            return serial_map(specs)
+
+        run_comparison(scenario, executor=spy)
+        assert [spec.scheduler for spec in seen] == ["fifo", "drf", "coda"]
+
+    def test_run_mtbf_sweep_through_executor(self, scenario):
+        hours = (0.0, 1.0)
+        serial = run_mtbf_sweep(scenario, hours, scheduler="fifo")
+        pooled = run_mtbf_sweep(
+            scenario, hours, scheduler="fifo", executor=SimPool(jobs=1).map
+        )
+        assert set(serial) == set(pooled) == set(hours)
+        for point in hours:
+            assert _dumps(serial[point]) == _dumps(pooled[point])
+
+    def test_scheduler_factory_conflicts_with_executor(self, scenario):
+        with pytest.raises(ValueError, match="scheduler_factory"):
+            run_mtbf_sweep(
+                scenario,
+                (1.0,),
+                scheduler_factory=FifoScheduler,
+                executor=serial_map,
+            )
+
+    def test_scheduler_factory_path_still_works(self, scenario):
+        results = run_mtbf_sweep(
+            scenario, (0.0,), scheduler_factory=FifoScheduler
+        )
+        assert results[0.0].scheduler_name == "fifo"

@@ -1,0 +1,88 @@
+"""RunSpec construction, seed resolution, and fingerprints."""
+
+import pickle
+
+import pytest
+
+from repro.core.coda import CodaConfig, CodaScheduler
+from repro.experiments.scenarios import small_scenario
+from repro.parallel import SCHEDULER_NAMES, RunSpec, build_scheduler
+from repro.schedulers.drf import DrfScheduler
+from repro.schedulers.fifo import FifoScheduler
+
+
+class TestBuildScheduler:
+    def test_builds_every_named_policy(self):
+        assert isinstance(build_scheduler("fifo"), FifoScheduler)
+        assert isinstance(build_scheduler("drf"), DrfScheduler)
+        assert isinstance(build_scheduler("coda"), CodaScheduler)
+
+    def test_coda_config_applies(self):
+        scheduler = build_scheduler(
+            "coda", coda_config=CodaConfig(reserved_cores=20)
+        )
+        assert scheduler.config.reserved_cores == 20
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            build_scheduler("lottery")
+
+
+class TestRunSpec:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            RunSpec(scenario=small_scenario(), scheduler="lottery")
+
+    def test_non_positive_sample_interval_rejected(self):
+        with pytest.raises(ValueError, match="sample interval"):
+            RunSpec(scenario=small_scenario(), sample_interval_s=0.0)
+
+    def test_with_seed_overrides_trace_seed_only(self):
+        spec = RunSpec(scenario=small_scenario(seed=0)).with_seed(9)
+        resolved = spec.resolved_scenario()
+        assert resolved.trace_config.seed == 9
+        assert resolved.cluster_config == spec.scenario.cluster_config
+
+    def test_no_seed_override_keeps_scenario(self):
+        spec = RunSpec(scenario=small_scenario(seed=4))
+        assert spec.resolved_scenario() is spec.scenario
+
+    def test_specs_are_picklable(self):
+        spec = RunSpec(
+            scenario=small_scenario(),
+            scheduler="coda",
+            coda_config=CodaConfig(reserved_cores=12),
+            seed=3,
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_scheduler_names_cover_comparison(self):
+        assert SCHEDULER_NAMES == ("fifo", "drf", "coda")
+
+
+class TestFingerprint:
+    def test_seed_override_folds_into_scenario(self):
+        base = small_scenario(seed=0)
+        explicit = RunSpec(scenario=small_scenario(seed=7))
+        overridden = RunSpec(scenario=base, seed=7)
+        assert explicit.fingerprint() == overridden.fingerprint()
+        assert explicit.canonical_json() == overridden.canonical_json()
+
+    def test_different_policy_different_fingerprint(self):
+        scenario = small_scenario()
+        fifo = RunSpec(scenario=scenario, scheduler="fifo")
+        drf = RunSpec(scenario=scenario, scheduler="drf")
+        assert fifo.canonical_json() != drf.canonical_json()
+
+    def test_config_knob_changes_fingerprint(self):
+        scenario = small_scenario()
+        default = RunSpec(scenario=scenario)
+        tuned = RunSpec(
+            scenario=scenario, coda_config=CodaConfig(reserved_cores=20)
+        )
+        assert default.canonical_json() != tuned.canonical_json()
+
+    def test_canonical_json_is_stable(self):
+        spec = RunSpec(scenario=small_scenario(), scheduler="drf", seed=2)
+        assert spec.canonical_json() == spec.canonical_json()

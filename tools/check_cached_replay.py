@@ -1,0 +1,82 @@
+"""CI gate: the result cache must actually replay.
+
+Runs the three-policy comparison twice against a scratch cache directory.
+The first pass simulates and stores; the second must be served entirely
+from the cache — at least one hit, zero misses, byte-identical results —
+and finish in well under the cold wall time.  Exit 0 on success, 1 with a
+diagnostic otherwise.
+
+This is a harness that *measures* the host clock on purpose, like the
+benchmark suite; the simulator itself stays wall-clock-free (CL001).
+
+Usage::
+
+    PYTHONPATH=src python tools/check_cached_replay.py
+    PYTHONPATH=src python tools/check_cached_replay.py --days 0.1 --max-warm-fraction 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=float, default=0.05, help="trace length")
+    parser.add_argument("--seed", type=int, default=1, help="trace seed")
+    parser.add_argument(
+        "--max-warm-fraction", type=float, default=0.25, metavar="F",
+        help="warm wall time must be below F x cold wall time "
+        "(default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.scenarios import run_comparison, small_scenario
+    from repro.metrics.serialize import run_result_to_dict
+    from repro.parallel import ResultCache, SimPool
+
+    scenario = small_scenario(duration_days=args.days, seed=args.seed)
+    with tempfile.TemporaryDirectory(prefix="repro-cache-") as root:
+        cold_pool = SimPool(cache=ResultCache(root))
+        start = time.perf_counter()  # codalint: disable=CL001
+        cold = run_comparison(scenario, executor=cold_pool.map)
+        cold_s = time.perf_counter() - start  # codalint: disable=CL001
+
+        warm_pool = SimPool(cache=ResultCache(root))
+        start = time.perf_counter()  # codalint: disable=CL001
+        warm = run_comparison(scenario, executor=warm_pool.map)
+        warm_s = time.perf_counter() - start  # codalint: disable=CL001
+
+    print(
+        f"[cached-replay] cold {cold_s:.2f}s ({cold_pool.stats.render()}); "
+        f"warm {warm_s:.2f}s ({warm_pool.stats.render()})"
+    )
+    failures = []
+    if warm_pool.stats.hits < 1:
+        failures.append("warm run had no cache hits")
+    if warm_pool.stats.misses != 0:
+        failures.append(f"warm run missed {warm_pool.stats.misses} time(s)")
+    for name in cold:
+        if json.dumps(run_result_to_dict(cold[name]), sort_keys=True) != json.dumps(
+            run_result_to_dict(warm[name]), sort_keys=True
+        ):
+            failures.append(f"cached {name} result differs from cold run")
+    if warm_s >= cold_s * args.max_warm_fraction:
+        failures.append(
+            f"warm run took {warm_s / cold_s:.1%} of cold "
+            f"(limit {args.max_warm_fraction:.0%})"
+        )
+    for failure in failures:
+        print(f"[cached-replay] FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("[cached-replay] cache replay gate passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
