@@ -67,6 +67,7 @@ from repro.core.eliminator import (  # noqa: E402
 )
 from repro.experiments.scenarios import (  # noqa: E402
     Scenario,
+    grid_specs,
     paper_scale_scenario,
     run_scenario,
     small_scenario,
@@ -75,7 +76,7 @@ from repro.faults import FaultConfig  # noqa: E402
 from repro.health import HealthConfig, RestartPolicy  # noqa: E402
 from repro.metrics.report import render_table  # noqa: E402
 from repro.metrics.serialize import run_result_to_dict  # noqa: E402
-from repro.parallel import SCHEDULER_NAMES, RunSpec  # noqa: E402
+from repro.parallel import SCHEDULER_NAMES  # noqa: E402
 from repro.schedulers.base import Scheduler  # noqa: E402
 from repro.workload.tracegen import TraceConfig  # noqa: E402
 
@@ -185,11 +186,7 @@ def matrix_specs(quick: bool) -> list:
     """
     days = 0.05 if quick else 0.25
     base = paper_scale_scenario(duration_days=days, seed=0)
-    return [
-        RunSpec(scenario=base, scheduler=name).with_seed(seed)
-        for name in SCHEDULER_NAMES
-        for seed in MATRIX_SEEDS
-    ]
+    return grid_specs(base, schedulers=SCHEDULER_NAMES, seeds=MATRIX_SEEDS)
 
 
 def run_matrix(*, quick: bool, jobs: int) -> Dict[str, object]:
@@ -197,12 +194,19 @@ def run_matrix(*, quick: bool, jobs: int) -> Dict[str, object]:
 
     Both passes run uncached (pure compute); the parallel pass must
     reproduce the serial results byte-for-byte or the benchmark aborts.
+    The parallel pass runs under the sweep supervisor — the production
+    fan-out path — so its crash/retry machinery's overhead is what gets
+    timed, not the bare ``multiprocessing.Pool``.
     """
+    from repro.sweep import SupervisorConfig
+
     specs = matrix_specs(quick)
     print(f"[bench] matrix: {len(specs)} runs serial ...", flush=True)
     serial_results, serial_wall = fanout_timed(specs, jobs=1)
     print(f"[bench] matrix: {len(specs)} runs at --jobs {jobs} ...", flush=True)
-    parallel_results, parallel_wall = fanout_timed(specs, jobs=jobs)
+    parallel_results, parallel_wall = fanout_timed(
+        specs, jobs=jobs, supervisor=SupervisorConfig()
+    )
     for spec, serial, parallel in zip(specs, serial_results, parallel_results):
         if json.dumps(run_result_to_dict(serial), sort_keys=True) != json.dumps(
             run_result_to_dict(parallel), sort_keys=True

@@ -10,6 +10,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, Typ
 if TYPE_CHECKING:
     from repro.experiments.runner import RunResult
     from repro.parallel import ResultCache, RunSpec
+    from repro.sweep import SupervisorConfig
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -34,15 +35,18 @@ def fanout_timed(
     *,
     jobs: int,
     cache: Optional["ResultCache"] = None,
+    supervisor: Optional["SupervisorConfig"] = None,
 ) -> Tuple[List["RunResult"], float]:
     """Time a :class:`~repro.parallel.SimPool` execution of ``specs``.
 
     ``cache=None`` (the default) measures pure compute; pass a cache to
-    measure warm-replay behaviour instead.
+    measure warm-replay behaviour instead.  ``supervisor`` routes the
+    multi-process path through the fault-tolerant worker supervisor, so
+    the benchmark exercises (and times) the production sweep path.
     """
     from repro.parallel import SimPool
 
-    pool = SimPool(jobs=jobs, cache=cache)
+    pool = SimPool(jobs=jobs, cache=cache, supervisor=supervisor)
     return timed(lambda: pool.map(specs))
 
 

@@ -1,19 +1,25 @@
 """Command-line interface.
 
-Three subcommands mirroring how a downstream user would drive the library:
+Subcommands mirroring how a downstream user would drive the library:
 
 * ``repro-sim run`` — simulate a scenario under a policy and print the
   evaluation summary;
+* ``repro-sim compare`` — FIFO vs DRF vs CODA on the same trace;
+* ``repro-sim sweep`` — a fault-tolerant, resumable policy x seed grid
+  with supervised workers and a crash-safe progress ledger;
 * ``repro-sim trace`` — generate a synthetic trace and write it to JSONL;
 * ``repro-sim characterize`` — print a model's Sec.-IV characterization.
 
-All output is plain text; exit code 0 on success.
+All output is plain text; exit code 0 on success (``sweep`` exits 1 when
+any grid cell was quarantined).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import profiling
@@ -22,6 +28,7 @@ from repro.core.coda import CodaConfig
 from repro.core.eliminator import CHAOS_FLAP_COOLDOWN_S, EliminatorConfig
 from repro.experiments.scenarios import (
     Scenario,
+    grid_specs,
     paper_scale_scenario,
     run_comparison,
     run_scenario,
@@ -158,6 +165,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "$REPRO_JOBS or 1 = serial)",
     )
     _add_cache_flags(compare)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a resumable policy x seed grid with supervised workers",
+    )
+    where = sweep.add_mutually_exclusive_group(required=True)
+    where.add_argument(
+        "--out", metavar="DIR",
+        help="start a fresh sweep in DIR (must not already hold one)",
+    )
+    where.add_argument(
+        "--resume", metavar="DIR",
+        help="resume the sweep in DIR: completed cells are skipped via "
+        "the progress ledger and result cache",
+    )
+    sweep.add_argument(
+        "--scale", choices=("small", "paper"), default="small"
+    )
+    sweep.add_argument("--days", type=float, default=0.05)
+    sweep.add_argument(
+        "--policies", default="fifo,drf,coda", metavar="CSV",
+        help="comma-separated policies forming the grid's first axis "
+        "(default: fifo,drf,coda)",
+    )
+    sweep.add_argument(
+        "--seeds", default="0", metavar="CSV",
+        help="comma-separated trace seeds forming the second axis "
+        "(default: 0)",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="supervised worker processes (default: $REPRO_JOBS or 1; "
+        "a single-CPU host always degrades to in-process serial)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retries per failing cell before it is quarantined "
+        "(default: 2)",
+    )
+    sweep.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock ceiling per attempt; the worker is killed past "
+        "it (default: none)",
+    )
+    sweep.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="worker heartbeat silence after which it is presumed hung "
+        "and killed (default: none)",
+    )
+    sweep.add_argument(
+        "--backoff-base", type=float, default=0.5, metavar="SECONDS",
+        help="first retry delay; doubles per failure, with seeded jitter "
+        "(default: 0.5)",
+    )
+    _add_cache_flags(sweep)
 
     trace = sub.add_parser("trace", help="generate a synthetic trace (JSONL)")
     trace.add_argument("output", help="output path, e.g. trace.jsonl")
@@ -390,6 +452,128 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv_list(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import MANIFEST_NAME, SupervisorConfig, run_sweep
+
+    resuming = args.resume is not None
+    out = Path(args.resume if resuming else args.out)
+    manifest_path = out / MANIFEST_NAME
+
+    if args.retries < 0:
+        print(f"--retries must be >= 0: {args.retries}", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        print(f"--jobs must be >= 1: {jobs}", file=sys.stderr)
+        return 2
+
+    if resuming:
+        # The manifest pins the grid: a resume re-derives the identical
+        # specs, so flag drift cannot silently fork the sweep.
+        if not manifest_path.is_file():
+            print(
+                f"{out} holds no sweep to resume ({MANIFEST_NAME} missing)",
+                file=sys.stderr,
+            )
+            return 2
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        scale = manifest["scale"]
+        days = manifest["days"]
+        policies = list(manifest["policies"])
+        seeds = [int(seed) for seed in manifest["seeds"]]
+    else:
+        if manifest_path.exists():
+            print(
+                f"{out} already holds a sweep; use --resume {out} to "
+                "continue it",
+                file=sys.stderr,
+            )
+            return 2
+        scale = args.scale
+        days = args.days
+        policies = _csv_list(args.policies)
+        seeds = [int(seed) for seed in _csv_list(args.seeds)]
+        if not policies or not seeds:
+            print("--policies and --seeds must be non-empty", file=sys.stderr)
+            return 2
+
+    unknown = [name for name in policies if name not in SCHEDULER_NAMES]
+    if unknown:
+        print(
+            f"unknown policy(ies) {unknown}; expected {SCHEDULER_NAMES}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if scale == "paper":
+        scenario: Scenario = paper_scale_scenario(duration_days=days)
+    else:
+        scenario = small_scenario(duration_days=days)
+    specs = grid_specs(scenario, schedulers=policies, seeds=seeds)
+
+    if not resuming:
+        out.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(
+            json.dumps(
+                {
+                    "scale": scale,
+                    "days": days,
+                    "policies": policies,
+                    "seeds": seeds,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    config = SupervisorConfig(
+        max_retries=args.retries,
+        run_timeout_s=args.run_timeout,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        backoff_base_s=args.backoff_base,
+    )
+    cache = _cache_from_args(args)
+    if cache is None:
+        print(
+            "warning: caching disabled — a resume cannot skip completed "
+            "cells",
+            file=sys.stderr,
+        )
+    print(
+        f"{'Resuming' if resuming else 'Starting'} sweep in {out}: "
+        f"{len(policies)} policy(ies) x {len(seeds)} seed(s) = "
+        f"{len(specs)} cell(s), jobs={jobs}"
+    )
+    result = run_sweep(
+        specs,
+        out_dir=out,
+        jobs=jobs,
+        supervisor=config,
+        cache=cache,
+        resume=resuming,
+        title=f"Sweep report — {scale}, {days:g} day(s)",
+        log=print,
+    )
+    print(
+        f"\nexecuted {result.executed} new simulation run(s), reused "
+        f"{result.reused}, quarantined {result.quarantined} "
+        f"(retries spent: {result.retries})"
+    )
+    if result.degraded_reason:
+        print(f"degraded mode: {result.degraded_reason}")
+    print(f"report: {result.report_path}")
+    if args.cache_stats:
+        print(f"cache: {cache.stats.render()}" if cache is not None
+              else "cache: disabled")
+    return 0 if result.ok else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     config = TraceConfig(
         duration_days=args.days,
@@ -435,6 +619,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "characterize":

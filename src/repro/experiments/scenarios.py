@@ -193,6 +193,36 @@ def run_comparison(
     }
 
 
+def grid_specs(
+    scenario: Scenario,
+    schedulers: Sequence[str] = ("fifo", "drf", "coda"),
+    seeds: Sequence[int] = (0,),
+    *,
+    coda_config: Optional[CodaConfig] = None,
+    sample_interval_s: float = 300.0,
+) -> List["RunSpec"]:
+    """The policy x seed grid over one scenario, as run specs.
+
+    The unit of work the sweep service consumes: each cell replays the
+    identical workload shape under one policy and one trace seed, so
+    cells are independent and can execute (and fail, and retry) in any
+    order.  Specs are emitted policy-major to match the grid's report
+    ordering.
+    """
+    from repro.parallel import RunSpec
+
+    return [
+        RunSpec(
+            scenario=scenario,
+            scheduler=name,
+            coda_config=coda_config,
+            sample_interval_s=sample_interval_s,
+        ).with_seed(seed)
+        for name in schedulers
+        for seed in seeds
+    ]
+
+
 def mtbf_sweep_points(
     scenario: Scenario,
     mtbf_hours: Sequence[float],

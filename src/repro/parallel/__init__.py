@@ -29,6 +29,7 @@ from repro.parallel.cache import (
     ResultCache,
     code_fingerprint,
     default_cache,
+    spec_key,
 )
 from repro.parallel.pool import (
     JOBS_ENV,
@@ -57,4 +58,5 @@ __all__ = [
     "default_cache",
     "default_jobs",
     "serial_map",
+    "spec_key",
 ]

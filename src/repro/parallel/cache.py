@@ -62,6 +62,21 @@ def code_fingerprint() -> Dict[str, Any]:
     }
 
 
+def spec_key(spec: RunSpec) -> str:
+    """Stable content hash of (spec, code fingerprint).
+
+    Module-level so code that has no cache instance (the sweep ledger,
+    report tooling) can still name a run by the same key a cache would
+    file it under.
+    """
+    payload = json.dumps(
+        {"spec": spec.fingerprint(), "code": code_fingerprint()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting of one cache instance."""
@@ -69,9 +84,25 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Stores that succeeded only on the second try (transient OSError —
+    #: e.g. a concurrent cleanup removed the temp directory mid-write).
+    store_retries: int = 0
+    #: Stores abandoned after the retry also failed.  A failed store is
+    #: a lost memoization, not a lost result, so it is counted rather
+    #: than raised.
+    store_failures: int = 0
 
     def render(self) -> str:
-        return f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s)"
+        text = (
+            f"{self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} store(s)"
+        )
+        if self.store_retries or self.store_failures:
+            text += (
+                f", {self.store_retries} store retry(ies), "
+                f"{self.store_failures} store failure(s)"
+            )
+        return text
 
 
 class ResultCache:
@@ -86,12 +117,7 @@ class ResultCache:
 
     def key_for(self, spec: RunSpec) -> str:
         """Stable content hash of (spec, code fingerprint)."""
-        payload = json.dumps(
-            {"spec": spec.fingerprint(), "code": code_fingerprint()},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return spec_key(spec)
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -116,8 +142,28 @@ class ResultCache:
         self.stats.hits += 1
         return result
 
-    def store(self, key: str, payload: Dict[str, Any]) -> Path:
-        """Atomically persist a serialized result under ``key``."""
+    def store(self, key: str, payload: Dict[str, Any]) -> Optional[Path]:
+        """Atomically persist a serialized result under ``key``.
+
+        A transient filesystem failure (concurrent cache cleanup racing
+        the write, a vanished temp file) is retried once; a second
+        failure is recorded in :attr:`CacheStats.store_failures` and
+        swallowed — losing a memoization must never lose the run that
+        produced it.  Returns the stored path, or None when abandoned.
+        """
+        try:
+            path = self._write(key, payload)
+        except OSError:
+            self.stats.store_retries += 1
+            try:
+                path = self._write(key, payload)
+            except OSError:
+                self.stats.store_failures += 1
+                return None
+        self.stats.stores += 1
+        return path
+
+    def _write(self, key: str, payload: Dict[str, Any]) -> Path:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -125,10 +171,9 @@ class ResultCache:
             json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
         )
         os.replace(tmp, path)
-        self.stats.stores += 1
         return path
 
-    def store_result(self, key: str, result: RunResult) -> Path:
+    def store_result(self, key: str, result: RunResult) -> Optional[Path]:
         return self.store(key, run_result_to_dict(result))
 
     # ------------------------------------------------------------------ #

@@ -20,19 +20,30 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.runner import RunResult
 from repro.metrics.serialize import run_result_from_dict, run_result_to_dict
 from repro.parallel.cache import CacheStats, ResultCache
 from repro.parallel.spec import RunSpec
 
+if TYPE_CHECKING:  # import cycle: repro.sweep builds on repro.parallel
+    from repro.sweep.config import SupervisorConfig
+
 #: Environment override consulted by :func:`default_jobs`.
 JOBS_ENV = "REPRO_JOBS"
 
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS``; 1 (serial) when unset."""
+    """Worker count from ``REPRO_JOBS``; 1 (serial) when unset.
+
+    A single-CPU host always gets 1: spawning workers there adds
+    interpreter start-up cost without any parallelism to pay for it, so
+    even an env-configured ``REPRO_JOBS=8`` is clamped.  Callers that
+    pass an explicit ``jobs=`` argument are not affected.
+    """
+    if (os.cpu_count() or 1) <= 1:
+        return 1
     value = os.environ.get(JOBS_ENV)
     if not value:
         return 1
@@ -63,15 +74,28 @@ class SimPool:
     ``jobs=1`` executes in-process (no spawn overhead) but still takes
     the serialization round trip, keeping all three paths — serial,
     parallel, cached — structurally identical.
+
+    Passing a :class:`~repro.sweep.SupervisorConfig` as ``supervisor``
+    routes multi-process execution through the fault-tolerant worker
+    supervisor (per-run timeouts, heartbeat liveness, bounded retries)
+    instead of a bare ``multiprocessing.Pool``.  :meth:`map` promises a
+    result for every spec, so a spec the supervisor quarantines raises
+    :class:`RuntimeError` — callers that want partial results should use
+    :func:`repro.sweep.run_sweep` instead.
     """
 
     def __init__(
-        self, jobs: int = 1, *, cache: Optional[ResultCache] = None
+        self,
+        jobs: int = 1,
+        *,
+        cache: Optional[ResultCache] = None,
+        supervisor: Optional["SupervisorConfig"] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1: {jobs}")
         self.jobs = jobs
         self.cache = cache
+        self.supervisor = supervisor
 
     @property
     def stats(self) -> CacheStats:
@@ -103,6 +127,8 @@ class SimPool:
         return [result for result in results if result is not None]
 
     def _execute(self, todo: List[RunSpec]) -> List[Dict[str, Any]]:
+        if self.supervisor is not None and self.jobs > 1 and len(todo) > 1:
+            return self._execute_supervised(todo)
         if self.jobs == 1 or len(todo) == 1:
             return [_execute_to_dict(spec) for spec in todo]
         context = multiprocessing.get_context("spawn")
@@ -110,3 +136,21 @@ class SimPool:
             # chunksize=1: runs are few and long, so load balance beats
             # batching; map (not imap_unordered) pins result order.
             return pool.map(_execute_to_dict, todo, chunksize=1)
+
+    def _execute_supervised(self, todo: List[RunSpec]) -> List[Dict[str, Any]]:
+        # Lazy import: repro.sweep imports repro.parallel at module
+        # scope, so the reverse edge must stay function-local.
+        from repro.sweep.supervisor import OUTCOME_OK, run_supervised
+
+        outcomes = run_supervised(
+            todo, jobs=min(self.jobs, len(todo)), config=self.supervisor
+        )
+        payloads: List[Dict[str, Any]] = []
+        for outcome in outcomes:
+            if outcome.status != OUTCOME_OK or outcome.payload is None:
+                raise RuntimeError(
+                    f"run {outcome.label!r} quarantined after "
+                    f"{outcome.attempts} attempt(s): {outcome.last_failure}"
+                )
+            payloads.append(outcome.payload)
+        return payloads

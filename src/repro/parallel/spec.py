@@ -84,6 +84,20 @@ class RunSpec:
         """The same run on the same cluster, under trace seed ``seed``."""
         return replace(self, seed=seed)
 
+    def label(self) -> str:
+        """Short human-readable cell name, e.g. ``coda:s7``.
+
+        Used by the sweep ledger and reports; unique within a policy x
+        seed grid over one scenario (the content-addressed cache key is
+        the collision-proof identity).
+        """
+        seed = (
+            self.seed
+            if self.seed is not None
+            else self.scenario.trace_config.seed
+        )
+        return f"{self.scheduler}:s{seed}"
+
     def resolved_scenario(self) -> Scenario:
         """The scenario with any seed override applied."""
         if self.seed is None:

@@ -1,0 +1,81 @@
+"""Fault-tolerant, resumable sweep execution.
+
+Layers, bottom to top:
+
+- :mod:`repro.sweep.config` — :class:`SupervisorConfig`, the single
+  tuning surface (retries, timeouts, deterministic backoff);
+- :mod:`repro.sweep.ledger` — the crash-safe append-only JSONL journal;
+- :mod:`repro.sweep.supervisor` — per-run worker processes with
+  heartbeat liveness, kill-on-timeout, retry, and poison quarantine;
+- :mod:`repro.sweep.report` — markdown partial-results reports;
+- :mod:`repro.sweep.service` — :func:`run_sweep`, tying cache-aware
+  skip, supervised execution, journalling, and reporting together.
+
+``repro.parallel`` deliberately does not import this package at module
+scope (only lazily, from inside :class:`~repro.parallel.SimPool`), so
+the import direction stays ``sweep -> parallel``.
+"""
+
+from repro.sweep.config import SupervisorConfig
+from repro.sweep.ledger import (
+    ALL_STATUSES,
+    COMPLETE_STATUSES,
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_PENDING,
+    STATUS_QUARANTINED,
+    STATUS_RUNNING,
+    LedgerEntry,
+    LedgerError,
+    LedgerState,
+    SweepLedger,
+)
+from repro.sweep.supervisor import (
+    OUTCOME_OK,
+    OUTCOME_QUARANTINED,
+    RunOutcome,
+    SupervisorEvent,
+    run_supervised,
+)
+from repro.sweep.report import render_sweep_report
+from repro.sweep.service import (
+    FORCE_SPAWN_ENV,
+    LEDGER_NAME,
+    MANIFEST_NAME,
+    REPORT_NAME,
+    CellOutcome,
+    SweepResult,
+    effective_jobs,
+    run_sweep,
+)
+
+__all__ = [
+    "ALL_STATUSES",
+    "COMPLETE_STATUSES",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_PENDING",
+    "STATUS_QUARANTINED",
+    "STATUS_RUNNING",
+    "OUTCOME_OK",
+    "OUTCOME_QUARANTINED",
+    "FORCE_SPAWN_ENV",
+    "LEDGER_NAME",
+    "MANIFEST_NAME",
+    "REPORT_NAME",
+    "CellOutcome",
+    "LedgerEntry",
+    "LedgerError",
+    "LedgerState",
+    "RunOutcome",
+    "SupervisorConfig",
+    "SupervisorEvent",
+    "SweepLedger",
+    "SweepResult",
+    "effective_jobs",
+    "render_sweep_report",
+    "run_supervised",
+    "run_sweep",
+]

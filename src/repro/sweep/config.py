@@ -1,0 +1,116 @@
+"""Supervision knobs for fault-tolerant sweep execution.
+
+:class:`SupervisorConfig` is the single tuning surface of the worker
+supervisor (:mod:`repro.sweep.supervisor`): how long a run may take, how
+staleness is detected, how many times a failing spec is retried, and how
+retry delays back off.
+
+Backoff delays are **deterministic**: the jitter term is drawn from a
+:class:`random.Random` seeded via :func:`repro.sim.rng.derive_seed` from
+``(seed, spec label, failure count)``, so two invocations of the same
+sweep produce the identical retry schedule — a property the progress
+ledger's tests rely on, and codalint CL002 would reject anything less.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """How the sweep supervisor babysits its worker processes.
+
+    ``max_retries`` bounds *retries*, not attempts: a spec runs at most
+    ``max_retries + 1`` times before it is quarantined as poison.
+    ``run_timeout_s``/``heartbeat_timeout_s`` default to ``None`` (off)
+    because the right ceiling depends entirely on the scenario size.
+    """
+
+    #: Retries granted after the first failed attempt; beyond this the
+    #: spec is quarantined so one poison cell cannot sink the grid.
+    max_retries: int = 2
+    #: Wall-clock ceiling per attempt; the worker is killed past it.
+    run_timeout_s: Optional[float] = None
+    #: Cadence of worker liveness heartbeats over the result pipe.
+    heartbeat_interval_s: float = 0.5
+    #: Silence window after which a worker is presumed hung and killed
+    #: (catches frozen processes that a run timeout alone would let
+    #: linger until the full ceiling).  ``None`` disables the check.
+    heartbeat_timeout_s: Optional[float] = None
+    #: First retry delay; doubles per subsequent failure.
+    backoff_base_s: float = 0.5
+    #: Ceiling on the exponential term.
+    backoff_cap_s: float = 30.0
+    #: Fractional jitter added on top of the exponential term.
+    backoff_jitter: float = 0.1
+    #: Root seed of the deterministic jitter stream.
+    seed: int = 0
+    #: Upper bound on one supervision-loop wait (keeps the loop
+    #: responsive to deadlines without busy-polling).
+    poll_interval_s: float = 0.2
+    #: Consecutive worker *spawn* failures (not run failures) tolerated
+    #: before the supervisor degrades to in-process serial execution.
+    spawn_failure_limit: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ValueError(
+                f"run_timeout_s must be positive: {self.run_timeout_s}"
+            )
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be positive: "
+                f"{self.heartbeat_interval_s}"
+            )
+        if self.heartbeat_timeout_s is not None and (
+            self.heartbeat_timeout_s <= self.heartbeat_interval_s
+        ):
+            raise ValueError(
+                "heartbeat_timeout_s must exceed heartbeat_interval_s: "
+                f"{self.heartbeat_timeout_s} <= {self.heartbeat_interval_s}"
+            )
+        if self.backoff_base_s < 0:
+            raise ValueError(
+                f"backoff_base_s must be >= 0: {self.backoff_base_s}"
+            )
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ValueError(
+                f"backoff_cap_s ({self.backoff_cap_s}) below backoff_base_s "
+                f"({self.backoff_base_s})"
+            )
+        if self.backoff_jitter < 0:
+            raise ValueError(
+                f"backoff_jitter must be >= 0: {self.backoff_jitter}"
+            )
+        if self.poll_interval_s <= 0:
+            raise ValueError(
+                f"poll_interval_s must be positive: {self.poll_interval_s}"
+            )
+        if self.spawn_failure_limit < 1:
+            raise ValueError(
+                f"spawn_failure_limit must be >= 1: {self.spawn_failure_limit}"
+            )
+
+    def backoff_s(self, label: str, failures: int) -> float:
+        """Delay before the retry that follows failure number ``failures``.
+
+        Exponential in the failure count, capped, with seeded jitter —
+        the same ``(seed, label, failures)`` triple always yields the
+        same delay.
+        """
+        if failures <= 0 or self.backoff_base_s <= 0:
+            return 0.0
+        base = min(
+            self.backoff_cap_s, self.backoff_base_s * (2.0 ** (failures - 1))
+        )
+        jitter = random.Random(
+            derive_seed(self.seed, f"backoff:{label}:{failures}")
+        ).random()
+        return base * (1.0 + self.backoff_jitter * jitter)

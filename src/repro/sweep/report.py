@@ -1,0 +1,85 @@
+"""Markdown sweep reports.
+
+Every sweep invocation — including one that ends with quarantined cells
+or ran degraded — writes a partial-results report next to its ledger:
+per-cell status, attempt/retry counts, and failure excerpts.  The report
+is regenerated whole on each invocation (a resume overwrites it with the
+now-fuller picture); the ledger remains the durable record.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.sweep.ledger import STATUS_OK, STATUS_QUARANTINED
+from repro.sweep.supervisor import RunOutcome
+
+#: Failure excerpts are clipped so one stack trace cannot eat the table.
+_EXCERPT_LIMIT = 100
+
+
+def _excerpt(text: str) -> str:
+    flat = " ".join(text.split())
+    if len(flat) <= _EXCERPT_LIMIT:
+        return flat
+    return flat[: _EXCERPT_LIMIT - 1] + "…"
+
+
+def _cell(text: str) -> str:
+    return text.replace("|", "\\|") if text else "—"
+
+
+def render_sweep_report(
+    outcomes: Sequence[RunOutcome],
+    *,
+    title: str = "Sweep report",
+    executed: int = 0,
+    reused_labels: Sequence[str] = (),
+    degraded_reason: Optional[str] = None,
+) -> str:
+    """The markdown summary of one sweep invocation."""
+    reused = len(reused_labels)
+    total = len(outcomes) + reused
+    ok = sum(1 for outcome in outcomes if outcome.status == STATUS_OK)
+    quarantined = [
+        outcome
+        for outcome in outcomes
+        if outcome.status == STATUS_QUARANTINED
+    ]
+    retries = sum(outcome.retries for outcome in outcomes)
+    lines: List[str] = [
+        f"# {title}",
+        "",
+        f"- grid cells: **{total}**",
+        f"- reused from ledger + cache: **{reused}**",
+        f"- executed this invocation: **{executed}** "
+        f"({ok} ok, {len(quarantined)} quarantined)",
+        f"- retries spent: **{retries}**",
+    ]
+    if degraded_reason:
+        lines.append(f"- **degraded mode:** {degraded_reason}")
+    lines += [
+        "",
+        "| cell | status | attempts | retries | last failure |",
+        "|---|---|---:|---:|---|",
+    ]
+    for label in reused_labels:
+        lines.append(f"| `{label}` | cached | 0 | 0 | — |")
+    for outcome in outcomes:
+        lines.append(
+            f"| `{outcome.label}` "
+            f"| {outcome.status or 'pending'} "
+            f"| {outcome.attempts} "
+            f"| {outcome.retries} "
+            f"| {_cell(_excerpt(outcome.last_failure))} |"
+        )
+    if quarantined:
+        lines += ["", "## Quarantined cells", ""]
+        for outcome in quarantined:
+            lines.append(f"### `{outcome.label}`")
+            lines.append("")
+            for number, reason in enumerate(outcome.failures, start=1):
+                lines.append(f"{number}. {_excerpt(reason)}")
+            lines.append("")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,309 @@
+"""The resumable sweep service.
+
+:func:`run_sweep` is the orchestration layer the CLI's ``sweep``
+subcommand (and any thousand-run grid script) drives:
+
+1. every :class:`~repro.parallel.RunSpec` is fingerprinted to its
+   content-addressed cache key;
+2. cells whose result is already in the :class:`~repro.parallel.ResultCache`
+   are **skipped** (journalled as ``cached``) — this is what makes
+   ``--resume`` a no-op on a fully-warm sweep, and it composes with the
+   ledger: a ``running``/``failed`` tail entry from a crashed invocation
+   simply re-runs;
+3. the remainder executes under the worker supervisor
+   (:func:`repro.sweep.supervisor.run_supervised`), with every
+   transition journalled to the crash-safe ledger as it happens;
+4. a markdown report — per-cell status, retries, failure excerpts — is
+   written even when cells were quarantined or execution degraded to
+   serial: a partial sweep always leaves a usable record.
+
+Degradation: a single-CPU host (or an explicit ``jobs=1``) runs
+in-process serial with a logged reason instead of paying spawn overhead;
+repeated worker spawn failures degrade mid-batch the same way.  Set
+``REPRO_SWEEP_FORCE_SPAWN=1`` to keep the process pool even on one CPU
+(CI chaos tests need the process boundary to inject crashes into).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.experiments.runner import RunResult
+from repro.metrics.serialize import run_result_from_dict
+from repro.parallel.cache import ResultCache
+from repro.parallel.spec import RunSpec
+from repro.sweep.config import SupervisorConfig
+from repro.sweep.ledger import (
+    STATUS_CACHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_PENDING,
+    STATUS_QUARANTINED,
+    STATUS_RUNNING,
+    SweepLedger,
+)
+from repro.sweep.report import render_sweep_report
+from repro.sweep.supervisor import (
+    OUTCOME_OK,
+    RunOutcome,
+    SupervisorEvent,
+    run_supervised,
+)
+
+#: Files a sweep directory contains.
+LEDGER_NAME = "ledger.jsonl"
+REPORT_NAME = "report.md"
+MANIFEST_NAME = "manifest.json"
+
+#: Escape hatch: keep the spawn pool even on a single-CPU host.
+FORCE_SPAWN_ENV = "REPRO_SWEEP_FORCE_SPAWN"
+
+Logger = Callable[[str], None]
+
+
+def _silent(message: str) -> None:
+    return None
+
+
+@dataclass
+class CellOutcome:
+    """Final state of one grid cell after a sweep invocation."""
+
+    label: str
+    key: str
+    #: ``ok`` (freshly executed), ``cached`` (reused), or ``quarantined``.
+    status: str
+    attempts: int = 0
+    failures: List[str] = field(default_factory=list)
+    result: Optional[RunResult] = None
+
+
+@dataclass
+class SweepResult:
+    """What one :func:`run_sweep` invocation did, cell by cell."""
+
+    outcomes: List[CellOutcome]
+    #: Fresh simulations executed by this invocation.
+    executed: int
+    #: Cells reused from the ledger + result cache.
+    reused: int
+    quarantined: int
+    retries: int
+    degraded_reason: Optional[str]
+    report_path: Path
+
+    @property
+    def ok(self) -> bool:
+        return self.quarantined == 0
+
+    def results_by_label(self) -> Dict[str, RunResult]:
+        return {
+            outcome.label: outcome.result
+            for outcome in self.outcomes
+            if outcome.result is not None
+        }
+
+
+def effective_jobs(requested: int) -> int:
+    """The worker count a sweep actually uses on this host.
+
+    A single-CPU host collapses to in-process serial — spawn overhead
+    buys nothing there — unless ``REPRO_SWEEP_FORCE_SPAWN`` insists on
+    the process boundary (CI chaos injection does).
+    """
+    if requested <= 1:
+        return 1
+    if os.environ.get(FORCE_SPAWN_ENV):
+        return requested
+    if (os.cpu_count() or 1) <= 1:
+        return 1
+    return requested
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    *,
+    out_dir: Union[str, Path],
+    jobs: int = 1,
+    supervisor: Optional[SupervisorConfig] = None,
+    cache: Optional[ResultCache] = None,
+    resume: bool = False,
+    title: str = "Sweep report",
+    log: Logger = _silent,
+) -> SweepResult:
+    """Run (or resume) a sweep grid; see the module docstring.
+
+    ``cache=None`` disables result reuse entirely — the ledger still
+    journals progress, but a resume must re-execute every cell because
+    there is nowhere to reload results from (``log`` says so).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
+    config = supervisor if supervisor is not None else SupervisorConfig()
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    ledger_path = out / LEDGER_NAME
+
+    if resume:
+        state = SweepLedger.replay(ledger_path)
+        if state.dropped_tail:
+            log(
+                f"ledger: dropped {state.dropped_tail} truncated trailing "
+                "line(s) left by an interrupted invocation"
+            )
+        if cache is None and state.entries:
+            log(
+                "ledger: caching is disabled, so completed cells cannot "
+                "be reloaded and will re-run"
+            )
+
+    jobs_used = effective_jobs(jobs)
+    degraded_reason: Optional[str] = None
+    if jobs_used != jobs:
+        degraded_reason = (
+            f"host has {os.cpu_count() or 1} CPU(s); running in-process "
+            f"serial instead of {jobs} worker processes"
+        )
+        log(f"degraded: {degraded_reason}")
+
+    keys = [
+        cache.key_for(spec) if cache is not None else spec.canonical_json()
+        for spec in specs
+    ]
+    labels = [spec.label() for spec in specs]
+    if len(set(keys)) != len(keys):
+        raise ValueError("sweep grid contains duplicate run specs")
+
+    outcomes: List[Optional[CellOutcome]] = [None] * len(specs)
+    pending_indices: List[int] = []
+    with SweepLedger.resume(ledger_path) as ledger:
+        for index, spec in enumerate(specs):
+            hit = cache.load(keys[index]) if cache is not None else None
+            if hit is not None:
+                ledger.append(keys[index], labels[index], STATUS_CACHED)
+                outcomes[index] = CellOutcome(
+                    label=labels[index],
+                    key=keys[index],
+                    status=STATUS_CACHED,
+                    result=hit,
+                )
+            else:
+                ledger.append(keys[index], labels[index], STATUS_PENDING)
+                pending_indices.append(index)
+
+        run_outcomes: List[RunOutcome] = []
+        if pending_indices:
+            log(
+                f"executing {len(pending_indices)} of {len(specs)} "
+                f"cell(s) with jobs={jobs_used} "
+                f"(retries={config.max_retries}, "
+                f"timeout={config.run_timeout_s or 'off'})"
+            )
+
+            def journal(event: SupervisorEvent) -> None:
+                nonlocal degraded_reason
+                if event.kind == "degrade":
+                    degraded_reason = event.reason
+                    log(f"degraded: {event.reason}")
+                    return
+                index = pending_indices[event.index]
+                if event.kind == "attempt":
+                    ledger.append(
+                        keys[index],
+                        labels[index],
+                        STATUS_RUNNING,
+                        attempt=event.attempt,
+                    )
+                elif event.kind == "failure":
+                    ledger.append(
+                        keys[index],
+                        labels[index],
+                        STATUS_FAILED,
+                        attempt=event.attempt,
+                        detail=event.reason,
+                    )
+                    log(
+                        f"{labels[index]}: attempt {event.attempt} failed "
+                        f"({event.reason})"
+                    )
+                elif event.kind == "ok":
+                    # Persist the result *before* journalling ``ok``:
+                    # a batch can die hours after this cell finished,
+                    # and an ``ok`` line whose result never reached the
+                    # cache would make the resume re-run settled work.
+                    if cache is not None and event.payload is not None:
+                        cache.store(keys[index], event.payload)
+                    ledger.append(
+                        keys[index],
+                        labels[index],
+                        STATUS_OK,
+                        attempt=event.attempt,
+                    )
+                elif event.kind == "quarantine":
+                    ledger.append(
+                        keys[index],
+                        labels[index],
+                        STATUS_QUARANTINED,
+                        attempt=event.attempt,
+                        detail=event.reason,
+                    )
+                    log(
+                        f"{labels[index]}: quarantined after "
+                        f"{event.attempt} attempt(s)"
+                    )
+
+            run_outcomes = run_supervised(
+                [specs[index] for index in pending_indices],
+                jobs=jobs_used,
+                config=config,
+                on_event=journal,
+            )
+            for sub_index, run_outcome in enumerate(run_outcomes):
+                index = pending_indices[sub_index]
+                cell = CellOutcome(
+                    label=labels[index],
+                    key=keys[index],
+                    status=(
+                        STATUS_OK
+                        if run_outcome.status == OUTCOME_OK
+                        else STATUS_QUARANTINED
+                    ),
+                    attempts=run_outcome.attempts,
+                    failures=list(run_outcome.failures),
+                )
+                if run_outcome.payload is not None:
+                    cell.result = run_result_from_dict(run_outcome.payload)
+                outcomes[index] = cell
+
+    final = [outcome for outcome in outcomes if outcome is not None]
+    executed = sum(1 for cell in final if cell.status == STATUS_OK)
+    reused = sum(1 for cell in final if cell.status == STATUS_CACHED)
+    quarantined = sum(
+        1 for cell in final if cell.status == STATUS_QUARANTINED
+    )
+    retries = sum(max(0, cell.attempts - 1) for cell in final)
+    report_path = out / REPORT_NAME
+    report_path.write_text(
+        render_sweep_report(
+            run_outcomes,
+            title=title,
+            executed=executed,
+            reused_labels=[
+                cell.label for cell in final if cell.status == STATUS_CACHED
+            ],
+            degraded_reason=degraded_reason,
+        ),
+        encoding="utf-8",
+    )
+    return SweepResult(
+        outcomes=final,
+        executed=executed,
+        reused=reused,
+        quarantined=quarantined,
+        retries=retries,
+        degraded_reason=degraded_reason,
+        report_path=report_path,
+    )

@@ -1,0 +1,585 @@
+"""The worker supervisor: crash-, hang-, and poison-tolerant fan-out.
+
+:func:`run_supervised` executes a batch of independent
+:class:`~repro.parallel.RunSpec` runs with one dedicated ``spawn``
+process per attempt, supervised over a one-way pipe:
+
+* the worker streams ``("hb", seq)`` heartbeats from a daemon thread and
+  exactly one terminal message — ``("ok", payload)`` or
+  ``("error", reason)``;
+* the supervisor detects **crashes** (the process exits without a
+  terminal message), **overruns** (wall clock past
+  ``run_timeout_s`` — the worker is killed), and **hangs** (no heartbeat
+  within ``heartbeat_timeout_s`` — ditto);
+* every failure is retried with deterministic exponential backoff +
+  seeded jitter, at most ``max_retries`` times; past that the spec is
+  **quarantined** and the rest of the grid keeps going;
+* repeated worker *spawn* failures (or ``jobs=1``) degrade gracefully to
+  in-process serial execution — retries and quarantine still apply, but
+  timeouts cannot be enforced without a process boundary.
+
+Results are plain serialized payloads (the exact JSON round trip the
+cache uses), so a supervised run is byte-identical to a serial one.
+
+Test-only chaos hooks (inert unless the ``REPRO_TEST_*`` environment
+variables are set) let the failure paths be exercised end-to-end: see
+:func:`_maybe_inject_failure`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.serialize import run_result_to_dict
+from repro.parallel.spec import RunSpec
+from repro.sweep.config import SupervisorConfig
+
+#: Terminal outcome statuses.
+OUTCOME_OK = "ok"
+OUTCOME_QUARANTINED = "quarantined"
+
+#: Chaos-injection environment variables (test/CI only; unset = inert).
+#: ``REPRO_TEST_CRASH_SPEC`` — comma-separated spec labels whose worker
+#: process dies on startup, per ``REPRO_TEST_CRASH_MODE`` (``exit`` |
+#: ``kill`` | ``stop`` | ``hang``); ``REPRO_TEST_RAISE_SPEC`` — labels
+#: whose attempt raises in-process (works on the serial path too);
+#: ``REPRO_TEST_CRASH_ONCE_DIR`` — a marker directory making either
+#: injection fire once per label instead of every attempt.
+CRASH_SPEC_ENV = "REPRO_TEST_CRASH_SPEC"
+CRASH_MODE_ENV = "REPRO_TEST_CRASH_MODE"
+CRASH_ONCE_DIR_ENV = "REPRO_TEST_CRASH_ONCE_DIR"
+RAISE_SPEC_ENV = "REPRO_TEST_RAISE_SPEC"
+
+#: Exit code of a chaos-injected worker death.
+_CHAOS_EXIT_CODE = 13
+
+#: Grace period when reaping a killed or finished worker process.
+_REAP_TIMEOUT_S = 5.0
+
+
+def _wall_now() -> float:
+    """Wall-clock seconds for supervising real worker processes.
+
+    The supervisor times actual host processes, so the host clock is the
+    only correct source here; simulation code keeps reading the engine
+    Clock (that is what codalint CL001 polices).
+    """
+    return time.monotonic()  # codalint: disable=CL001
+
+
+@dataclass
+class RunOutcome:
+    """Per-spec verdict of a supervised batch, aligned by index."""
+
+    index: int
+    label: str
+    #: "" while in flight; ``OUTCOME_OK`` or ``OUTCOME_QUARANTINED`` at
+    #: the end of the batch.
+    status: str = ""
+    #: Attempts actually executed (1 on the clean path).
+    attempts: int = 0
+    #: Serialized result payload (``None`` when quarantined).
+    payload: Optional[Dict[str, Any]] = None
+    #: One reason per failed attempt, in order.
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+    @property
+    def last_failure(self) -> str:
+        return self.failures[-1] if self.failures else ""
+
+
+@dataclass(frozen=True)
+class SupervisorEvent:
+    """One supervision transition, streamed to the caller's sink.
+
+    ``kind`` is one of ``attempt`` (a run started), ``ok``, ``failure``,
+    ``retry`` (a failure that will be retried), ``quarantine``, or
+    ``degrade`` (the whole batch fell back to serial; ``index`` is -1).
+    """
+
+    kind: str
+    index: int = -1
+    label: str = ""
+    attempt: int = 0
+    reason: str = ""
+    #: On ``ok`` events, the serialized run result.  Streamed so callers
+    #: can persist each result the moment it exists — a supervisor batch
+    #: can outlive the caller's process by hours, and a result held only
+    #: in memory until the batch returns is a result a crash loses.
+    payload: Optional[Dict[str, Any]] = None
+
+
+EventSink = Callable[[SupervisorEvent], None]
+
+
+def _no_event(event: SupervisorEvent) -> None:
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Chaos injection (test-only, env-gated)
+
+
+def _labels_from_env(name: str) -> List[str]:
+    return [
+        part.strip()
+        for part in os.environ.get(name, "").split(",")
+        if part.strip()
+    ]
+
+
+def _chaos_armed(env_name: str, label: str) -> bool:
+    """Whether the env-gated injection should fire for ``label`` now.
+
+    With ``REPRO_TEST_CRASH_ONCE_DIR`` set, each label fires once: the
+    marker file is created *before* dying, so the retry sails through —
+    the transient-crash shape real fleets exhibit.  Without the marker
+    directory the injection fires on every attempt (a poison spec).
+    """
+    if label not in _labels_from_env(env_name):
+        return False
+    once_dir = os.environ.get(CRASH_ONCE_DIR_ENV)
+    if not once_dir:
+        return True
+    marker = Path(once_dir) / (
+        env_name.lower() + "-" + label.replace(":", "_")
+    )
+    if marker.exists():
+        return False
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    marker.touch()
+    return True
+
+
+def _maybe_inject_failure(label: str) -> None:
+    """Process-level chaos: die the way real workers die (worker only)."""
+    if not _chaos_armed(CRASH_SPEC_ENV, label):
+        return
+    mode = os.environ.get(CRASH_MODE_ENV, "exit")
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif mode == "stop":
+        # Freeze every thread (heartbeats included); only the
+        # supervisor's liveness check can reap us now.
+        os.kill(os.getpid(), signal.SIGSTOP)
+        return
+    elif mode == "hang":
+        # Heartbeats keep flowing while the "run" never finishes — the
+        # shape only a run timeout catches.
+        time.sleep(3600.0)
+        return
+    os._exit(_CHAOS_EXIT_CODE)
+
+
+def _execute_attempt(spec: RunSpec) -> Dict[str, Any]:
+    """One attempt at a spec, with the in-process raise hook applied."""
+    if _chaos_armed(RAISE_SPEC_ENV, spec.label()):
+        raise RuntimeError(f"injected failure for {spec.label()}")
+    return run_result_to_dict(spec.execute())
+
+
+# ---------------------------------------------------------------------- #
+# The worker side
+
+
+def _supervised_worker(
+    spec: RunSpec, conn: Connection, heartbeat_interval_s: float
+) -> None:
+    """Process entry point: run one spec, streaming heartbeats.
+
+    Module-level so the ``spawn`` context can import it.  All pipe
+    writes share a lock because the heartbeat thread and the main thread
+    both send.
+    """
+    label = spec.label()
+    lock = threading.Lock()
+    stop = threading.Event()
+
+    def send(message: Tuple[str, Any]) -> None:
+        with lock:
+            try:
+                conn.send(message)
+            except (OSError, ValueError):
+                # The supervisor is gone (killed us, or died itself);
+                # nothing useful is left to report to.
+                pass
+
+    send(("hb", 0))  # startup heartbeat: spawn + imports succeeded
+
+    def beat() -> None:
+        sequence = 1
+        while not stop.wait(heartbeat_interval_s):
+            send(("hb", sequence))
+            sequence += 1
+
+    threading.Thread(target=beat, daemon=True, name="sweep-heartbeat").start()
+    _maybe_inject_failure(label)
+    try:
+        payload = _execute_attempt(spec)
+    except Exception as error:  # codalint: disable=CL004
+        # The process boundary is exactly where arbitrary spec failures
+        # must be marshalled (not propagated): the supervisor decides
+        # whether this attempt is retried or the spec quarantined.
+        send(("error", f"{type(error).__name__}: {error}"))
+    else:
+        send(("ok", payload))
+    finally:
+        stop.set()
+        conn.close()
+
+
+# ---------------------------------------------------------------------- #
+# The supervisor side
+
+
+@dataclass
+class _ActiveRun:
+    index: int
+    process: "multiprocessing.process.BaseProcess"
+    conn: Connection
+    deadline: Optional[float]
+    last_heartbeat: float
+
+
+def _launch(
+    context: "multiprocessing.context.SpawnContext",
+    spec: RunSpec,
+    config: SupervisorConfig,
+) -> Tuple["multiprocessing.process.BaseProcess", Connection]:
+    """Start one worker; returns (process, supervisor's receive end).
+
+    Separated out so tests can monkeypatch it to simulate spawn-level
+    infrastructure failures.
+    """
+    recv_conn, send_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_supervised_worker,
+        args=(spec, send_conn, config.heartbeat_interval_s),
+        daemon=True,
+    )
+    process.start()
+    # Drop the parent's copy of the send end so a dead worker reads as
+    # EOF instead of a pipe that never closes.
+    send_conn.close()
+    return process, recv_conn
+
+
+def _reap(process: "multiprocessing.process.BaseProcess") -> None:
+    """Kill (if needed) and join a worker, never hanging the supervisor."""
+    if process.is_alive():
+        process.kill()
+    process.join(timeout=_REAP_TIMEOUT_S)
+
+
+def _pump(active: _ActiveRun, now: float) -> Optional[Tuple[str, Any]]:
+    """Drain buffered messages; return the terminal one, if any.
+
+    Heartbeats refresh ``last_heartbeat`` and are swallowed.  ``eof``
+    means the worker closed (or died on) the pipe without a terminal
+    message — a crash.
+    """
+    try:
+        while active.conn.poll():
+            kind, detail = active.conn.recv()
+            if kind == "hb":
+                active.last_heartbeat = now
+            else:
+                return (str(kind), detail)
+    except (EOFError, OSError):
+        return ("eof", None)
+    return None
+
+
+def run_supervised(
+    specs: Sequence[RunSpec],
+    *,
+    jobs: int,
+    config: Optional[SupervisorConfig] = None,
+    on_event: Optional[EventSink] = None,
+) -> List[RunOutcome]:
+    """Execute ``specs`` under supervision; outcomes align by index.
+
+    Never raises on run failures: every spec ends ``ok`` or
+    ``quarantined`` and the batch always completes.  ``jobs <= 1`` takes
+    the in-process serial path directly (no spawn overhead, no timeout
+    enforcement); repeated spawn failures degrade to it mid-batch.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs}")
+    config = config if config is not None else SupervisorConfig()
+    emit = on_event if on_event is not None else _no_event
+    outcomes = [
+        RunOutcome(index=index, label=spec.label())
+        for index, spec in enumerate(specs)
+    ]
+    if jobs > 1 and len(specs) > 1:
+        degraded = _run_spawned(specs, outcomes, jobs, config, emit)
+        if degraded is not None:
+            emit(SupervisorEvent(kind="degrade", reason=degraded))
+            _run_serial(specs, outcomes, config, emit)
+    else:
+        _run_serial(specs, outcomes, config, emit)
+    return outcomes
+
+
+def _run_serial(
+    specs: Sequence[RunSpec],
+    outcomes: List[RunOutcome],
+    config: SupervisorConfig,
+    emit: EventSink,
+) -> None:
+    """In-process fallback: retries and quarantine, no preemption."""
+    for outcome in outcomes:
+        if outcome.status:
+            continue  # already settled by the spawn path
+        spec = specs[outcome.index]
+        while True:
+            outcome.attempts += 1
+            emit(
+                SupervisorEvent(
+                    kind="attempt",
+                    index=outcome.index,
+                    label=outcome.label,
+                    attempt=outcome.attempts,
+                )
+            )
+            try:
+                payload = _execute_attempt(spec)
+            except Exception as error:  # codalint: disable=CL004
+                # Serial supervision must survive arbitrary spec
+                # failures to retry or quarantine them, same as the
+                # process boundary does.
+                reason = f"{type(error).__name__}: {error}"
+                if not _note_failure(outcome, config, emit, reason):
+                    break
+                delay = config.backoff_s(outcome.label, len(outcome.failures))
+                if delay > 0:
+                    time.sleep(delay)
+            else:
+                _note_success(outcome, payload, emit)
+                break
+
+
+def _note_success(
+    outcome: RunOutcome, payload: Dict[str, Any], emit: EventSink
+) -> None:
+    outcome.status = OUTCOME_OK
+    outcome.payload = payload
+    emit(
+        SupervisorEvent(
+            kind="ok",
+            index=outcome.index,
+            label=outcome.label,
+            attempt=outcome.attempts,
+            payload=payload,
+        )
+    )
+
+
+def _note_failure(
+    outcome: RunOutcome,
+    config: SupervisorConfig,
+    emit: EventSink,
+    reason: str,
+) -> bool:
+    """Record one failed attempt; True when a retry is still allowed."""
+    outcome.failures.append(reason)
+    emit(
+        SupervisorEvent(
+            kind="failure",
+            index=outcome.index,
+            label=outcome.label,
+            attempt=outcome.attempts,
+            reason=reason,
+        )
+    )
+    if outcome.attempts > config.max_retries:
+        outcome.status = OUTCOME_QUARANTINED
+        emit(
+            SupervisorEvent(
+                kind="quarantine",
+                index=outcome.index,
+                label=outcome.label,
+                attempt=outcome.attempts,
+                reason=reason,
+            )
+        )
+        return False
+    emit(
+        SupervisorEvent(
+            kind="retry",
+            index=outcome.index,
+            label=outcome.label,
+            attempt=outcome.attempts,
+            reason=reason,
+        )
+    )
+    return True
+
+
+def _run_spawned(
+    specs: Sequence[RunSpec],
+    outcomes: List[RunOutcome],
+    jobs: int,
+    config: SupervisorConfig,
+    emit: EventSink,
+) -> Optional[str]:
+    """The spawn-pool supervision loop.
+
+    Returns ``None`` when every outcome settled, or a degradation reason
+    — in which case still-unsettled outcomes are left for the serial
+    fallback (any in-flight workers are reaped and their aborted
+    attempts un-charged).
+    """
+    context = multiprocessing.get_context("spawn")
+    #: (not-before wall time, index) of runs awaiting (re)launch.
+    pending: List[Tuple[float, int]] = [
+        (0.0, index) for index in range(len(specs))
+    ]
+    active: Dict[int, _ActiveRun] = {}
+    spawn_failures = 0
+
+    def fail(index: int, reason: str, now: float) -> None:
+        outcome = outcomes[index]
+        if _note_failure(outcome, config, emit, reason):
+            delay = config.backoff_s(outcome.label, len(outcome.failures))
+            pending.append((now + delay, index))
+
+    while pending or active:
+        now = _wall_now()
+        # -- launch ------------------------------------------------------
+        pending.sort()
+        while pending and len(active) < jobs and pending[0][0] <= now:
+            _, index = pending.pop(0)
+            outcome = outcomes[index]
+            outcome.attempts += 1
+            try:
+                process, conn = _launch(context, specs[index], config)
+            except OSError as error:
+                # Infrastructure, not the spec: un-charge the attempt.
+                outcome.attempts -= 1
+                spawn_failures += 1
+                if spawn_failures >= config.spawn_failure_limit:
+                    for act in list(active.values()):
+                        _reap(act.process)
+                        act.conn.close()
+                        outcomes[act.index].attempts -= 1
+                    active.clear()
+                    return (
+                        f"{spawn_failures} consecutive worker spawn "
+                        f"failures (last: {error}); falling back to "
+                        "in-process serial execution"
+                    )
+                pending.append((now + config.poll_interval_s, index))
+                break  # re-sort and cool off before the next launch try
+            spawn_failures = 0
+            emit(
+                SupervisorEvent(
+                    kind="attempt",
+                    index=index,
+                    label=outcome.label,
+                    attempt=outcome.attempts,
+                )
+            )
+            deadline = (
+                now + config.run_timeout_s
+                if config.run_timeout_s is not None
+                else None
+            )
+            active[index] = _ActiveRun(
+                index=index,
+                process=process,
+                conn=conn,
+                deadline=deadline,
+                last_heartbeat=now,
+            )
+
+        # -- wait --------------------------------------------------------
+        timeout = _wait_timeout_s(active, pending, config, now)
+        if active:
+            connection_wait(
+                [act.conn for act in active.values()], timeout=timeout
+            )
+        elif pending:
+            time.sleep(timeout)
+
+        # -- collect -----------------------------------------------------
+        now = _wall_now()
+        for index in sorted(active):
+            act = active[index]
+            terminal = _pump(act, now)
+            if terminal is None and not act.process.is_alive():
+                # Exited between polls; drain any message that raced out.
+                terminal = _pump(act, now)
+                if terminal is None:
+                    terminal = ("eof", None)
+            if terminal is not None:
+                kind, detail = terminal
+                _reap(act.process)
+                act.conn.close()
+                del active[index]
+                if kind == "ok":
+                    _note_success(outcomes[index], detail, emit)
+                elif kind == "error":
+                    fail(index, str(detail), now)
+                else:
+                    code = act.process.exitcode
+                    fail(index, f"worker crashed (exit code {code})", now)
+                continue
+            expired = (
+                act.deadline is not None and now >= act.deadline
+            )
+            silent = (
+                config.heartbeat_timeout_s is not None
+                and now - act.last_heartbeat >= config.heartbeat_timeout_s
+            )
+            if expired or silent:
+                _reap(act.process)
+                act.conn.close()
+                del active[index]
+                if expired:
+                    reason = (
+                        "run exceeded timeout "
+                        f"({config.run_timeout_s:g}s); worker killed"
+                    )
+                else:
+                    reason = (
+                        "no heartbeat for "
+                        f"{config.heartbeat_timeout_s:g}s; worker presumed "
+                        "hung and killed"
+                    )
+                fail(index, reason, now)
+    return None
+
+
+def _wait_timeout_s(
+    active: Dict[int, _ActiveRun],
+    pending: List[Tuple[float, int]],
+    config: SupervisorConfig,
+    now: float,
+) -> float:
+    """How long the loop may block before the next deadline matters."""
+    horizon = now + config.poll_interval_s
+    for act in active.values():
+        if act.deadline is not None:
+            horizon = min(horizon, act.deadline)
+        if config.heartbeat_timeout_s is not None:
+            horizon = min(
+                horizon, act.last_heartbeat + config.heartbeat_timeout_s
+            )
+    if pending:
+        horizon = min(horizon, min(ready for ready, _ in pending))
+    return max(0.01, horizon - now)

@@ -111,3 +111,29 @@ class TestFaultScenarios:
         assert control.restarts == 0
         assert faulty.collector.faults.node_failures > 0
         assert faulty.node_downtime_s > 0.0
+
+
+class TestGridSpecs:
+    def test_policy_major_order_and_labels(self):
+        from repro.experiments.scenarios import grid_specs, small_scenario
+
+        scenario = small_scenario(duration_days=0.02, nodes=3)
+        specs = grid_specs(
+            scenario, schedulers=("fifo", "coda"), seeds=(1, 2)
+        )
+        assert [spec.label() for spec in specs] == [
+            "fifo:s1", "fifo:s2", "coda:s1", "coda:s2",
+        ]
+        assert all(spec.scenario is scenario for spec in specs)
+
+    def test_coda_config_threaded_through(self):
+        from repro.core.coda import CodaConfig
+        from repro.experiments.scenarios import grid_specs, small_scenario
+
+        config = CodaConfig(reserved_cores=3)
+        specs = grid_specs(
+            small_scenario(duration_days=0.02),
+            schedulers=("coda",),
+            coda_config=config,
+        )
+        assert specs[0].coda_config == config

@@ -142,3 +142,44 @@ class TestDefaultCache:
         cache = default_cache()
         assert cache is not None
         assert str(cache.root) == str(tmp_path / "elsewhere")
+
+
+class TestStoreRetry:
+    def test_transient_os_error_retried_once(self, tmp_path, spec, monkeypatch):
+        import repro.parallel.cache as cache_module
+
+        cache = ResultCache(tmp_path / "cache")
+        real_replace = cache_module.os.replace
+        blown = []
+
+        def flaky_replace(src, dst):
+            if not blown:
+                blown.append(True)
+                raise FileNotFoundError(src)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_module.os, "replace", flaky_replace)
+        result = SimPool(cache=cache).map([spec])[0]
+        assert cache.stats.store_retries == 1
+        assert cache.stats.store_failures == 0
+        assert cache.stats.stores == 1
+        assert "store retry(ies)" in cache.stats.render()
+        # The retried entry is intact and serves a warm hit.
+        warm = ResultCache(tmp_path / "cache")
+        assert _dumps(warm.load(warm.key_for(spec))) == _dumps(result)
+
+    def test_persistent_os_error_is_swallowed(self, tmp_path, spec, monkeypatch):
+        import repro.parallel.cache as cache_module
+
+        cache = ResultCache(tmp_path / "cache")
+
+        def broken_replace(src, dst):
+            raise PermissionError(dst)
+
+        monkeypatch.setattr(cache_module.os, "replace", broken_replace)
+        result = SimPool(cache=cache).map([spec])[0]  # must not raise
+        assert result is not None
+        assert cache.stats.store_retries == 1
+        assert cache.stats.store_failures == 1
+        assert cache.stats.stores == 0
+        assert "1 store failure(s)" in cache.stats.render()

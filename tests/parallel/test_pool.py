@@ -110,3 +110,23 @@ class TestExecutorInjection:
             scenario, (0.0,), scheduler_factory=FifoScheduler
         )
         assert results[0.0].scheduler_name == "fifo"
+
+
+class TestDefaultJobs:
+    def test_single_cpu_clamps_env_request(self, monkeypatch):
+        import repro.parallel.pool as pool_module
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        from repro.parallel import default_jobs
+
+        assert default_jobs() == 1
+
+    def test_multicore_honors_env_request(self, monkeypatch):
+        import repro.parallel.pool as pool_module
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 4)
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        from repro.parallel import default_jobs
+
+        assert default_jobs() == 3

@@ -1,0 +1,77 @@
+"""The ``repro-sim sweep`` subcommand end to end."""
+
+from repro.cli import main
+from repro.sweep import LEDGER_NAME, MANIFEST_NAME, REPORT_NAME
+
+
+def _sweep_argv(base, mode_flag, mode_dir):
+    return [
+        "sweep", mode_flag, str(mode_dir),
+        "--days", "0.02", "--policies", "fifo,coda", "--seeds", "1",
+        "--jobs", "1", "--backoff-base", "0.01",
+        "--cache-dir", str(base / "cache"),
+    ]
+
+
+class TestFreshAndResume:
+    def test_fresh_then_resume_is_noop(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        assert main(_sweep_argv(tmp_path, "--out", out)) == 0
+        fresh = capsys.readouterr().out
+        assert "Starting sweep" in fresh
+        assert "2 cell(s)" in fresh
+        assert "executed 2 new simulation run(s), reused 0" in fresh
+        for name in (MANIFEST_NAME, LEDGER_NAME, REPORT_NAME):
+            assert (out / name).is_file()
+
+        assert main(_sweep_argv(tmp_path, "--resume", out)) == 0
+        resumed = capsys.readouterr().out
+        assert "Resuming sweep" in resumed
+        assert "executed 0 new simulation run(s), reused 2" in resumed
+
+    def test_resume_ignores_drifted_flags(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        assert main(_sweep_argv(tmp_path, "--out", out)) == 0
+        capsys.readouterr()
+        # The manifest pins the grid; the drifted --policies is ignored.
+        argv = _sweep_argv(tmp_path, "--resume", out)
+        argv[argv.index("--policies") + 1] = "drf"
+        assert main(argv) == 0
+        resumed = capsys.readouterr().out
+        assert "executed 0 new simulation run(s), reused 2" in resumed
+
+
+class TestFlagErrors:
+    def test_fresh_into_existing_sweep_dir_refused(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        assert main(_sweep_argv(tmp_path, "--out", out)) == 0
+        capsys.readouterr()
+        assert main(_sweep_argv(tmp_path, "--out", out)) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_without_manifest_refused(self, tmp_path, capsys):
+        assert main(_sweep_argv(tmp_path, "--resume", tmp_path / "nope")) == 2
+        assert MANIFEST_NAME in capsys.readouterr().err
+
+    def test_unknown_policy_refused(self, tmp_path, capsys):
+        argv = _sweep_argv(tmp_path, "--out", tmp_path / "sweep")
+        argv[argv.index("--policies") + 1] = "fifo,magic"
+        assert main(argv) == 2
+        assert "magic" in capsys.readouterr().err
+
+    def test_negative_retries_refused(self, tmp_path, capsys):
+        argv = _sweep_argv(tmp_path, "--out", tmp_path / "sweep")
+        argv += ["--retries", "-1"]
+        assert main(argv) == 2
+        assert "--retries" in capsys.readouterr().err
+
+
+class TestQuarantineExitCode:
+    def test_poison_cell_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_RAISE_SPEC", "fifo:s1")
+        argv = _sweep_argv(tmp_path, "--out", tmp_path / "sweep")
+        argv += ["--retries", "0"]
+        assert main(argv) == 1
+        out = capsys.readouterr().out
+        assert "quarantined 1" in out
+        assert "report:" in out

@@ -1,0 +1,69 @@
+"""SupervisorConfig validation and the deterministic backoff schedule."""
+
+import pytest
+
+from repro.sweep import SupervisorConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = SupervisorConfig()
+        assert config.max_retries == 2
+        assert config.run_timeout_s is None
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisorConfig(max_retries=-1)
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValueError, match="run_timeout_s"):
+            SupervisorConfig(run_timeout_s=0.0)
+
+    def test_heartbeat_timeout_must_exceed_interval(self):
+        with pytest.raises(ValueError, match="heartbeat_timeout_s"):
+            SupervisorConfig(
+                heartbeat_interval_s=1.0, heartbeat_timeout_s=0.5
+            )
+
+    def test_cap_below_base_rejected(self):
+        with pytest.raises(ValueError, match="backoff_cap_s"):
+            SupervisorConfig(backoff_base_s=10.0, backoff_cap_s=1.0)
+
+    def test_spawn_failure_limit_positive(self):
+        with pytest.raises(ValueError, match="spawn_failure_limit"):
+            SupervisorConfig(spawn_failure_limit=0)
+
+
+class TestBackoff:
+    def test_deterministic_across_instances(self):
+        a = SupervisorConfig(seed=3)
+        b = SupervisorConfig(seed=3)
+        for failures in (1, 2, 3):
+            assert a.backoff_s("coda:s0", failures) == b.backoff_s(
+                "coda:s0", failures
+            )
+
+    def test_seed_and_label_perturb_jitter(self):
+        base = SupervisorConfig(seed=0).backoff_s("coda:s0", 1)
+        assert SupervisorConfig(seed=1).backoff_s("coda:s0", 1) != base
+        assert SupervisorConfig(seed=0).backoff_s("fifo:s0", 1) != base
+
+    def test_exponential_growth_and_cap(self):
+        config = SupervisorConfig(
+            backoff_base_s=1.0, backoff_cap_s=4.0, backoff_jitter=0.0
+        )
+        assert config.backoff_s("x", 1) == 1.0
+        assert config.backoff_s("x", 2) == 2.0
+        assert config.backoff_s("x", 3) == 4.0
+        assert config.backoff_s("x", 4) == 4.0  # capped
+
+    def test_jitter_bounded(self):
+        config = SupervisorConfig(
+            backoff_base_s=1.0, backoff_cap_s=1.0, backoff_jitter=0.5
+        )
+        delay = config.backoff_s("x", 1)
+        assert 1.0 <= delay <= 1.5
+
+    def test_zero_failures_or_base_means_no_delay(self):
+        assert SupervisorConfig().backoff_s("x", 0) == 0.0
+        assert SupervisorConfig(backoff_base_s=0.0).backoff_s("x", 3) == 0.0

@@ -1,0 +1,230 @@
+"""run_sweep: cache-aware resume, journalling, reports, degradation."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import grid_specs, small_scenario
+from repro.metrics.serialize import run_result_to_dict
+from repro.parallel import ResultCache, serial_map
+from repro.sweep import (
+    LEDGER_NAME,
+    REPORT_NAME,
+    STATUS_CACHED,
+    STATUS_OK,
+    SupervisorConfig,
+    SweepLedger,
+    effective_jobs,
+    run_sweep,
+)
+from repro.sweep import service as service_module
+
+
+def _dumps(result):
+    return json.dumps(run_result_to_dict(result), sort_keys=True)
+
+
+@pytest.fixture
+def specs():
+    scenario = small_scenario(duration_days=0.01, nodes=4, seed=1)
+    return grid_specs(scenario, schedulers=("fifo", "coda"), seeds=(1, 2))
+
+
+#: No real backoff sleeps in tests.
+_FAST = SupervisorConfig(backoff_base_s=0.01)
+
+
+class TestFreshSweep:
+    def test_executes_all_and_matches_serial(self, tmp_path, specs):
+        cache = ResultCache(tmp_path / "cache")
+        result = run_sweep(
+            specs, out_dir=tmp_path / "s", cache=cache, supervisor=_FAST
+        )
+        assert result.ok
+        assert result.executed == 4 and result.reused == 0
+        by_label = result.results_by_label()
+        for spec, expected in zip(specs, serial_map(specs)):
+            assert _dumps(by_label[spec.label()]) == _dumps(expected)
+
+    def test_ledger_and_report_are_written(self, tmp_path, specs):
+        out = tmp_path / "s"
+        run_sweep(
+            specs,
+            out_dir=out,
+            cache=ResultCache(tmp_path / "cache"),
+            supervisor=_FAST,
+        )
+        state = SweepLedger.replay(out / LEDGER_NAME)
+        assert len(state.complete_keys()) == 4
+        report = (out / REPORT_NAME).read_text()
+        for spec in specs:
+            assert spec.label() in report
+
+    def test_duplicate_specs_rejected(self, tmp_path, specs):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep(
+                specs + specs[:1],
+                out_dir=tmp_path / "s",
+                cache=ResultCache(tmp_path / "cache"),
+            )
+
+    def test_rejects_non_positive_jobs(self, tmp_path, specs):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep(specs, out_dir=tmp_path / "s", jobs=0)
+
+
+class TestResume:
+    def test_completed_sweep_resumes_to_noop(self, tmp_path, specs):
+        cache = ResultCache(tmp_path / "cache")
+        out = tmp_path / "s"
+        first = run_sweep(specs, out_dir=out, cache=cache, supervisor=_FAST)
+        again = run_sweep(
+            specs, out_dir=out, cache=cache, resume=True, supervisor=_FAST
+        )
+        assert again.executed == 0
+        assert again.reused == 4
+        assert [c.status for c in again.outcomes] == [STATUS_CACHED] * 4
+        for label, result in first.results_by_label().items():
+            assert _dumps(again.results_by_label()[label]) == _dumps(result)
+
+    def test_partial_sweep_runs_only_the_remainder(self, tmp_path, specs):
+        cache = ResultCache(tmp_path / "cache")
+        out = tmp_path / "s"
+        run_sweep(specs[:2], out_dir=out, cache=cache, supervisor=_FAST)
+        result = run_sweep(
+            specs, out_dir=out, cache=cache, resume=True, supervisor=_FAST
+        )
+        assert result.reused == 2 and result.executed == 2
+        statuses = {c.label: c.status for c in result.outcomes}
+        assert statuses[specs[0].label()] == STATUS_CACHED
+        assert statuses[specs[3].label()] == STATUS_OK
+
+    def test_resume_tolerates_truncated_ledger_tail(self, tmp_path, specs):
+        cache = ResultCache(tmp_path / "cache")
+        out = tmp_path / "s"
+        run_sweep(specs, out_dir=out, cache=cache, supervisor=_FAST)
+        ledger_path = out / LEDGER_NAME
+        whole = ledger_path.read_text()
+        ledger_path.write_text(whole[: len(whole) - 15])  # crash mid-append
+        messages = []
+        result = run_sweep(
+            specs,
+            out_dir=out,
+            cache=cache,
+            resume=True,
+            supervisor=_FAST,
+            log=messages.append,
+        )
+        assert any("truncated" in m for m in messages)
+        # The damaged line belonged to an already-cached cell, so the
+        # resume still executes nothing and results stay byte-identical.
+        assert result.executed == 0 and result.reused == 4
+        for spec, expected in zip(specs, serial_map(specs)):
+            assert _dumps(result.results_by_label()[spec.label()]) == _dumps(
+                expected
+            )
+
+    def test_crash_mid_batch_keeps_completed_cells(
+        self, tmp_path, specs, monkeypatch
+    ):
+        # Die between cell 1 and cell 2 (the first cell's result is
+        # already journalled ``ok``): the resume must serve cell 1 from
+        # the cache instead of re-running the whole batch.
+        cache = ResultCache(tmp_path / "cache")
+        out = tmp_path / "s"
+        real_append = SweepLedger.append
+        running = []
+
+        def crashing_append(self, key, label, status, **kwargs):
+            if status == "running":
+                running.append(label)
+                if len(running) == 2:
+                    raise RuntimeError("simulated crash mid-batch")
+            return real_append(self, key, label, status, **kwargs)
+
+        monkeypatch.setattr(SweepLedger, "append", crashing_append)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            run_sweep(specs, out_dir=out, cache=cache, supervisor=_FAST)
+        monkeypatch.undo()
+
+        result = run_sweep(
+            specs, out_dir=out, cache=cache, resume=True, supervisor=_FAST
+        )
+        assert result.reused == 1 and result.executed == 3
+        for spec, expected in zip(specs, serial_map(specs)):
+            assert _dumps(result.results_by_label()[spec.label()]) == _dumps(
+                expected
+            )
+
+    def test_no_cache_resume_reruns_and_says_so(self, tmp_path, specs):
+        out = tmp_path / "s"
+        run_sweep(specs[:2], out_dir=out, cache=None, supervisor=_FAST)
+        messages = []
+        result = run_sweep(
+            specs[:2],
+            out_dir=out,
+            cache=None,
+            resume=True,
+            supervisor=_FAST,
+            log=messages.append,
+        )
+        assert result.executed == 2  # nothing to reload from
+        assert any("caching is disabled" in m for m in messages)
+
+
+class TestQuarantinePartialResults:
+    def test_poison_cell_reported_and_rest_completes(
+        self, tmp_path, specs, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_RAISE_SPEC", "fifo:s1")
+        cache = ResultCache(tmp_path / "cache")
+        out = tmp_path / "s"
+        config = SupervisorConfig(max_retries=1, backoff_base_s=0.01)
+        result = run_sweep(
+            specs, out_dir=out, cache=cache, supervisor=config
+        )
+        assert not result.ok
+        assert result.quarantined == 1 and result.executed == 3
+        report = (out / REPORT_NAME).read_text()
+        assert "Quarantined cells" in report
+        assert "injected failure" in report
+        # The poison cell re-runs on resume; the rest is served cached.
+        monkeypatch.delenv("REPRO_TEST_RAISE_SPEC")
+        healed = run_sweep(
+            specs, out_dir=out, cache=cache, resume=True, supervisor=config
+        )
+        assert healed.ok
+        assert healed.executed == 1 and healed.reused == 3
+
+
+class TestDegradation:
+    def test_single_cpu_host_runs_serial_with_reason(
+        self, tmp_path, specs, monkeypatch
+    ):
+        monkeypatch.setattr(service_module.os, "cpu_count", lambda: 1)
+        monkeypatch.delenv("REPRO_SWEEP_FORCE_SPAWN", raising=False)
+        messages = []
+        result = run_sweep(
+            specs,
+            out_dir=tmp_path / "s",
+            jobs=4,
+            cache=ResultCache(tmp_path / "cache"),
+            supervisor=_FAST,
+            log=messages.append,
+        )
+        assert result.ok
+        assert result.degraded_reason is not None
+        assert "1 CPU" in result.degraded_reason
+        assert any("degraded" in m for m in messages)
+        assert "degraded mode" in (tmp_path / "s" / REPORT_NAME).read_text()
+
+    def test_force_spawn_overrides_single_cpu(self, monkeypatch):
+        monkeypatch.setattr(service_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_SWEEP_FORCE_SPAWN", "1")
+        assert effective_jobs(4) == 4
+
+    def test_effective_jobs_passthrough_on_multicore(self, monkeypatch):
+        monkeypatch.setattr(service_module.os, "cpu_count", lambda: 8)
+        monkeypatch.delenv("REPRO_SWEEP_FORCE_SPAWN", raising=False)
+        assert effective_jobs(4) == 4
+        assert effective_jobs(1) == 1

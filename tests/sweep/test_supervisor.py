@@ -1,0 +1,210 @@
+"""The worker supervisor's failure paths.
+
+Chaos is injected through the ``REPRO_TEST_*`` environment hooks, which
+spawned workers inherit; scenarios are tiny (spawn overhead dominates),
+and every surviving result is asserted byte-identical to a plain serial
+execution — supervision must never perturb what a run computes.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import grid_specs, small_scenario
+from repro.metrics.serialize import run_result_to_dict
+from repro.parallel import SimPool, serial_map
+from repro.sweep import (
+    OUTCOME_OK,
+    OUTCOME_QUARANTINED,
+    SupervisorConfig,
+    run_supervised,
+)
+from repro.sweep import supervisor as supervisor_module
+
+
+def _dumps(result):
+    return json.dumps(run_result_to_dict(result), sort_keys=True)
+
+
+def _payload_dumps(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.fixture
+def specs():
+    scenario = small_scenario(duration_days=0.01, nodes=4, seed=1)
+    return grid_specs(scenario, schedulers=("fifo", "coda"), seeds=(1,))
+
+
+#: Fast retry schedule so failure tests don't sleep through real backoff.
+_FAST = dict(backoff_base_s=0.01, heartbeat_interval_s=0.2)
+
+
+class TestSerialPath:
+    def test_jobs1_matches_serial_map(self, specs):
+        outcomes = run_supervised(specs, jobs=1)
+        serial = serial_map(specs)
+        assert [o.status for o in outcomes] == [OUTCOME_OK, OUTCOME_OK]
+        for outcome, result in zip(outcomes, serial):
+            assert _payload_dumps(outcome.payload) == _dumps(result)
+
+    def test_poison_spec_quarantined_after_max_retries(
+        self, specs, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_RAISE_SPEC", "fifo:s1")
+        config = SupervisorConfig(max_retries=2, **_FAST)
+        outcomes = run_supervised(specs, jobs=1, config=config)
+        poisoned, healthy = outcomes
+        assert poisoned.status == OUTCOME_QUARANTINED
+        assert poisoned.attempts == 3  # 1 try + 2 retries
+        assert len(poisoned.failures) == 3
+        assert "injected failure" in poisoned.last_failure
+        assert healthy.status == OUTCOME_OK
+        assert _payload_dumps(healthy.payload) == _dumps(
+            serial_map([specs[1]])[0]
+        )
+
+    def test_transient_failure_retried_to_success(
+        self, specs, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_RAISE_SPEC", "fifo:s1")
+        monkeypatch.setenv("REPRO_TEST_CRASH_ONCE_DIR", str(tmp_path))
+        config = SupervisorConfig(max_retries=2, **_FAST)
+        outcomes = run_supervised(specs, jobs=1, config=config)
+        assert [o.status for o in outcomes] == [OUTCOME_OK, OUTCOME_OK]
+        assert outcomes[0].attempts == 2
+        for outcome, result in zip(outcomes, serial_map(specs)):
+            assert _payload_dumps(outcome.payload) == _dumps(result)
+
+    def test_events_journal_the_lifecycle(self, specs, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_RAISE_SPEC", "fifo:s1")
+        events = []
+        config = SupervisorConfig(max_retries=0, **_FAST)
+        run_supervised(specs, jobs=1, config=config, on_event=events.append)
+        kinds = [(e.kind, e.label) for e in events]
+        assert ("attempt", "fifo:s1") in kinds
+        assert ("failure", "fifo:s1") in kinds
+        assert ("quarantine", "fifo:s1") in kinds
+        assert ("ok", "coda:s1") in kinds
+
+    def test_rejects_non_positive_jobs(self, specs):
+        with pytest.raises(ValueError, match="jobs"):
+            run_supervised(specs, jobs=0)
+
+
+class TestSpawnedPath:
+    def test_worker_sigkilled_mid_run_is_retried(
+        self, specs, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_CRASH_SPEC", "fifo:s1")
+        monkeypatch.setenv("REPRO_TEST_CRASH_MODE", "kill")
+        monkeypatch.setenv("REPRO_TEST_CRASH_ONCE_DIR", str(tmp_path))
+        config = SupervisorConfig(max_retries=2, **_FAST)
+        outcomes = run_supervised(specs, jobs=2, config=config)
+        crashed, healthy = outcomes
+        assert crashed.status == OUTCOME_OK
+        assert crashed.attempts == 2
+        assert "worker crashed" in crashed.failures[0]
+        assert healthy.status == OUTCOME_OK
+        for outcome, result in zip(outcomes, serial_map(specs)):
+            assert _payload_dumps(outcome.payload) == _dumps(result)
+
+    def test_run_timeout_kills_and_retries(
+        self, specs, tmp_path, monkeypatch
+    ):
+        # "hang" keeps heartbeats flowing while the run never finishes —
+        # only the run timeout can catch it.
+        monkeypatch.setenv("REPRO_TEST_CRASH_SPEC", "coda:s1")
+        monkeypatch.setenv("REPRO_TEST_CRASH_MODE", "hang")
+        monkeypatch.setenv("REPRO_TEST_CRASH_ONCE_DIR", str(tmp_path))
+        config = SupervisorConfig(
+            max_retries=1, run_timeout_s=3.0, **_FAST
+        )
+        outcomes = run_supervised(specs, jobs=2, config=config)
+        healthy, hung = outcomes
+        assert hung.status == OUTCOME_OK
+        assert hung.attempts == 2
+        assert "exceeded timeout" in hung.failures[0]
+        assert healthy.status == OUTCOME_OK
+        for outcome, result in zip(outcomes, serial_map(specs)):
+            assert _payload_dumps(outcome.payload) == _dumps(result)
+
+    def test_silent_worker_presumed_hung_and_killed(
+        self, specs, tmp_path, monkeypatch
+    ):
+        # SIGSTOP freezes the heartbeat thread too: liveness detection,
+        # not the run timeout, must reap this one.
+        monkeypatch.setenv("REPRO_TEST_CRASH_SPEC", "fifo:s1")
+        monkeypatch.setenv("REPRO_TEST_CRASH_MODE", "stop")
+        monkeypatch.setenv("REPRO_TEST_CRASH_ONCE_DIR", str(tmp_path))
+        config = SupervisorConfig(
+            max_retries=1,
+            heartbeat_interval_s=0.2,
+            heartbeat_timeout_s=2.0,
+            backoff_base_s=0.01,
+        )
+        outcomes = run_supervised(specs, jobs=2, config=config)
+        stopped = outcomes[0]
+        assert stopped.status == OUTCOME_OK
+        assert stopped.attempts == 2
+        assert "no heartbeat" in stopped.failures[0]
+
+    def test_poison_spec_quarantined_but_batch_completes(
+        self, specs, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_CRASH_SPEC", "fifo:s1")
+        monkeypatch.setenv("REPRO_TEST_CRASH_MODE", "kill")
+        config = SupervisorConfig(max_retries=1, **_FAST)
+        outcomes = run_supervised(specs, jobs=2, config=config)
+        poisoned, healthy = outcomes
+        assert poisoned.status == OUTCOME_QUARANTINED
+        assert poisoned.attempts == 2
+        assert poisoned.payload is None
+        assert healthy.status == OUTCOME_OK
+        assert _payload_dumps(healthy.payload) == _dumps(
+            serial_map([specs[1]])[0]
+        )
+
+    def test_spawn_failures_degrade_to_serial(self, specs, monkeypatch):
+        def broken_launch(context, spec, config):
+            raise OSError("fork: resource temporarily unavailable")
+
+        monkeypatch.setattr(supervisor_module, "_launch", broken_launch)
+        events = []
+        config = SupervisorConfig(
+            max_retries=0, spawn_failure_limit=2, poll_interval_s=0.01,
+            **_FAST,
+        )
+        outcomes = run_supervised(
+            specs, jobs=2, config=config, on_event=events.append
+        )
+        assert [e.kind for e in events].count("degrade") == 1
+        assert "spawn" in next(
+            e.reason for e in events if e.kind == "degrade"
+        )
+        # The serial fallback still completed every run, with the
+        # aborted spawn attempts un-charged.
+        assert [o.status for o in outcomes] == [OUTCOME_OK, OUTCOME_OK]
+        assert [o.attempts for o in outcomes] == [1, 1]
+        for outcome, result in zip(outcomes, serial_map(specs)):
+            assert _payload_dumps(outcome.payload) == _dumps(result)
+
+
+class TestSimPoolIntegration:
+    def test_supervised_pool_matches_serial(self, specs):
+        pool = SimPool(jobs=2, supervisor=SupervisorConfig(**_FAST))
+        results = pool.map(specs)
+        for result, expected in zip(results, serial_map(specs)):
+            assert _dumps(result) == _dumps(expected)
+
+    def test_quarantine_raises_because_map_promises_results(
+        self, specs, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_CRASH_SPEC", "fifo:s1")
+        monkeypatch.setenv("REPRO_TEST_CRASH_MODE", "kill")
+        pool = SimPool(
+            jobs=2,
+            supervisor=SupervisorConfig(max_retries=0, **_FAST),
+        )
+        with pytest.raises(RuntimeError, match="quarantined"):
+            pool.map(specs)

@@ -22,7 +22,7 @@ def codes(source: str) -> list:
 class TestRuleCatalogue:
     def test_all_rules_have_codes_and_prose(self):
         assert [r.code for r in ALL_RULES] == [
-            "CL001", "CL002", "CL003", "CL004", "CL005", "CL006",
+            "CL001", "CL002", "CL003", "CL004", "CL005", "CL006", "CL007",
         ]
         for rule in ALL_RULES:
             assert rule.summary and rule.rationale
@@ -184,6 +184,59 @@ class TestCL006FloatIntoIntCounter:
 
     def test_float_counter_is_fine(self):
         assert codes("work: float = 0.0\nwork += 0.5\n") == []
+
+
+class TestCL007UnboundedJoin:
+    def test_process_join_without_timeout(self):
+        source = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=work)\n"
+            "p.start()\n"
+            "p.join()\n"
+        )
+        assert codes(source) == ["CL007"]
+
+    def test_context_process_join(self):
+        source = (
+            "import multiprocessing\n"
+            'ctx = multiprocessing.get_context("spawn")\n'
+            "worker = ctx.Process(target=work)\n"
+            "worker.join()\n"
+        )
+        assert codes(source) == ["CL007"]
+
+    def test_pool_join(self):
+        source = (
+            "from multiprocessing import Pool\n"
+            "pool = Pool(4)\n"
+            "pool.join()\n"
+        )
+        assert codes(source) == ["CL007"]
+
+    def test_join_with_timeout_kw_is_fine(self):
+        source = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=work)\n"
+            "p.join(timeout=5.0)\n"
+        )
+        assert codes(source) == []
+
+    def test_join_with_positional_timeout_is_fine(self):
+        source = (
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=work)\n"
+            "p.join(5.0)\n"
+        )
+        assert codes(source) == []
+
+    def test_string_and_thread_joins_are_ignored(self):
+        source = (
+            "import threading\n"
+            'text = ", ".join(["a", "b"])\n'
+            "t = threading.Thread(target=work)\n"
+            "t.join()\n"
+        )
+        assert codes(source) == []
 
 
 class TestCL000SyntaxError:

@@ -1,0 +1,184 @@
+"""CI gate: a sweep must survive injected worker failures and resume to
+a no-op.
+
+Drives ``repro-sim sweep`` as a subprocess (the real user surface) with
+chaos injection armed through the ``REPRO_TEST_*`` environment hooks:
+
+1. **Chaos pass** — one grid cell's worker is SIGKILLed on its first
+   attempt (``REPRO_TEST_CRASH_ONCE_DIR`` makes it a transient crash).
+   The sweep must exit 0, report at least one retry, and complete every
+   cell.
+2. **Poison pass** (``--poison``) — a second sweep adds a cell that
+   crashes on *every* attempt.  The sweep must exit 1, quarantine
+   exactly that cell, and still complete the rest.
+3. **Resume pass** — re-invoking with ``--resume`` must execute **zero**
+   new simulations: everything is served from the ledger + result cache.
+
+``REPRO_SWEEP_FORCE_SPAWN=1`` keeps the process pool even on a 1-CPU
+runner — the chaos hooks fire inside spawned workers, so the process
+boundary is the thing under test.  Exit 0 on success, 1 with a
+diagnostic otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_sweep_chaos.py
+    PYTHONPATH=src python tools/check_sweep_chaos.py --poison --days 0.02
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+#: The summary line ``repro-sim sweep`` always prints.
+_EXECUTED_RE = re.compile(r"executed (\d+) new simulation run\(s\)")
+_RETRIES_RE = re.compile(r"retries spent: (\d+)")
+_QUARANTINED_RE = re.compile(r"quarantined (\d+)")
+
+
+def _run_sweep(
+    cli_args: List[str], env: dict, label: str
+) -> "subprocess.CompletedProcess[str]":
+    command = [sys.executable, "-m", "repro.cli", "sweep"] + cli_args
+    print(f"[sweep-chaos] {label}: {' '.join(command)}", flush=True)
+    proc = subprocess.run(
+        command, env=env, capture_output=True, text=True, timeout=1800
+    )
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    return proc
+
+
+def _summary_int(pattern: "re.Pattern[str]", output: str) -> int:
+    match = pattern.search(output)
+    if match is None:
+        raise AssertionError(
+            f"sweep output lacks the summary field {pattern.pattern!r}"
+        )
+    return int(match.group(1))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--days", type=float, default=0.02, help="trace length")
+    parser.add_argument(
+        "--policies", default="fifo,coda",
+        help="grid policies (default: fifo,coda)",
+    )
+    parser.add_argument(
+        "--crash-cell", default="fifo:s0", metavar="LABEL",
+        help="cell whose worker is SIGKILLed once (default: fifo:s0)",
+    )
+    parser.add_argument(
+        "--poison", action="store_true",
+        help="also run the poison-cell pass (crashes every attempt; "
+        "must be quarantined)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-chaos-") as root:
+        base = Path(root)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path("src").resolve())]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        env["REPRO_SWEEP_FORCE_SPAWN"] = "1"
+        env["REPRO_TEST_CRASH_SPEC"] = args.crash_cell
+        env["REPRO_TEST_CRASH_MODE"] = "kill"
+        env["REPRO_TEST_CRASH_ONCE_DIR"] = str(base / "once")
+        common = [
+            "--days", f"{args.days:g}",
+            "--policies", args.policies,
+            "--seeds", "0",
+            "--jobs", "2",
+            "--retries", "2",
+            "--backoff-base", "0.1",
+            "--run-timeout", "600",
+            "--cache-dir", str(base / "cache"),
+        ]
+
+        chaos = _run_sweep(
+            common + ["--out", str(base / "sweep")], env, "chaos pass"
+        )
+        if chaos.returncode != 0:
+            failures.append(
+                f"chaos pass exited {chaos.returncode}; expected 0 "
+                "(the crashed worker should have been retried)"
+            )
+        else:
+            if _summary_int(_RETRIES_RE, chaos.stdout) < 1:
+                failures.append(
+                    "chaos pass spent no retries — the injected crash "
+                    f"never fired for {args.crash_cell!r}"
+                )
+            if _summary_int(_QUARANTINED_RE, chaos.stdout) != 0:
+                failures.append("chaos pass quarantined a cell; expected none")
+
+        if args.poison and not failures:
+            env_poison = dict(env)
+            # No once-dir: the poison cell dies on *every* attempt.  A
+            # fresh cache keeps all cells pending so the spawn path (and
+            # its quarantine machinery) is what executes them.
+            env_poison["REPRO_TEST_CRASH_SPEC"] = "drf:s0"
+            del env_poison["REPRO_TEST_CRASH_ONCE_DIR"]
+            poison = _run_sweep(
+                [
+                    "--days", f"{args.days:g}",
+                    "--policies", args.policies + ",drf",
+                    "--seeds", "0",
+                    "--jobs", "2",
+                    "--retries", "1",
+                    "--backoff-base", "0.1",
+                    "--run-timeout", "600",
+                    "--cache-dir", str(base / "poison-cache"),
+                    "--out", str(base / "poison"),
+                ],
+                env_poison,
+                "poison pass",
+            )
+            if poison.returncode != 1:
+                failures.append(
+                    f"poison pass exited {poison.returncode}; expected 1 "
+                    "(the poison cell must be quarantined)"
+                )
+            elif _summary_int(_QUARANTINED_RE, poison.stdout) != 1:
+                failures.append(
+                    "poison pass quarantined "
+                    f"{_summary_int(_QUARANTINED_RE, poison.stdout)} "
+                    "cell(s); expected exactly the poison cell"
+                )
+
+        if not failures:
+            resume = _run_sweep(
+                ["--resume", str(base / "sweep")]
+                + ["--cache-dir", str(base / "cache")],
+                env,
+                "resume pass",
+            )
+            if resume.returncode != 0:
+                failures.append(f"resume pass exited {resume.returncode}")
+            elif _summary_int(_EXECUTED_RE, resume.stdout) != 0:
+                failures.append(
+                    "resume executed "
+                    f"{_summary_int(_EXECUTED_RE, resume.stdout)} "
+                    "simulation(s); a completed sweep must resume to a no-op"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"[sweep-chaos] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[sweep-chaos] OK: crash retried, resume was a no-op")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

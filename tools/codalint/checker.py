@@ -113,6 +113,8 @@ class _SymbolPass(ast.NodeVisitor):
         self.from_imports: Dict[str, str] = {}
         self.set_symbols: Set[str] = set()
         self.int_symbols: Set[str] = set()
+        #: names bound to multiprocessing Process/Pool objects (CL007).
+        self.process_symbols: Set[str] = set()
 
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
@@ -161,7 +163,31 @@ class _SymbolPass(ast.NodeVisitor):
                 key = _symbol_key(target)
                 if key is not None:
                     self.set_symbols.add(key)
+        if self._is_process_factory(node.value):
+            for target in node.targets:
+                key = _symbol_key(target)
+                if key is not None:
+                    self.process_symbols.add(key)
         self.generic_visit(node)
+
+    def _is_process_factory(self, node: ast.expr) -> bool:
+        """Whether the expression constructs a multiprocessing worker.
+
+        Matches ``Process(...)``/``Pool(...)`` by name (covering context
+        objects like ``ctx.Process``) and anything whose resolved dotted
+        origin mentions ``multiprocessing``.
+        """
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return False
+        last = dotted.rsplit(".", 1)[-1]
+        if last in {"Process", "Pool"}:
+            return True
+        root = dotted.split(".", 1)[0]
+        origin = self.from_imports.get(root, self.module_aliases.get(root, ""))
+        return "multiprocessing" in origin
 
 
 def _symbol_key(node: ast.expr) -> Optional[str]:
@@ -245,6 +271,7 @@ class _RulePass(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_clock_and_random(node)
         self._check_order_sensitive_consumers(node)
+        self._check_unbounded_join(node)
         self.generic_visit(node)
 
     def _resolve_call(self, node: ast.Call) -> Optional[str]:
@@ -299,6 +326,28 @@ class _RulePass(ast.NodeVisitor):
                     f"process-global randomness random.{member}(); draw "
                     "from a named repro.sim.rng.RngRegistry stream",
                 )
+
+    # -- CL007 ---------------------------------------------------------- #
+
+    def _check_unbounded_join(self, node: ast.Call) -> None:
+        if not (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+        ):
+            return
+        key = _symbol_key(node.func.value)
+        if key is None or key not in self.symbols.process_symbols:
+            return
+        if node.args:
+            return  # join(5.0) — positional timeout
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            return
+        self._violate(
+            node,
+            "CL007",
+            f"{key}.join() without a timeout can block the supervisor "
+            "forever on a hung or half-dead worker; pass timeout= and "
+            "handle the still-alive case",
+        )
 
     # -- CL003 ---------------------------------------------------------- #
 

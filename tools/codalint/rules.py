@@ -104,6 +104,16 @@ ALL_RULES: Tuple[Rule, ...] = (
             "epsilon drift."
         ),
     ),
+    Rule(
+        code="CL007",
+        summary="multiprocessing join without a timeout",
+        rationale=(
+            "Process.join()/Pool.join() with no timeout blocks forever "
+            "when the child hangs or dies mid-handshake — precisely the "
+            "failures the sweep supervisor exists to contain; pass an "
+            "explicit timeout and handle the still-alive case."
+        ),
+    ),
 )
 
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
