@@ -45,6 +45,7 @@ from repro.parallel import (
     SimPool,
     build_scheduler,
     default_cache,
+    clamp_jobs,
     default_jobs,
 )
 from repro.perfmodel.bandwidth import memory_bandwidth_demand
@@ -408,10 +409,22 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     else:
         scenario = small_scenario(duration_days=args.days, seed=args.seed)
-    jobs = args.jobs if args.jobs is not None else default_jobs()
-    if jobs < 1:
-        print(f"--jobs must be >= 1: {jobs}", file=sys.stderr)
-        return 2
+    if args.jobs is not None:
+        if args.jobs < 1:
+            print(f"--jobs must be >= 1: {args.jobs}", file=sys.stderr)
+            return 2
+        # Same single-CPU degradation rule as the sweep service, so the
+        # two entry points cannot disagree on one-core hosts
+        # (REPRO_SWEEP_FORCE_SPAWN escapes it on both).
+        jobs = clamp_jobs(args.jobs)
+        if jobs < args.jobs:
+            print(
+                f"--jobs {args.jobs} clamped to {jobs} on a single-CPU "
+                "host (set REPRO_SWEEP_FORCE_SPAWN=1 to force workers)",
+                file=sys.stderr,
+            )
+    else:
+        jobs = default_jobs()
     pool = SimPool(jobs=jobs, cache=_cache_from_args(args))
     results = run_comparison(scenario, executor=pool.map)
     rows = []

@@ -32,8 +32,10 @@ from repro.parallel.cache import (
     spec_key,
 )
 from repro.parallel.pool import (
+    FORCE_SPAWN_ENV,
     JOBS_ENV,
     SimPool,
+    clamp_jobs,
     default_jobs,
     serial_map,
 )
@@ -46,6 +48,7 @@ from repro.parallel.spec import (
 __all__ = [
     "CACHE_DIR_ENV",
     "DEFAULT_CACHE_DIR",
+    "FORCE_SPAWN_ENV",
     "JOBS_ENV",
     "NO_CACHE_ENV",
     "SCHEDULER_NAMES",
@@ -54,6 +57,7 @@ __all__ = [
     "RunSpec",
     "SimPool",
     "build_scheduler",
+    "clamp_jobs",
     "code_fingerprint",
     "default_cache",
     "default_jobs",

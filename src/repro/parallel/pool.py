@@ -33,21 +33,43 @@ if TYPE_CHECKING:  # import cycle: repro.sweep builds on repro.parallel
 #: Environment override consulted by :func:`default_jobs`.
 JOBS_ENV = "REPRO_JOBS"
 
+#: Escape hatch consulted by :func:`clamp_jobs`: keep the spawn pool
+#: even on a single-CPU host (CI chaos tests need the process boundary
+#: to inject crashes into).
+FORCE_SPAWN_ENV = "REPRO_SWEEP_FORCE_SPAWN"
+
+
+def clamp_jobs(requested: int) -> int:
+    """The single home of the single-CPU degradation rule.
+
+    A single-CPU host collapses any multi-worker request to 1 — spawn
+    overhead buys nothing there — unless ``REPRO_SWEEP_FORCE_SPAWN``
+    insists on the process boundary.  Every entry point that turns a
+    *requested* worker count into an *actual* one (``default_jobs``,
+    the sweep service's ``effective_jobs``, ``compare --jobs``) routes
+    through here so the paths cannot disagree.  Programmatic
+    ``SimPool(jobs=...)`` construction is deliberately not clamped.
+    """
+    if requested <= 1:
+        return 1
+    if os.environ.get(FORCE_SPAWN_ENV):
+        return requested
+    if (os.cpu_count() or 1) <= 1:
+        return 1
+    return requested
+
 
 def default_jobs() -> int:
     """Worker count from ``REPRO_JOBS``; 1 (serial) when unset.
 
-    A single-CPU host always gets 1: spawning workers there adds
-    interpreter start-up cost without any parallelism to pay for it, so
-    even an env-configured ``REPRO_JOBS=8`` is clamped.  Callers that
-    pass an explicit ``jobs=`` argument are not affected.
+    An env-configured ``REPRO_JOBS=8`` is still subject to
+    :func:`clamp_jobs`, so a single-CPU host gets 1 unless
+    ``REPRO_SWEEP_FORCE_SPAWN`` overrides.
     """
-    if (os.cpu_count() or 1) <= 1:
-        return 1
     value = os.environ.get(JOBS_ENV)
     if not value:
         return 1
-    return max(1, int(value))
+    return clamp_jobs(max(1, int(value)))
 
 
 def _execute_to_dict(spec: RunSpec) -> Dict[str, Any]:

@@ -34,6 +34,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.experiments.runner import RunResult
 from repro.metrics.serialize import run_result_from_dict
 from repro.parallel.cache import ResultCache
+from repro.parallel.pool import FORCE_SPAWN_ENV as _FORCE_SPAWN_ENV
+from repro.parallel.pool import clamp_jobs
 from repro.parallel.spec import RunSpec
 from repro.sweep.config import SupervisorConfig
 from repro.sweep.ledger import (
@@ -59,7 +61,9 @@ REPORT_NAME = "report.md"
 MANIFEST_NAME = "manifest.json"
 
 #: Escape hatch: keep the spawn pool even on a single-CPU host.
-FORCE_SPAWN_ENV = "REPRO_SWEEP_FORCE_SPAWN"
+#: (Defined in repro.parallel.pool so every jobs-clamping path shares
+#: one rule; re-exported here for backward compatibility.)
+FORCE_SPAWN_ENV = _FORCE_SPAWN_ENV
 
 Logger = Callable[[str], None]
 
@@ -112,15 +116,10 @@ def effective_jobs(requested: int) -> int:
 
     A single-CPU host collapses to in-process serial — spawn overhead
     buys nothing there — unless ``REPRO_SWEEP_FORCE_SPAWN`` insists on
-    the process boundary (CI chaos injection does).
+    the process boundary (CI chaos injection does).  Thin alias for
+    :func:`repro.parallel.pool.clamp_jobs`, the one home of that rule.
     """
-    if requested <= 1:
-        return 1
-    if os.environ.get(FORCE_SPAWN_ENV):
-        return requested
-    if (os.cpu_count() or 1) <= 1:
-        return 1
-    return requested
+    return clamp_jobs(requested)
 
 
 def run_sweep(

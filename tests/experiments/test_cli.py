@@ -83,6 +83,25 @@ class TestCacheFlags:
         assert main(["compare", "--days", "0.02", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
 
+    def test_compare_jobs_clamped_on_single_cpu(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Same rule as the sweep service: an explicit --jobs request
+        # degrades to serial on a one-core host unless
+        # REPRO_SWEEP_FORCE_SPAWN overrides (results are identical
+        # either way; only worker count changes).
+        import repro.parallel.pool as pool_module
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        monkeypatch.delenv("REPRO_SWEEP_FORCE_SPAWN", raising=False)
+        assert main(
+            [
+                "compare", "--days", "0.02", "--seed", "1", "--jobs", "3",
+                "--cache-dir", str(tmp_path / "c"),
+            ]
+        ) == 0
+        assert "clamped to 1" in capsys.readouterr().err
+
 
 class TestTrace:
     def test_trace_round_trip(self, tmp_path, capsys):

@@ -112,15 +112,72 @@ class TestExecutorInjection:
         assert results[0.0].scheduler_name == "fifo"
 
 
+class TestClampJobs:
+    """clamp_jobs is the one home of the single-CPU degradation rule;
+    default_jobs, the sweep service's effective_jobs, and compare
+    --jobs all route through it."""
+
+    def test_single_cpu_clamps_explicit_request(self, monkeypatch):
+        import repro.parallel.pool as pool_module
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        monkeypatch.delenv("REPRO_SWEEP_FORCE_SPAWN", raising=False)
+        from repro.parallel import clamp_jobs
+
+        assert clamp_jobs(4) == 1
+        assert clamp_jobs(1) == 1
+
+    def test_force_spawn_overrides_single_cpu(self, monkeypatch):
+        import repro.parallel.pool as pool_module
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_SWEEP_FORCE_SPAWN", "1")
+        from repro.parallel import clamp_jobs
+
+        assert clamp_jobs(4) == 4
+
+    def test_multicore_passthrough(self, monkeypatch):
+        import repro.parallel.pool as pool_module
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 8)
+        monkeypatch.delenv("REPRO_SWEEP_FORCE_SPAWN", raising=False)
+        from repro.parallel import clamp_jobs
+
+        assert clamp_jobs(4) == 4
+
+    def test_sweep_effective_jobs_is_same_rule(self, monkeypatch):
+        import repro.parallel.pool as pool_module
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        monkeypatch.delenv("REPRO_SWEEP_FORCE_SPAWN", raising=False)
+        from repro.parallel import clamp_jobs
+        from repro.sweep import effective_jobs
+
+        assert effective_jobs(6) == clamp_jobs(6) == 1
+        monkeypatch.setenv("REPRO_SWEEP_FORCE_SPAWN", "1")
+        assert effective_jobs(6) == clamp_jobs(6) == 6
+
+
 class TestDefaultJobs:
     def test_single_cpu_clamps_env_request(self, monkeypatch):
         import repro.parallel.pool as pool_module
 
         monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
         monkeypatch.setenv("REPRO_JOBS", "8")
+        monkeypatch.delenv("REPRO_SWEEP_FORCE_SPAWN", raising=False)
         from repro.parallel import default_jobs
 
         assert default_jobs() == 1
+
+    def test_single_cpu_force_spawn_honors_env_request(self, monkeypatch):
+        import repro.parallel.pool as pool_module
+
+        monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        monkeypatch.setenv("REPRO_SWEEP_FORCE_SPAWN", "1")
+        from repro.parallel import default_jobs
+
+        assert default_jobs() == 8
 
     def test_multicore_honors_env_request(self, monkeypatch):
         import repro.parallel.pool as pool_module

@@ -1,0 +1,93 @@
+"""Contracts-manifest loader tests, including the 3.10 fallback parser
+(which must agree with tomllib on the subset contracts.toml uses)."""
+
+from pathlib import Path
+
+import pytest
+
+from tools.codalint.contracts import (
+    CacheContract,
+    ContractError,
+    Contracts,
+    contracts_from_mapping,
+    find_contracts_file,
+    load_contracts,
+    parse_minimal_toml,
+)
+
+REPO_MANIFEST = Path(__file__).resolve().parents[2] / "contracts.toml"
+
+
+class TestFallbackParser:
+    def test_matches_tomllib_on_repo_manifest(self):
+        tomllib = pytest.importorskip("tomllib")
+        text = REPO_MANIFEST.read_text(encoding="utf-8")
+        assert parse_minimal_toml(text) == tomllib.loads(text)
+
+    def test_tables_arrays_and_scalars(self):
+        data = parse_minimal_toml(
+            '[top]\nname = "x" # comment\nflag = true\nn = 3\n'
+            '[[row]]\nattrs = ["a", "b,c", "d # not a comment"]\n'
+            '[[row]]\nattrs = []\n'
+        )
+        assert data["top"] == {"name": "x", "flag": True, "n": 3}
+        assert data["row"][0]["attrs"] == ["a", "b,c", "d # not a comment"]
+        assert data["row"][1]["attrs"] == []
+
+    def test_rejects_unsupported_value(self):
+        with pytest.raises(ContractError, match="unsupported value"):
+            parse_minimal_toml("[t]\nx = 1979-05-27\n")
+
+    def test_rejects_malformed_header(self):
+        with pytest.raises(ContractError, match="malformed header"):
+            parse_minimal_toml("[broken\n")
+
+
+class TestLoad:
+    def test_repo_manifest_loads(self):
+        contracts = load_contracts(REPO_MANIFEST)
+        assert "repro.cluster.node:GenerationCounter.bump" in contracts.hooks
+        tracked = contracts.tracked_attrs()
+        assert tracked[("Node", "_used_cpus")].blame == "writer"
+        assert tracked[("Gpu", "owner")].blame == "caller"
+        assert contracts.cache_declared("Cluster", "free_snapshot_cache")
+        assert contracts.cache_function_declared(
+            "repro.experiments.figures:run_cached_comparison"
+        )
+        assert ("Node", "_shares") in contracts.readonly_attrs()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ContractError, match="cannot read"):
+            load_contracts(tmp_path / "nope.toml")
+
+    def test_cache_entry_requires_invalidation(self):
+        with pytest.raises(ContractError, match="invalidation"):
+            contracts_from_mapping(
+                {"cache": [{"owner": "X", "attr": "_cache"}]}, "t"
+            )
+
+    def test_tracked_rejects_unknown_blame(self):
+        with pytest.raises(ContractError, match="blame"):
+            contracts_from_mapping(
+                {"tracked": [{"class": "X", "attrs": ["a"], "blame": "y"}]},
+                "t",
+            )
+
+    def test_find_walks_up(self, tmp_path):
+        (tmp_path / "contracts.toml").write_text("[generation]\nhooks = []\n")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert find_contracts_file(nested) == tmp_path / "contracts.toml"
+
+    def test_bare_function_name_matches_suffix(self):
+        contracts = Contracts(
+            caches=(
+                # function without module prefix matches any module
+                CacheContract(
+                    function="run_cached_comparison", invalidation="args"
+                ),
+            )
+        )
+        assert contracts.cache_function_declared(
+            "repro.experiments.figures:run_cached_comparison"
+        )

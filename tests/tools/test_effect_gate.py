@@ -1,0 +1,91 @@
+"""The acceptance gate for the effect analysis.
+
+Mutation check: deleting any single ``generation.bump()`` call from
+``src/repro/cluster/node.py`` (on a copied tree) must make the analysis
+report **exactly** the function that lost its bump — one EF001 finding,
+nothing else.  And the committed tree must analyze clean.
+"""
+
+import re
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from tools.codalint.analysis_rules import analyze_paths
+from tools.codalint.contracts import load_contracts
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+NODE_PY = SRC / "cluster" / "node.py"
+MANIFEST = REPO_ROOT / "contracts.toml"
+
+#: Bump call site -> the function EF001 must blame when it disappears.
+EXPECTED_BLAME = {
+    "mark_down": "Node.mark_down",
+    "mark_up": "Node.mark_up",
+    "allocate": "Node.allocate",
+    "release": "Node.release",
+    "resize_cpus": "Node.resize_cpus",
+    "fail_gpu": "Node.fail_gpu",
+    "repair_gpu": "Node.repair_gpu",
+}
+
+
+def _bump_sites():
+    """(line_number, enclosing_function_name) for every bump call."""
+    sites = []
+    current = None
+    for lineno, line in enumerate(NODE_PY.read_text().splitlines(), 1):
+        match = re.match(r"    def (\w+)", line)
+        if match:
+            current = match.group(1)
+        if "generation.bump()" in line:
+            sites.append((lineno, current))
+    return sites
+
+
+BUMP_SITES = _bump_sites()
+
+
+def test_node_has_the_expected_bump_sites():
+    assert sorted(name for _, name in BUMP_SITES) == sorted(EXPECTED_BLAME)
+
+
+def test_committed_tree_analyzes_clean():
+    contracts = load_contracts(MANIFEST)
+    violations, _ = analyze_paths([SRC], contracts)
+    assert violations == [], [v.render() for v in violations]
+
+
+@pytest.mark.parametrize(
+    "lineno,func_name", BUMP_SITES, ids=[name for _, name in BUMP_SITES]
+)
+def test_deleting_one_bump_blames_exactly_that_function(
+    tmp_path, lineno, func_name
+):
+    mutated = tmp_path / "repro"
+    shutil.copytree(SRC, mutated)
+    lines = NODE_PY.read_text().splitlines(True)
+    assert "generation.bump()" in lines[lineno - 1]
+    lines[lineno - 1] = re.sub(
+        r"\S.*", "pass", lines[lineno - 1], count=1
+    )
+    (mutated / "cluster" / "node.py").write_text("".join(lines))
+
+    contracts = load_contracts(MANIFEST)
+    violations, _ = analyze_paths([mutated], contracts)
+
+    assert violations, f"deleting bump in {func_name} went undetected"
+    assert all(v.code == "EF001" for v in violations)
+    blamed = {v.symbol.split(":")[-1] for v in violations}
+    assert blamed == {EXPECTED_BLAME[func_name]}
+
+
+def test_full_analysis_is_fast_enough_for_ci():
+    contracts = load_contracts(MANIFEST)
+    start = time.monotonic()
+    analyze_paths([SRC], contracts)
+    elapsed = time.monotonic() - start
+    assert elapsed < 30.0, f"analysis took {elapsed:.1f}s (CI budget: 30s)"

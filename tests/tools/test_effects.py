@@ -1,0 +1,194 @@
+"""Effect-extraction tests: write forms (subscript stores, augmented
+assignment, del, collection mutators), thread-target edges, and the
+transitive fixpoint."""
+
+import textwrap
+
+from tools.codalint.callgraph import build_program
+from tools.codalint.effects import EffectAnalysis
+
+
+def _analyze(tmp_path, source):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "m.py").write_text(textwrap.dedent(source))
+    program = build_program([pkg])
+    return program, EffectAnalysis(program).run()
+
+
+def _fx(analysis, suffix):
+    matches = [f for f in analysis.effects if f.endswith(suffix)]
+    assert len(matches) == 1, f"{suffix}: {matches}"
+    return analysis.effects[matches[0]]
+
+
+class TestWriteForms:
+    SOURCE = """
+    from typing import Dict
+
+    class Store:
+        def __init__(self):
+            self.table: Dict[str, int] = {}
+            self.count = 0
+
+        def put(self, key, value):
+            self.table[key] = value
+            self.count += 1
+
+        def drop(self, key):
+            self.table.pop(key, None)
+
+        def clear(self):
+            del self.count
+    """
+
+    def test_subscript_store_writes_the_attribute(self, tmp_path):
+        _, analysis = _analyze(tmp_path, self.SOURCE)
+        put = _fx(analysis, ":Store.put")
+        assert ("Store", "table") in put.writes
+
+    def test_augassign_is_read_and_write(self, tmp_path):
+        _, analysis = _analyze(tmp_path, self.SOURCE)
+        put = _fx(analysis, ":Store.put")
+        assert ("Store", "count") in put.writes
+        assert ("Store", "count") in put.reads
+
+    def test_collection_mutator_counts_as_write(self, tmp_path):
+        _, analysis = _analyze(tmp_path, self.SOURCE)
+        drop = _fx(analysis, ":Store.drop")
+        assert ("Store", "table") in drop.writes
+
+    def test_del_counts_as_write(self, tmp_path):
+        _, analysis = _analyze(tmp_path, self.SOURCE)
+        clear = _fx(analysis, ":Store.clear")
+        assert ("Store", "count") in clear.writes
+
+
+class TestMutatorVsMethod:
+    def test_named_method_wins_over_mutator_heuristic(self, tmp_path):
+        # `self.mba.release()` must resolve to MbaLike.release (a call
+        # edge), not be misread as a list.release() mutation of `mba`.
+        _, analysis = _analyze(
+            tmp_path,
+            """
+            class MbaLike:
+                def __init__(self):
+                    self.level = 0
+
+                def release(self):
+                    self.level = 0
+
+            class Owner:
+                def __init__(self):
+                    self.mba = MbaLike()
+
+                def tear_down(self):
+                    self.mba.release()
+            """,
+        )
+        tear_down = _fx(analysis, ":Owner.tear_down")
+        assert ("Owner", "mba") not in tear_down.writes
+        assert any(f.endswith(":MbaLike.release") for f in tear_down.calls)
+        assert ("MbaLike", "level") in tear_down.transitive_writes
+
+
+class TestThreadEdges:
+    SOURCE = """
+    import threading
+    import multiprocessing
+
+    class Flag:
+        def __init__(self):
+            self.fired = False
+
+    def worker(flag: "Flag"):
+        flag.fired = True
+
+    def spawn_thread(flag: "Flag"):
+        thread = threading.Thread(target=worker, args=(flag,), daemon=True)
+        thread.start()
+
+    def spawn_process(flag: "Flag"):
+        proc = multiprocessing.Process(target=worker, args=(flag,))
+        proc.start()
+    """
+
+    def test_thread_target_is_a_thread_edge_not_a_call(self, tmp_path):
+        _, analysis = _analyze(tmp_path, self.SOURCE)
+        spawner = _fx(analysis, ":spawn_thread")
+        assert any(f.endswith(":worker") for f in spawner.thread_targets)
+        assert not any(f.endswith(":worker") for f in spawner.calls)
+        # Thread effects stay out of the spawner's transitive sets.
+        assert ("Flag", "fired") not in spawner.transitive_writes
+
+    def test_process_spawn_is_not_a_thread_edge(self, tmp_path):
+        # A child process shares no memory: EF004 must not treat
+        # multiprocessing targets as shared-state threads.
+        _, analysis = _analyze(tmp_path, self.SOURCE)
+        spawner = _fx(analysis, ":spawn_process")
+        assert not spawner.thread_targets
+
+
+class TestFixpoint:
+    def test_effects_propagate_through_call_chains(self, tmp_path):
+        _, analysis = _analyze(
+            tmp_path,
+            """
+            class State:
+                def __init__(self):
+                    self.depth = 0
+
+            def low(state: "State"):
+                state.depth = 3
+
+            def mid(state: "State"):
+                low(state)
+
+            def high(state: "State"):
+                mid(state)
+            """,
+        )
+        assert ("State", "depth") in _fx(analysis, ":high").transitive_writes
+        assert ("State", "depth") not in _fx(analysis, ":high").writes
+
+    def test_recursion_terminates_and_merges(self, tmp_path):
+        _, analysis = _analyze(
+            tmp_path,
+            """
+            class Acc:
+                def __init__(self):
+                    self.total = 0
+
+            def even(acc: "Acc", n):
+                if n > 0:
+                    odd(acc, n - 1)
+
+            def odd(acc: "Acc", n):
+                acc.total += 1
+                even(acc, n - 1)
+            """,
+        )
+        assert ("Acc", "total") in _fx(analysis, ":even").transitive_writes
+        assert ("Acc", "total") in _fx(analysis, ":odd").transitive_writes
+
+
+class TestClosures:
+    def test_nested_function_sees_enclosing_annotations(self, tmp_path):
+        _, analysis = _analyze(
+            tmp_path,
+            """
+            class Conn:
+                def __init__(self):
+                    self.sent = 0
+
+            def outer(conn: "Conn"):
+                def inner():
+                    conn.sent += 1
+                inner()
+            """,
+        )
+        inner = _fx(analysis, ":outer.<locals>.inner")
+        assert ("Conn", "sent") in inner.writes
+        outer = _fx(analysis, ":outer")
+        assert ("Conn", "sent") in outer.transitive_writes

@@ -1,0 +1,172 @@
+"""SARIF rendering and baseline-mode tests (shared CLxxx/EFxxx plumbing),
+plus CLI integration for --analyze / --effects-dump / --baseline."""
+
+import json
+
+import pytest
+
+from tools.codalint.cli import main
+from tools.codalint.report import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_sarif,
+    write_baseline,
+)
+from tools.codalint.rules import Violation
+
+
+def _violation(**overrides):
+    base = dict(
+        path="src/x.py", line=3, col=1, code="CL001",
+        message="wall-clock read",
+    )
+    base.update(overrides)
+    return Violation(**base)
+
+
+class TestSarif:
+    def test_document_shape(self):
+        violations = [
+            _violation(),
+            _violation(code="EF001", message="missing bump",
+                       symbol="m:Node.leak"),
+        ]
+        doc = json.loads(render_sarif(violations))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "codalint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["CL001", "EF001"]
+        results = run["results"]
+        assert results[0]["ruleId"] == "CL001"
+        location = results[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/x.py"
+        assert location["region"]["startLine"] == 3
+        assert results[1]["properties"]["symbol"] == "m:Node.leak"
+
+    def test_empty_is_valid(self):
+        doc = json.loads(render_sarif([]))
+        assert doc["runs"][0]["results"] == []
+
+
+class TestBaseline:
+    def test_roundtrip_and_gating(self, tmp_path):
+        baseline_path = tmp_path / "base.json"
+        known = [_violation(), _violation(code="CL003", message="set iter")]
+        write_baseline(baseline_path, known)
+        loaded = load_baseline(baseline_path)
+
+        # Known findings are suppressed even if their line moved.
+        moved = [_violation(line=99)]
+        fresh, suppressed = apply_baseline(moved, loaded)
+        assert fresh == [] and suppressed == 1
+
+        # A new finding still fails.
+        new = [_violation(message="another wall-clock read")]
+        fresh, suppressed = apply_baseline(new, loaded)
+        assert len(fresh) == 1 and suppressed == 0
+
+    def test_duplicate_findings_matched_by_count(self, tmp_path):
+        baseline_path = tmp_path / "base.json"
+        write_baseline(baseline_path, [_violation()])
+        loaded = load_baseline(baseline_path)
+        two = [_violation(line=1), _violation(line=2)]
+        fresh, suppressed = apply_baseline(two, loaded)
+        assert len(fresh) == 1 and suppressed == 1
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+        bad.write_text('{"no": "findings"}')
+        with pytest.raises(BaselineError):
+            load_baseline(bad)
+
+
+class TestCli:
+    def _bad_file(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text("import time\n\ndef now():\n    return time.time()\n")
+        return target
+
+    def test_sarif_format(self, tmp_path, capsys):
+        target = self._bad_file(tmp_path)
+        assert main([str(target), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"][0]["ruleId"] == "CL001"
+
+    def test_baseline_update_then_pass_then_new_finding(
+        self, tmp_path, capsys
+    ):
+        target = self._bad_file(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            [str(target), "--baseline", str(baseline), "--update-baseline"]
+        ) == 0
+        assert main([str(target), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        target.write_text(
+            target.read_text()
+            + "\ndef later():\n    return time.time()\n"
+        )
+        assert main([str(target), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "CL001" in out
+
+    def test_update_baseline_requires_baseline(self, capsys):
+        assert main(["src", "--update-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_analyze_clean_tree(self, capsys):
+        assert main(["src/repro", "--analyze"]) == 0
+
+    def test_analyze_catches_fixture(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "m.py").write_text(
+            "class Generation:\n"
+            "    def __init__(self):\n"
+            "        self.value = 0\n"
+            "    def bump(self):\n"
+            "        self.value += 1\n"
+            "class Node:\n"
+            "    def __init__(self):\n"
+            "        self.used = 0\n"
+            "        self.generation = Generation()\n"
+            "    def leak(self, n):\n"
+            "        self.used += n\n"
+        )
+        manifest = tmp_path / "contracts.toml"
+        manifest.write_text(
+            "[generation]\n"
+            'hooks = ["pkg.m:Generation.bump"]\n'
+            "[[tracked]]\n"
+            'class = "Node"\n'
+            'attrs = ["used"]\n'
+        )
+        assert main(
+            [str(pkg), "--analyze", "--contracts", str(manifest)]
+        ) == 1
+        assert "EF001" in capsys.readouterr().out
+
+    def test_effects_dump(self, tmp_path, capsys):
+        dump_path = tmp_path / "effects.json"
+        assert main(
+            ["src/repro", "--analyze", "--effects-dump", str(dump_path)]
+        ) == 0
+        table = json.loads(dump_path.read_text())
+        allocate = next(
+            v for k, v in table.items() if k.endswith(":Node.allocate")
+        )
+        assert "GenerationCounter.value" in allocate["transitive_writes"]
+
+    def test_effects_dump_requires_analyze(self, tmp_path, capsys):
+        assert main(["src", "--effects-dump", str(tmp_path / "e.json")]) == 2
+
+    def test_list_rules_includes_effect_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "EF001" in out and "CL001" in out

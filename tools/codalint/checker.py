@@ -21,7 +21,7 @@ import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from tools.codalint.rules import RULES_BY_CODE, Violation
+from tools.codalint.rules import KNOWN_RULES_BY_CODE, Violation
 
 #: time-module members that read the host clock.
 _TIME_FNS = {
@@ -568,7 +568,7 @@ def check_paths(
     selected = {code.upper() for code in select} if select else None
     ignored = {code.upper() for code in ignore} if ignore else set()
     unknown = (selected or set()) | ignored
-    unknown -= set(RULES_BY_CODE) | {"CL000"}
+    unknown -= set(KNOWN_RULES_BY_CODE) | {"CL000"}
     if unknown:
         raise ValueError(f"unknown rule codes: {', '.join(sorted(unknown))}")
     violations: List[Violation] = []

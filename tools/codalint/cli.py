@@ -1,5 +1,13 @@
 """Command-line front end: ``python -m tools.codalint [paths...]``.
 
+Two layers share one invocation:
+
+* the per-file AST lint (CL001–CL007), always on;
+* the interprocedural effect analysis (EF001–EF004), enabled with
+  ``--analyze`` — builds the whole-program call graph, infers
+  per-function attribute read/write sets to a fixpoint, and checks them
+  against the invalidation contracts in ``contracts.toml``.
+
 Exit codes: 0 clean, 1 violations found, 2 bad invocation.
 """
 
@@ -12,7 +20,19 @@ from pathlib import Path
 from typing import List, Optional
 
 from tools.codalint.checker import check_paths
-from tools.codalint.rules import ALL_RULES
+from tools.codalint.contracts import (
+    ContractError,
+    find_contracts_file,
+    load_contracts,
+)
+from tools.codalint.report import (
+    RENDERERS,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from tools.codalint.rules import ALL_KNOWN_RULES, EFFECT_RULES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -20,7 +40,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="codalint",
         description=(
             "simulator-specific determinism and resource-safety lint "
-            "(rules CL001-CL006; see docs/static-analysis.md)"
+            "(rules CL001-CL007) plus interprocedural effect analysis "
+            "(EF001-EF004 with --analyze; see docs/static-analysis.md)"
         ),
     )
     parser.add_argument(
@@ -28,7 +49,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
@@ -43,6 +64,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="also run the effect analysis (EF001-EF004) against the "
+             "contracts manifest",
+    )
+    parser.add_argument(
+        "--contracts", metavar="FILE", type=Path, default=None,
+        help="contracts manifest for --analyze (default: contracts.toml "
+             "found walking up from the current directory)",
+    )
+    parser.add_argument(
+        "--effects-dump", metavar="FILE", type=Path, default=None,
+        help="with --analyze: write the per-function effect table "
+             "(JSON) to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", type=Path, default=None,
+        help="suppress findings recorded in FILE; fail only on new ones",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline FILE with the current findings and "
+             "exit 0",
+    )
     return parser
 
 
@@ -55,39 +100,99 @@ def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in ALL_KNOWN_RULES:
             print(f"{rule.code}  {rule.summary}")
             print(f"       {rule.rationale}")
         return 0
+    if args.update_baseline and args.baseline is None:
+        print(
+            "codalint: --update-baseline requires --baseline FILE",
+            file=sys.stderr,
+        )
+        return 2
     paths = [Path(path) for path in args.paths]
     missing = [str(path) for path in paths if not path.exists()]
     if missing:
         print(f"codalint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
     try:
-        violations = check_paths(
-            paths,
-            select=_split_codes(args.select),
-            ignore=_split_codes(args.ignore),
-        )
+        violations = check_paths(paths, select=select, ignore=ignore)
     except ValueError as error:
         print(f"codalint: {error}", file=sys.stderr)
         return 2
-    if args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "violations": [v.as_dict() for v in violations],
-                    "count": len(violations),
-                },
-                indent=2,
+
+    analysis = None
+    if args.analyze:
+        manifest = args.contracts or find_contracts_file()
+        if manifest is None:
+            print(
+                "codalint: --analyze needs a contracts manifest "
+                "(contracts.toml not found; pass --contracts FILE)",
+                file=sys.stderr,
             )
+            return 2
+        # Lazy import: plain lint runs must not pay for the analysis.
+        from tools.codalint.analysis_rules import analyze_paths
+
+        try:
+            contracts = load_contracts(manifest)
+        except ContractError as error:
+            print(f"codalint: {error}", file=sys.stderr)
+            return 2
+        effect_select = None
+        if select is not None:
+            effect_select = [
+                code
+                for code in select
+                if code.upper() in {rule.code for rule in EFFECT_RULES}
+            ]
+            if not effect_select:
+                effect_select = ["__none__"]  # CL-only selection
+        effect_violations, analysis = analyze_paths(
+            paths, contracts, select=effect_select, ignore=ignore
         )
-    else:
-        for violation in violations:
-            print(violation.render())
-        if violations:
-            print(f"codalint: {len(violations)} violation(s)")
+        violations = violations + effect_violations
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+
+    if args.effects_dump is not None:
+        if analysis is None:
+            print(
+                "codalint: --effects-dump requires --analyze",
+                file=sys.stderr,
+            )
+            return 2
+        dump = json.dumps(analysis.effects_table(), indent=2)
+        if str(args.effects_dump) == "-":
+            print(dump)
+        else:
+            args.effects_dump.write_text(dump + "\n", encoding="utf-8")
+
+    if args.baseline is not None:
+        if args.update_baseline:
+            write_baseline(args.baseline, violations)
+            print(
+                f"codalint: baseline {args.baseline} updated "
+                f"({len(violations)} finding(s))",
+                file=sys.stderr,
+            )
+            return 0
+        try:
+            known = load_baseline(args.baseline)
+        except BaselineError as error:
+            print(f"codalint: {error}", file=sys.stderr)
+            return 2
+        violations, suppressed = apply_baseline(violations, known)
+        if suppressed:
+            print(
+                f"codalint: {suppressed} baselined finding(s) suppressed",
+                file=sys.stderr,
+            )
+
+    output = RENDERERS[args.format](violations)
+    if output:
+        print(output)
     return 1 if violations else 0
 
 

@@ -1,0 +1,386 @@
+"""Invalidation-contract manifest (``contracts.toml``) loader.
+
+The effect-analysis rules (EF001–EF004) are *contract checks*: the code
+declares, in a TOML manifest at the repo root, which attributes are
+generation-tracked, which caches exist and what invalidates them, which
+attributes observers must treat as read-only, and which attributes may
+legitimately be shared across threads.  The analysis then proves the
+code against those declarations.
+
+The manifest is parsed with :mod:`tomllib` where available (Python
+3.11+).  CI also runs on 3.10, so a minimal fallback parser handles the
+subset this schema actually uses: ``[table]`` headers, ``[[array of
+tables]]`` headers, and ``key = value`` lines whose values are strings,
+booleans, integers, or single-line arrays of strings.  Keep
+``contracts.toml`` inside that subset.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 CI
+    tomllib = None  # type: ignore[assignment]
+
+DEFAULT_CONTRACTS_NAME = "contracts.toml"
+
+
+class ContractError(ValueError):
+    """Raised for a missing, unparseable, or malformed manifest."""
+
+
+@dataclass(frozen=True)
+class TrackedState:
+    """One ``[[tracked]]`` entry: attrs whose writes require the hook.
+
+    ``blame`` selects who EF001 holds responsible:
+
+    * ``"writer"`` — the function that performs the write must itself
+      transitively reach the hook (constructors of ``class_name`` are
+      exempt: they build the object the counter belongs to).
+    * ``"caller"`` — methods of ``class_name`` are exempt (the class has
+      no path to the counter, e.g. ``Gpu``), and every *direct caller*
+      of those mutating methods must reach the hook instead.
+    """
+
+    class_name: str
+    attrs: Tuple[str, ...]
+    blame: str = "writer"
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class CacheContract:
+    """One ``[[cache]]`` entry: a registered memo and its invalidation."""
+
+    owner: str = ""  # class name for attribute caches
+    attr: str = ""
+    function: str = ""  # module:qualname for decorator caches
+    invalidation: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.owner, self.attr, self.function)
+
+
+@dataclass(frozen=True)
+class ReadonlyState:
+    """One ``[[readonly]]`` entry: attrs observers must not write."""
+
+    class_name: str
+    attrs: Tuple[str, ...]
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class SharedState:
+    """One ``[[shared]]`` entry: a declared cross-thread attribute."""
+
+    class_name: str
+    attrs: Tuple[str, ...]
+    guard: str = ""
+
+
+@dataclass(frozen=True)
+class Contracts:
+    """The parsed manifest."""
+
+    path: str = ""
+    hooks: Tuple[str, ...] = ()
+    tracked: Tuple[TrackedState, ...] = ()
+    caches: Tuple[CacheContract, ...] = ()
+    observer_roots: Tuple[str, ...] = ()
+    readonly: Tuple[ReadonlyState, ...] = ()
+    shared: Tuple[SharedState, ...] = ()
+
+    def tracked_attrs(self) -> Dict[Tuple[str, str], TrackedState]:
+        """(class, attr) -> entry, for EF001 lookups."""
+        table: Dict[Tuple[str, str], TrackedState] = {}
+        for entry in self.tracked:
+            for attr in entry.attrs:
+                table[(entry.class_name, attr)] = entry
+        return table
+
+    def readonly_attrs(self) -> Dict[Tuple[str, str], ReadonlyState]:
+        table: Dict[Tuple[str, str], ReadonlyState] = {}
+        for entry in self.readonly:
+            for attr in entry.attrs:
+                table[(entry.class_name, attr)] = entry
+        return table
+
+    def shared_attrs(self) -> Dict[Tuple[str, str], SharedState]:
+        table: Dict[Tuple[str, str], SharedState] = {}
+        for entry in self.shared:
+            for attr in entry.attrs:
+                table[(entry.class_name, attr)] = entry
+        return table
+
+    def cache_declared(self, owner: str, attr: str) -> bool:
+        return any(
+            c.owner == owner and c.attr == attr for c in self.caches
+        )
+
+    def cache_function_declared(self, func_id: str) -> bool:
+        """Match a declared function cache by id or bare qualname."""
+        for contract in self.caches:
+            if not contract.function:
+                continue
+            if contract.function == func_id:
+                return True
+            if ":" not in contract.function and func_id.endswith(
+                ":" + contract.function
+            ):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------- #
+# Minimal TOML-subset parser (3.10 fallback)
+
+_STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+def _parse_scalar(text: str, lineno: int) -> object:
+    text = text.strip()
+    if text.startswith('"'):
+        match = _STRING_RE.match(text)
+        if match is None or match.end() != len(text):
+            raise ContractError(f"line {lineno}: malformed string: {text}")
+        return match.group(1).replace('\\"', '"').replace("\\\\", "\\")
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ContractError(
+            f"line {lineno}: unsupported value {text!r} "
+            "(fallback parser: strings, bools, numbers, string arrays)"
+        ) from None
+
+
+def _parse_array(text: str, lineno: int) -> List[object]:
+    inner = text.strip()[1:-1].strip()
+    if not inner:
+        return []
+    items: List[object] = []
+    # Split on commas outside quoted strings.
+    part = ""
+    in_string = False
+    escaped = False
+    for char in inner:
+        if in_string:
+            part += char
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            part += char
+        elif char == ",":
+            if part.strip():
+                items.append(_parse_scalar(part, lineno))
+            part = ""
+        else:
+            part += char
+    if part.strip():
+        items.append(_parse_scalar(part, lineno))
+    return items
+
+
+def _strip_comment(line: str) -> str:
+    out = ""
+    in_string = False
+    escaped = False
+    for char in line:
+        if in_string:
+            out += char
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+            continue
+        if char == "#":
+            break
+        if char == '"':
+            in_string = True
+        out += char
+    return out
+
+
+def parse_minimal_toml(text: str) -> Dict[str, object]:
+    """Parse the TOML subset ``contracts.toml`` restricts itself to."""
+    root: Dict[str, object] = {}
+    current: Dict[str, object] = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise ContractError(f"line {lineno}: malformed header {raw!r}")
+            name = line[2:-2].strip()
+            bucket = root.setdefault(name, [])
+            if not isinstance(bucket, list):
+                raise ContractError(
+                    f"line {lineno}: {name!r} is both table and array"
+                )
+            current = {}
+            bucket.append(current)
+        elif line.startswith("["):
+            if not line.endswith("]"):
+                raise ContractError(f"line {lineno}: malformed header {raw!r}")
+            name = line[1:-1].strip()
+            table = root.setdefault(name, {})
+            if not isinstance(table, dict):
+                raise ContractError(
+                    f"line {lineno}: {name!r} is both table and array"
+                )
+            current = table
+        else:
+            key, sep, value = line.partition("=")
+            if not sep:
+                raise ContractError(f"line {lineno}: expected key = value")
+            key = key.strip()
+            value = value.strip()
+            if value.startswith("["):
+                current[key] = _parse_array(value, lineno)
+            else:
+                current[key] = _parse_scalar(value, lineno)
+    return root
+
+
+# --------------------------------------------------------------------- #
+# Manifest -> Contracts
+
+
+def _str_list(raw: object, where: str) -> Tuple[str, ...]:
+    if raw is None:
+        return ()
+    if not isinstance(raw, list) or not all(
+        isinstance(item, str) for item in raw
+    ):
+        raise ContractError(f"{where} must be an array of strings")
+    return tuple(raw)
+
+
+def _class_attr_entries(raw: object, section: str) -> List[Dict[str, object]]:
+    if raw is None:
+        return []
+    if not isinstance(raw, list):
+        raise ContractError(f"[[{section}]] must be an array of tables")
+    for entry in raw:
+        if not isinstance(entry, dict):
+            raise ContractError(f"[[{section}]] must be an array of tables")
+    return raw
+
+
+def contracts_from_mapping(data: Dict[str, object], path: str) -> Contracts:
+    generation = data.get("generation") or {}
+    if not isinstance(generation, dict):
+        raise ContractError("[generation] must be a table")
+    hooks = _str_list(generation.get("hooks"), "[generation] hooks")
+
+    tracked = []
+    for entry in _class_attr_entries(data.get("tracked"), "tracked"):
+        blame = str(entry.get("blame", "writer"))
+        if blame not in ("writer", "caller"):
+            raise ContractError(
+                f"[[tracked]] blame must be 'writer' or 'caller', got {blame!r}"
+            )
+        tracked.append(
+            TrackedState(
+                class_name=str(entry.get("class", "")),
+                attrs=_str_list(entry.get("attrs"), "[[tracked]] attrs"),
+                blame=blame,
+                reason=str(entry.get("reason", "")),
+            )
+        )
+
+    caches = []
+    for entry in _class_attr_entries(data.get("cache"), "cache"):
+        contract = CacheContract(
+            owner=str(entry.get("owner", "")),
+            attr=str(entry.get("attr", "")),
+            function=str(entry.get("function", "")),
+            invalidation=str(entry.get("invalidation", "")),
+        )
+        if not contract.invalidation:
+            raise ContractError(
+                "[[cache]] entries must document their 'invalidation'"
+            )
+        if not (contract.function or (contract.owner and contract.attr)):
+            raise ContractError(
+                "[[cache]] needs owner+attr (attribute cache) or "
+                "function (decorator cache)"
+            )
+        caches.append(contract)
+
+    observers = data.get("observers") or {}
+    if not isinstance(observers, dict):
+        raise ContractError("[observers] must be a table")
+    roots = _str_list(observers.get("roots"), "[observers] roots")
+
+    readonly = [
+        ReadonlyState(
+            class_name=str(entry.get("class", "")),
+            attrs=_str_list(entry.get("attrs"), "[[readonly]] attrs"),
+            reason=str(entry.get("reason", "")),
+        )
+        for entry in _class_attr_entries(data.get("readonly"), "readonly")
+    ]
+    shared = [
+        SharedState(
+            class_name=str(entry.get("class", "")),
+            attrs=_str_list(entry.get("attrs"), "[[shared]] attrs"),
+            guard=str(entry.get("guard", "")),
+        )
+        for entry in _class_attr_entries(data.get("shared"), "shared")
+    ]
+    return Contracts(
+        path=path,
+        hooks=hooks,
+        tracked=tuple(tracked),
+        caches=tuple(caches),
+        observer_roots=roots,
+        readonly=tuple(readonly),
+        shared=tuple(shared),
+    )
+
+
+def load_contracts(path: Path) -> Contracts:
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise ContractError(f"cannot read {path}: {error}") from error
+    if tomllib is not None:
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise ContractError(f"{path}: {error}") from error
+    else:  # pragma: no cover - 3.10 fallback, tested directly
+        data = parse_minimal_toml(text)
+    return contracts_from_mapping(data, str(path))
+
+
+def find_contracts_file(start: Optional[Path] = None) -> Optional[Path]:
+    """Walk up from ``start`` (default: cwd) looking for contracts.toml."""
+    current = (start or Path.cwd()).resolve()
+    for candidate in [current] + list(current.parents):
+        manifest = candidate / DEFAULT_CONTRACTS_NAME
+        if manifest.is_file():
+            return manifest
+    return None

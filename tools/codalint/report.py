@@ -1,0 +1,186 @@
+"""Output formats and the baseline mechanism, shared by CLxxx and EFxxx.
+
+SARIF (2.1.0, minimal subset) lets CI annotate PR diffs instead of
+printing walls of text; the baseline file lets a repo adopt a rule with
+existing findings by freezing them (``--update-baseline``) and failing
+only on *new* ones (``--baseline``).
+
+Baseline entries are keyed ``(path, code, message)`` — deliberately not
+on line numbers, so unrelated edits that shift a known finding up or
+down the file do not resurrect it.  Two identical findings in one file
+are matched by count: three known, four found → one new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from tools.codalint.rules import KNOWN_RULES_BY_CODE, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, str]
+
+
+def _baseline_key(violation: Violation) -> BaselineKey:
+    return (violation.path, violation.code, violation.message)
+
+
+def render_text(violations: Sequence[Violation]) -> str:
+    lines = [violation.render() for violation in violations]
+    if violations:
+        lines.append(f"codalint: {len(violations)} violation(s)")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation]) -> str:
+    return json.dumps(
+        {
+            "violations": [v.as_dict() for v in violations],
+            "count": len(violations),
+        },
+        indent=2,
+    )
+
+
+def render_sarif(violations: Sequence[Violation]) -> str:
+    """Minimal SARIF 2.1.0 document for CI code-scanning upload."""
+    used_codes = sorted({violation.code for violation in violations})
+    rules = []
+    for code in used_codes:
+        rule = KNOWN_RULES_BY_CODE.get(code)
+        descriptor: Dict[str, object] = {"id": code}
+        if rule is not None:
+            descriptor["shortDescription"] = {"text": rule.summary}
+            descriptor["fullDescription"] = {"text": rule.rationale}
+        else:  # CL000 syntax errors have no catalogue entry
+            descriptor["shortDescription"] = {"text": "syntax error"}
+        rules.append(descriptor)
+    rule_index = {code: i for i, code in enumerate(used_codes)}
+
+    results = []
+    for violation in violations:
+        result: Dict[str, object] = {
+            "ruleId": violation.code,
+            "ruleIndex": rule_index[violation.code],
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(violation.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            "startColumn": max(violation.col, 0) + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if violation.symbol:
+            result["properties"] = {"symbol": violation.symbol}
+        results.append(result)
+
+    document = {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "codalint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}
+
+
+# --------------------------------------------------------------------- #
+# Baseline
+
+
+class BaselineError(ValueError):
+    """Raised for an unreadable or malformed baseline file."""
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    entries = sorted(
+        (
+            {"path": v.path, "code": v.code, "message": v.message}
+            for v in violations
+        ),
+        key=lambda e: (e["path"], e["code"], e["message"]),
+    )
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: Path) -> Counter:
+    """Baseline as a multiset of (path, code, message) keys."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"malformed baseline {path}: {error}") from error
+    if not isinstance(raw, dict) or "findings" not in raw:
+        raise BaselineError(
+            f"malformed baseline {path}: expected {{version, findings}}"
+        )
+    known: Counter = Counter()
+    for entry in raw["findings"]:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"malformed baseline entry in {path}")
+        try:
+            key = (
+                str(entry["path"]),
+                str(entry["code"]),
+                str(entry["message"]),
+            )
+        except KeyError as error:
+            raise BaselineError(
+                f"baseline entry missing {error} in {path}"
+            ) from error
+        known[key] += 1
+    return known
+
+
+def apply_baseline(
+    violations: Sequence[Violation], known: Counter
+) -> Tuple[List[Violation], int]:
+    """Split findings into (new, suppressed-count) against a baseline."""
+    budget = Counter(known)
+    fresh: List[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        key = _baseline_key(violation)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(violation)
+    return fresh, suppressed

@@ -25,25 +25,34 @@ class Rule:
 
 @dataclass(frozen=True)
 class Violation:
-    """One finding: where, which rule, and what exactly was seen."""
+    """One finding: where, which rule, and what exactly was seen.
+
+    ``symbol`` is filled by the effect analysis (EFxxx) with the blamed
+    function's ``module:qualname`` so tooling can key findings to a
+    function rather than a line; the CLxxx passes leave it empty.
+    """
 
     path: str
     line: int
     col: int
     code: str
     message: str
+    symbol: str = ""
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "code": self.code,
             "message": self.message,
         }
+        if self.symbol:
+            record["symbol"] = self.symbol
+        return record
 
 
 ALL_RULES: Tuple[Rule, ...] = (
@@ -116,4 +125,60 @@ ALL_RULES: Tuple[Rule, ...] = (
     ),
 )
 
+#: Interprocedural effect-analysis rules (``--analyze``).  Kept separate
+#: from :data:`ALL_RULES` because they are not per-file AST passes — they
+#: need the whole-program call graph from :mod:`tools.codalint.effects`.
+EFFECT_RULES: Tuple[Rule, ...] = (
+    Rule(
+        code="EF001",
+        summary="generation-tracked state mutated without invalidation",
+        rationale=(
+            "Writing a tracked attribute (Node capacity fields, Cluster "
+            "allocation maps, Gpu ownership) without transitively calling "
+            "the declared generation.bump() hook leaves memoized snapshots "
+            "(FreeState.of, best-fit orderings) stale, silently forking "
+            "simulation results.  Declared in contracts.toml [[tracked]]."
+        ),
+    ),
+    Rule(
+        code="EF002",
+        summary="memo/cache attribute without a registered contract",
+        rationale=(
+            "Every cache-looking attribute (*_cache, *memo*) or lru_cache "
+            "function must carry a [[cache]] entry in contracts.toml "
+            "documenting what invalidates it; an undeclared cache is an "
+            "undeclared staleness bug waiting for the incremental-"
+            "scheduler refactor."
+        ),
+    ),
+    Rule(
+        code="EF003",
+        summary="observer writes sim state declared read-only",
+        rationale=(
+            "Functions reachable from Engine.run observer hooks (auditor, "
+            "profiler, metrics) must stay effect-free on simulation state: "
+            "an observer that mutates cluster state makes --audit runs "
+            "diverge from unaudited ones.  Read-only attribute sets are "
+            "declared in contracts.toml [[readonly]]."
+        ),
+    ),
+    Rule(
+        code="EF004",
+        summary="cross-thread shared attribute without declared ownership",
+        rationale=(
+            "An attribute written inside a threading.Thread(target=...) "
+            "body and touched by code outside it is shared mutable state; "
+            "it must appear in contracts.toml [[shared]] with its lock or "
+            "ownership story, or the heartbeat/main-thread split in the "
+            "sweep supervisor rots into a data race."
+        ),
+    ),
+)
+
 RULES_BY_CODE: Dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}
+
+#: Every rule either front end can select/suppress, keyed by code.
+ALL_KNOWN_RULES: Tuple[Rule, ...] = ALL_RULES + EFFECT_RULES
+KNOWN_RULES_BY_CODE: Dict[str, Rule] = {
+    rule.code: rule for rule in ALL_KNOWN_RULES
+}
