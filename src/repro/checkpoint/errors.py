@@ -1,0 +1,14 @@
+"""Checkpoint failure type.
+
+Every way a checkpoint can disappoint — unreadable file, schema drift,
+integrity mismatch, or state that no longer re-arms — surfaces as one
+loud :class:`CheckpointError`, so callers (the sweep supervisor, the CLI)
+have exactly one thing to catch when deciding between resume and a
+from-scratch rerun.
+"""
+
+from __future__ import annotations
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read, or restored."""

@@ -1,0 +1,204 @@
+"""Whole-simulation snapshot, restore, and the periodic writer.
+
+A snapshot composes every stateful layer's own ``snapshot()``: engine
+(clock, counters, live-event inventory), cluster (nodes, GPUs, monitors,
+health tracker), scheduler (queues, ledgers, CODA's allocator and
+eliminator), fault injector (RNG streams, injected log), the runner core
+(running-job records, pass flags), and the metrics collector.
+
+Restore deliberately never pickles the event heap.  Events hold closures,
+so :func:`restore_run` rebuilds the simulation from its
+:class:`~repro.parallel.spec.RunSpec` (trace and cluster regenerate
+deterministically from config), then opens an engine restore window in
+which each subsystem *re-arms* its own timers by tag, reconstructing each
+closure from restored state under the event's original ``(time,
+priority, seq)``.  ``finish_restore`` then verifies the re-armed
+inventory covers every snapshotted event — an unclaimed tag means the
+restore would silently drop a timer, and fails loudly instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.checkpoint.errors import CheckpointError
+from repro.checkpoint.store import (
+    checkpoint_path,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.experiments.runner import RunResult, SimulationRunner
+from repro.metrics.serialize import collector_from_dict, collector_to_dict
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.spec import RunSpec
+
+
+def spec_digest(spec: "RunSpec") -> str:
+    """Content hash of the spec's resolved fingerprint.
+
+    Stamped into every snapshot so :func:`restore_run` can refuse a
+    checkpoint taken under a different trace seed, scheduler, or cluster
+    shape *before* re-arming — tag-based verification alone cannot tell
+    two seeds of the same scenario apart (their job ids coincide).
+    """
+    return hashlib.sha256(spec.canonical_json().encode("utf-8")).hexdigest()
+
+
+def snapshot_run(
+    runner: SimulationRunner, spec: Optional["RunSpec"] = None
+) -> Dict[str, Any]:
+    """One serializable snapshot of a mid-flight simulation.
+
+    Pass the run's ``spec`` so the snapshot carries its identity digest;
+    restores then verify the checkpoint belongs to the spec being
+    resumed."""
+    state: Dict[str, Any] = {
+        "engine": runner.engine.snapshot(),
+        "cluster": runner.cluster.snapshot(),
+        "scheduler": runner.scheduler.snapshot(),
+        "runner": runner.snapshot(),
+        "collector": collector_to_dict(runner.collector),
+    }
+    if runner.fault_injector is not None:
+        state["faults"] = runner.fault_injector.snapshot()
+    if spec is not None:
+        state["spec"] = spec_digest(spec)
+    return state
+
+
+def build_runner(spec: "RunSpec") -> SimulationRunner:
+    """A fresh runner for ``spec`` — the construction ``spec.execute()``
+    performs, with the runner handed back instead of run to completion."""
+    from repro.parallel.spec import build_scheduler
+
+    scenario = spec.resolved_scenario()
+    return SimulationRunner(
+        scenario.build_cluster(),
+        build_scheduler(spec.scheduler, spec.coda_config, spec.restart_policy),
+        scenario.build_trace(),
+        sample_interval_s=spec.sample_interval_s,
+        fault_injector=scenario.build_fault_injector(),
+        health_config=spec.health_config,
+    )
+
+
+def restore_run(spec: "RunSpec", state: Dict[str, Any]) -> SimulationRunner:
+    """Rebuild a mid-flight simulation of ``spec`` from snapshot ``state``.
+
+    Raises:
+        CheckpointError: the state does not restore cleanly against this
+            spec (wrong scenario shape, missing subsystem state, or an
+            event inventory the subsystems cannot fully re-arm).
+    """
+    stored_digest = state.get("spec")
+    if stored_digest is not None and stored_digest != spec_digest(spec):
+        raise CheckpointError(
+            f"checkpoint does not restore against spec {spec.label()!r}: "
+            f"it was taken under a different spec (fingerprint "
+            f"{stored_digest[:12]}..., expected {spec_digest(spec)[:12]}...)"
+        )
+    scenario = spec.resolved_scenario()
+    trace = scenario.build_trace()
+    jobs_by_id = {job.job_id: job for job in trace.jobs}
+    runner = build_runner(spec)
+    engine = runner.engine
+    try:
+        # Discards every construction-time event (arrivals, monitor and
+        # fault arms); subsystems claim their snapshotted timers back.
+        engine.begin_restore(state["engine"])
+        runner.cluster.restore(state["cluster"])
+        runner.scheduler.restore(state["scheduler"], jobs_by_id)
+        if runner.fault_injector is not None:
+            runner.fault_injector.restore(state["faults"])
+        elif "faults" in state:
+            raise CheckpointError(
+                "checkpoint carries fault-injector state but the spec's "
+                "scenario has no fault injector"
+            )
+        runner.restore(state["runner"], jobs_by_id)
+        runner.collector = collector_from_dict(state["collector"])
+        runner.rearm(jobs_by_id)
+        runner.scheduler.rearm(engine, jobs_by_id)
+        if runner.fault_injector is not None:
+            runner.fault_injector.rearm(engine)
+        engine.finish_restore()
+    except CheckpointError:
+        raise
+    except (KeyError, IndexError, RuntimeError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint does not restore against spec "
+            f"{spec.label()!r}: {exc}"
+        ) from exc
+    return runner
+
+
+class CheckpointWriter:
+    """Engine observer that writes a checkpoint every N fired events.
+
+    Registered via ``engine.add_observer`` only when checkpointing is on,
+    so a run without ``--checkpoint-dir`` executes the exact pre-feature
+    event loop.  Snapshots are taken *after* an event's action returns,
+    so the stored ``fired`` count includes the event that triggered the
+    write, and observers never fire events or advance the clock — a
+    checkpointed run stays byte-identical to an unobserved one.
+    """
+
+    def __init__(
+        self,
+        runner: SimulationRunner,
+        directory: str,
+        every_events: int,
+        spec: Optional["RunSpec"] = None,
+    ) -> None:
+        if every_events < 1:
+            raise ValueError(
+                f"checkpoint interval must be >= 1 event: {every_events}"
+            )
+        self._runner = runner
+        self._directory = directory
+        self._every = every_events
+        self._spec = spec
+        self.checkpoints_written = 0
+        self.last_path: Optional[str] = None
+
+    def __call__(self, event: Event) -> None:
+        if self._runner.engine.fired % self._every == 0:
+            self.write_now()
+
+    def write_now(self) -> str:
+        """Snapshot the run and write it atomically; returns the path."""
+        path = checkpoint_path(self._directory, self._runner.engine.fired)
+        write_checkpoint(path, snapshot_run(self._runner, self._spec))
+        self.checkpoints_written += 1
+        self.last_path = path
+        return path
+
+
+def execute_with_checkpoints(
+    spec: "RunSpec",
+    *,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every_events: Optional[int] = None,
+    restore_from: Optional[str] = None,
+) -> RunResult:
+    """Run ``spec`` to completion, checkpointing and/or resuming.
+
+    ``restore_from`` resumes from that checkpoint file (raising
+    :class:`CheckpointError` if it is damaged or does not match the
+    spec); otherwise the run starts from scratch.  With a directory and
+    interval, a :class:`CheckpointWriter` rides along.  With neither,
+    this is exactly ``spec.execute()``.
+    """
+    if restore_from is not None:
+        runner = restore_run(spec, read_checkpoint(restore_from))
+    else:
+        runner = build_runner(spec)
+    if checkpoint_dir is not None and checkpoint_every_events:
+        writer = CheckpointWriter(
+            runner, checkpoint_dir, checkpoint_every_events, spec=spec
+        )
+        runner.engine.add_observer(writer)
+    return runner.run(until=spec.resolved_scenario().horizon_s)

@@ -11,13 +11,16 @@ Subcommands mirroring how a downstream user would drive the library:
 * ``repro-sim characterize`` — print a model's Sec.-IV characterization.
 
 All output is plain text; exit code 0 on success (``sweep`` exits 1 when
-any grid cell was quarantined).
+any grid cell was quarantined, and 130 when a SIGINT/SIGTERM stopped it
+— after journalling ``interrupted`` cells and flushing partial results
+and the report).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -150,6 +153,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "and print them after the summary (the run's outputs are "
         "unchanged)",
     )
+    run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write crash-safe, integrity-checked checkpoints of the run "
+        "into DIR (requires --checkpoint-interval)",
+    )
+    run.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="EVENTS",
+        help="fired-event cadence of the checkpoint writer "
+        "(requires --checkpoint-dir)",
+    )
+    run.add_argument(
+        "--restore", default=None, metavar="CKPT",
+        help="resume from this checkpoint file; the finished run is "
+        "byte-identical to an uninterrupted one",
+    )
     _add_cache_flags(run)
 
     compare = sub.add_parser(
@@ -220,6 +238,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="first retry delay; doubles per failure, with seeded jitter "
         "(default: 0.5)",
     )
+    sweep.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="EVENTS",
+        help="checkpoint each cell every N simulation events under "
+        "DIR/checkpoints/ and resume retries from the newest snapshot "
+        "(default: off)",
+    )
     _add_cache_flags(sweep)
 
     trace = sub.add_parser("trace", help="generate a synthetic trace (JSONL)")
@@ -274,6 +298,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
+        print(
+            f"--checkpoint-interval must be >= 1: {args.checkpoint_interval}",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.checkpoint_dir is None) != (args.checkpoint_interval is None):
+        print(
+            "--checkpoint-dir and --checkpoint-interval go together",
+            file=sys.stderr,
+        )
+        return 2
+    checkpointing = args.checkpoint_dir is not None or args.restore is not None
+    if checkpointing and (args.audit or args.profile):
+        print(
+            "--checkpoint-dir/--restore cannot be combined with "
+            "--audit/--profile",
+            file=sys.stderr,
+        )
+        return 2
     restart_policy = RestartPolicy(
         max_restarts=args.max_restarts if args.max_restarts > 0 else None
     )
@@ -289,9 +333,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     # The auditor and the profiler observe the simulation as it executes,
     # so those runs bypass the result cache — a cached result has nothing
-    # left to observe.
+    # left to observe.  Checkpointed (or restored) runs bypass it too:
+    # the point is to execute, snapshotting along the way.
     observed = args.audit or args.profile
-    pool = SimPool(cache=None if observed else _cache_from_args(args))
+    pool = SimPool(
+        cache=None if observed or checkpointing else _cache_from_args(args)
+    )
     profiler = profiling.enable() if args.profile else None
     try:
         if observed:
@@ -303,6 +350,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             result = run_scenario(
                 scenario, scheduler, auditor=auditor, health_config=health_config
             )
+        elif checkpointing:
+            from repro.checkpoint import CheckpointError, execute_with_checkpoints
+
+            spec = RunSpec(
+                scenario=scenario,
+                scheduler=args.policy,
+                coda_config=coda_config,
+                restart_policy=restart_policy,
+                health_config=health_config,
+            )
+            try:
+                result = execute_with_checkpoints(
+                    spec,
+                    checkpoint_dir=args.checkpoint_dir,
+                    checkpoint_every_events=args.checkpoint_interval,
+                    restore_from=args.restore,
+                )
+            except CheckpointError as error:
+                print(f"checkpoint error: {error}", file=sys.stderr)
+                return 1
         else:
             spec = RunSpec(
                 scenario=scenario,
@@ -470,7 +537,12 @@ def _csv_list(text: str) -> List[str]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.sweep import MANIFEST_NAME, SupervisorConfig, run_sweep
+    from repro.sweep import (
+        MANIFEST_NAME,
+        SupervisorConfig,
+        SweepInterrupted,
+        run_sweep,
+    )
 
     resuming = args.resume is not None
     out = Path(args.resume if resuming else args.out)
@@ -478,6 +550,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     if args.retries < 0:
         print(f"--retries must be >= 0: {args.retries}", file=sys.stderr)
+        return 2
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 1:
+        print(
+            f"--checkpoint-interval must be >= 1: {args.checkpoint_interval}",
+            file=sys.stderr,
+        )
         return 2
     jobs = args.jobs if args.jobs is not None else default_jobs()
     if jobs < 1:
@@ -550,6 +628,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         run_timeout_s=args.run_timeout,
         heartbeat_timeout_s=args.heartbeat_timeout,
         backoff_base_s=args.backoff_base,
+        checkpoint_every_events=args.checkpoint_interval,
     )
     cache = _cache_from_args(args)
     if cache is None:
@@ -563,16 +642,38 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{len(policies)} policy(ies) x {len(seeds)} seed(s) = "
         f"{len(specs)} cell(s), jobs={jobs}"
     )
-    result = run_sweep(
-        specs,
-        out_dir=out,
-        jobs=jobs,
-        supervisor=config,
-        cache=cache,
-        resume=resuming,
-        title=f"Sweep report — {scale}, {days:g} day(s)",
-        log=print,
-    )
+    # A SIGTERM (e.g. a batch scheduler's shutdown) gets the same
+    # graceful flush as Ctrl-C: both surface as KeyboardInterrupt inside
+    # the sweep, which journals interrupted cells, keeps every settled
+    # result, and still writes the report before raising.
+    def _on_sigterm(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    interrupted = False
+    try:
+        result = run_sweep(
+            specs,
+            out_dir=out,
+            jobs=jobs,
+            supervisor=config,
+            cache=cache,
+            resume=resuming,
+            title=f"Sweep report — {scale}, {days:g} day(s)",
+            log=print,
+        )
+    except SweepInterrupted as stop:
+        interrupted = True
+        result = stop.result
+    except KeyboardInterrupt:
+        # The signal landed outside the supervised batch (during the
+        # cache scan or while writing the report); the ledger is still
+        # consistent, so a --resume simply continues.
+        print("\ninterrupted before the batch settled; resume with "
+              f"--resume {out}", file=sys.stderr)
+        return 130
+    finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
     print(
         f"\nexecuted {result.executed} new simulation run(s), reused "
         f"{result.reused}, quarantined {result.quarantined} "
@@ -584,6 +685,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.cache_stats:
         print(f"cache: {cache.stats.render()}" if cache is not None
               else "cache: disabled")
+    if interrupted:
+        print(
+            f"interrupted: {result.interrupted} cell(s) unfinished — "
+            f"resume with --resume {out}",
+            file=sys.stderr,
+        )
+        return 130
     return 0 if result.ok else 1
 
 

@@ -205,6 +205,58 @@ class Cluster:
         )
         return [node for node in candidates if node.can_fit(cpus, gpus)]
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable cluster state: nodes, allocations, health, version."""
+        return {
+            "generation": self._generation.value,
+            "nodes": [node.snapshot() for node in self.nodes],
+            "allocations": {
+                job_id: [
+                    [share.node_id, share.cpus, list(share.gpu_ids)]
+                    for share in allocation.shares
+                ]
+                for job_id, allocation in self._allocations.items()
+            },
+            "health": self.health.snapshot(),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Rewind to a snapshot taken on an identically-configured cluster.
+
+        The node restores bump the shared generation counter (every
+        capacity write must, per the invalidation contracts); the counter
+        is then pinned back to its snapshotted value so version-keyed
+        memo keys evolve identically to the uninterrupted run.
+        """
+        if len(state["nodes"]) != len(self.nodes):
+            raise ValueError(
+                f"snapshot has {len(state['nodes'])} node(s), cluster has "
+                f"{len(self.nodes)}"
+            )
+        for node, node_state in zip(self.nodes, state["nodes"]):
+            node.restore(node_state)
+        self._allocations = {
+            job_id: Allocation(
+                job_id=job_id,
+                shares=[
+                    NodeShare(
+                        node_id=int(node_id),
+                        cpus=int(cpus),
+                        gpu_ids=tuple(int(gpu_id) for gpu_id in gpu_ids),
+                    )
+                    for node_id, cpus, gpu_ids in shares
+                ],
+            )
+            for job_id, shares in state["allocations"].items()
+        }
+        self._generation.bump()
+        self.health.restore(state["health"])
+        self._generation.value = int(state["generation"])
+        self.free_snapshot_cache = None
+
     def __repr__(self) -> str:
         return (
             f"Cluster(nodes={len(self.nodes)}, used={self.used}, "

@@ -78,6 +78,13 @@ class MbaController:
         """O(1): is any job currently throttled on this node?"""
         return bool(self._levels)
 
+    def snapshot(self) -> Dict[str, float]:
+        """Serializable throttle levels (caps live in the monitor)."""
+        return dict(self._levels)
+
+    def restore(self, levels: Dict[str, float]) -> None:
+        self._levels = {job_id: float(level) for job_id, level in levels.items()}
+
     def _apply(self, job_id: str, level: float) -> None:
         usage = self.monitor.usage_of(job_id)
         if abs(level - 1.0) < 1e-9:

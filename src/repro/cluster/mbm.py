@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -188,6 +188,54 @@ class BandwidthMonitor:
         if usage.demand <= 0:
             return 1.0
         return usage.granted / usage.demand
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable monitor state, including computed grants.
+
+        Grants are carried verbatim so :meth:`restore` never re-runs
+        :meth:`_arbitrate` — water-filling is deterministic, but restoring
+        the stored floats exactly is what keeps a restored run
+        byte-identical without having to prove it.
+        """
+        return {
+            "usages": [
+                [
+                    usage.job_id,
+                    usage.demand,
+                    usage.is_cpu_job,
+                    usage.is_inference,
+                    usage.cap,
+                    usage.granted,
+                ]
+                for usage in self._usages.values()
+            ],
+            "outage_until": self._outage_until,
+            "last_sample_time": self._last_sample_time,
+            "total_granted": self._total_granted,
+            "cpu_job_count": self._cpu_job_count,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._usages = {}
+        for job_id, demand, is_cpu, is_inf, cap, granted in state["usages"]:
+            self._usages[job_id] = BandwidthUsage(
+                job_id=job_id,
+                demand=float(demand),
+                is_cpu_job=bool(is_cpu),
+                is_inference=bool(is_inf),
+                cap=None if cap is None else float(cap),
+                granted=float(granted),
+            )
+        self._outage_until = float(state["outage_until"])
+        raw_sample = state["last_sample_time"]
+        self._last_sample_time = (
+            None if raw_sample is None else float(raw_sample)
+        )
+        self._total_granted = float(state["total_granted"])
+        self._cpu_job_count = int(state["cpu_job_count"])
 
     # ------------------------------------------------------------------ #
     # Arbitration

@@ -10,7 +10,7 @@ bookkeeping on which every experiment result depends.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.allocation import NodeShare
 from repro.cluster.gpu import Gpu
@@ -303,6 +303,53 @@ class Node:
         if not utils:
             return None
         return sum(utils) / len(utils)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable node state: shares, devices, contention registry."""
+        return {
+            "up": self._up,
+            "used_cpus": self._used_cpus,
+            "shares": {
+                job_id: [share.cpus, list(share.gpu_ids)]
+                for job_id, share in self._shares.items()
+            },
+            "gpus": [
+                [gpu.owner, gpu.utilization, gpu.failed] for gpu in self.gpus
+            ],
+            "llc": dict(self.llc_occupancy_mb),
+            "bandwidth": self.bandwidth.snapshot(),
+            "mba_levels": self.mba.snapshot(),
+            "pcie_demands": dict(self.pcie.demands),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._up = bool(state["up"])
+        self._used_cpus = int(state["used_cpus"])
+        self._shares = {
+            job_id: NodeShare(
+                node_id=self.node_id,
+                cpus=int(cpus),
+                gpu_ids=tuple(int(gpu_id) for gpu_id in gpu_ids),
+            )
+            for job_id, (cpus, gpu_ids) in state["shares"].items()
+        }
+        for gpu, (owner, utilization, failed) in zip(self.gpus, state["gpus"]):
+            gpu.owner = owner
+            gpu.utilization = float(utilization)
+            gpu.failed = bool(failed)
+        self.llc_occupancy_mb = {
+            job_id: float(mb) for job_id, mb in state["llc"].items()
+        }
+        self.bandwidth.restore(state["bandwidth"])
+        self.mba.restore(state["mba_levels"])
+        self.pcie.demands = {
+            job_id: float(gbps)
+            for job_id, gbps in state["pcie_demands"].items()
+        }
+        self.generation.bump()
 
     def __repr__(self) -> str:
         return (

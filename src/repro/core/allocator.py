@@ -15,7 +15,7 @@ Responsibilities:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.historylog import TenantHistory
 from repro.core.nstart import determine_n_start
@@ -275,6 +275,86 @@ class AdaptiveCpuAllocator:
             profiling_steps=session.steps_taken,
             requested_cpus=active.job.requested_cpus,
         )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable allocator state.
+
+        Active sessions carry their tuning state machine but not their
+        profiling-step timer: the timer lives in the engine inventory and
+        :meth:`rearm` reconnects it.
+        """
+        return {
+            "history": self.history.snapshot(),
+            "outcomes": {
+                job_id: [
+                    o.model_name,
+                    o.n_start,
+                    o.tuned_cores,
+                    o.profiling_steps,
+                    o.requested_cpus,
+                ]
+                for job_id, o in self.outcomes.items()
+            },
+            "active": {
+                job_id: active.session.snapshot()
+                for job_id, active in self._active.items()
+            },
+            "known_cores": dict(self._known_cores),
+            "failure_aborts": self._failure_aborts,
+            "degraded_until": self._degraded_until,
+            "degraded_entries": self.degraded_entries,
+            "sessions_skipped_degraded": self.sessions_skipped_degraded,
+        }
+
+    def restore(
+        self, state: Dict[str, Any], jobs_by_id: Dict[str, GpuJob]
+    ) -> None:
+        self.history.restore(state["history"])
+        self.outcomes = {
+            job_id: TuningOutcome(
+                job_id=job_id,
+                model_name=str(model_name),
+                n_start=int(n_start),
+                tuned_cores=int(tuned),
+                profiling_steps=int(steps),
+                requested_cpus=int(requested),
+            )
+            for job_id, (model_name, n_start, tuned, steps, requested) in state[
+                "outcomes"
+            ].items()
+        }
+        self._active = {
+            job_id: _ActiveSession(
+                job=jobs_by_id[job_id],
+                session=TuningSession.from_snapshot(session_state),
+            )
+            for job_id, session_state in state["active"].items()
+        }
+        self._known_cores = {
+            job_id: int(cores) for job_id, cores in state["known_cores"].items()
+        }
+        self._failure_aborts = int(state["failure_aborts"])
+        self._degraded_until = float(state["degraded_until"])
+        self.degraded_entries = int(state["degraded_entries"])
+        self.sessions_skipped_degraded = int(state["sessions_skipped_degraded"])
+
+    def rearm(self, engine: Any, context: SchedulerContext) -> None:
+        """Reconnect each restored session's profiling-step timer."""
+        for tag in engine.pending_rearm_tags():
+            if not tag.startswith("profile:"):
+                continue
+            job_id = tag.partition(":")[2]
+            active = self._active.get(job_id)
+            if active is None:
+                raise RuntimeError(
+                    f"pending {tag!r} has no active tuning session"
+                )
+            active.event_handle = engine.rearm(
+                tag, lambda job_id=job_id: self._on_step(job_id, context)
+            )
 
     def _record_history(self, job: GpuJob, tuned_cores: int) -> None:
         """Single-node outcomes feed the history, normalized per GPU so a

@@ -18,7 +18,7 @@ in the backend" — here that backend is the allocator's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.core.allocator import AdaptiveCpuAllocator, PROFILING_STEP_S
 from repro.core.arrays import DEFAULT_FOUR_GPU_FRACTION, DEFAULT_RESERVED_CORES
@@ -152,6 +152,28 @@ class CodaScheduler(MultiArrayScheduler):
         MultiArrayScheduler.job_preempted(
             self, job, now, preserve_progress=False
         )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        state = super().snapshot()
+        state["allocator"] = self.allocator.snapshot()
+        state["eliminator"] = self.eliminator.snapshot()
+        return state
+
+    def restore(self, state: Dict[str, Any], jobs_by_id: Dict[str, Job]) -> None:
+        super().restore(state, jobs_by_id)
+        self.allocator.restore(state["allocator"], jobs_by_id)
+        self.eliminator.restore(state["eliminator"])
+
+    def rearm(self, engine: Any, jobs_by_id: Dict[str, Job]) -> None:
+        super().rearm(engine, jobs_by_id)
+        context = self._context
+        if context is None:
+            raise RuntimeError("cannot re-arm CODA timers before attach()")
+        self.allocator.rearm(engine, context)
+        self.eliminator.rearm(engine, context)
 
     def _final_cores(self, job: GpuJob) -> Optional[int]:
         """The per-node cores the job last ran with, if discoverable."""

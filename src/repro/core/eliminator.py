@@ -17,7 +17,7 @@ than all CPU jobs", and trainers do not contend with each other severely
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.node import Node
 from repro.health.tracker import NodeHealthState
@@ -285,3 +285,44 @@ class ContentionEliminator:
     def forget_job(self, job_id: str) -> None:
         """Drop the peak-utilization memory of a finished job."""
         self._peak_util.pop(job_id, None)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "throttle_actions": self.throttle_actions,
+            "halving_actions": self.halving_actions,
+            "stale_skips": self.stale_skips,
+            "flap_suppressions": self.flap_suppressions,
+            "peak_util": dict(self._peak_util),
+            "released_at": [
+                [node_id, job_id, time]
+                for (node_id, job_id), time in sorted(self._released_at.items())
+            ],
+            "armed": self._armed,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self.throttle_actions = int(state["throttle_actions"])
+        self.halving_actions = int(state["halving_actions"])
+        self.stale_skips = int(state["stale_skips"])
+        self.flap_suppressions = int(state["flap_suppressions"])
+        self._peak_util = {
+            job_id: float(util) for job_id, util in state["peak_util"].items()
+        }
+        self._released_at = {
+            (int(node_id), str(job_id)): float(time)
+            for node_id, job_id, time in state["released_at"]
+        }
+        self._armed = bool(state["armed"])
+        self._tick_handle = None
+
+    def rearm(self, engine: Any, context: SchedulerContext) -> None:
+        """Reconnect the monitor tick from the engine's event inventory."""
+        for tag in engine.pending_rearm_tags():
+            if tag != "eliminator-tick":
+                continue
+            self._tick_handle = engine.rearm(
+                tag, lambda: self._tick(context)
+            )

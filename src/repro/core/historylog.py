@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -76,3 +76,34 @@ class TenantHistory:
 
     def entries_for(self, tenant_id: int, category: str) -> Tuple[HistoryEntry, ...]:
         return tuple(self._entries.get((tenant_id, category), ()))
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> List[Any]:
+        return [
+            [
+                tenant_id,
+                category,
+                [
+                    [e.job_id, e.model_name, e.category, e.tuned_cores]
+                    for e in bucket
+                ],
+            ]
+            for (tenant_id, category), bucket in sorted(self._entries.items())
+        ]
+
+    def restore(self, state: List[Any]) -> None:
+        self._entries = {}
+        for tenant_id, category, entries in state:
+            bucket: Deque[HistoryEntry] = deque(maxlen=self._window)
+            for job_id, model_name, entry_category, tuned_cores in entries:
+                bucket.append(
+                    HistoryEntry(
+                        job_id=str(job_id),
+                        model_name=str(model_name),
+                        category=str(entry_category),
+                        tuned_cores=int(tuned_cores),
+                    )
+                )
+            self._entries[(int(tenant_id), str(category))] = bucket

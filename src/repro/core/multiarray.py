@@ -31,7 +31,7 @@ the queues.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.core.allocator import AdaptiveCpuAllocator
@@ -704,6 +704,68 @@ class MultiArrayScheduler(Scheduler):
         if best is None:
             return None
         return [(best[2], job.cores, 0)]
+
+    # ---------------------- checkpoint / restore ----------------------- #
+
+    def _snapshot_queues(self) -> Dict[str, Any]:
+        def queues_state(
+            queues: Dict[int, Deque],
+        ) -> Dict[str, List[str]]:
+            return {
+                str(tenant_id): [job.job_id for job in queue]
+                for tenant_id, queue in queues.items()
+            }
+
+        # The lazily-built layout fields (_layout, _topology, _cpu_capacity)
+        # are pure functions of the cluster config and rebuild on the first
+        # post-restore pass, so they are deliberately not snapshotted.
+        return {
+            "gpu_small": queues_state(self._gpu_queues_small),
+            "gpu_big": queues_state(self._gpu_queues_big),
+            "cpu": queues_state(self._cpu_queues),
+            "inference": queues_state(self._inference_queues),
+            "gpu_ledger": self._gpu_ledger.snapshot(),
+            "cpu_ledger": self._cpu_ledger.snapshot(),
+            "running": sorted(self._running),
+            "cpu_node": dict(self._cpu_node),
+            "borrowed_cpu": dict(self._borrowed_cpu),
+            "borrowed_gpu": dict(self._borrowed_gpu),
+            "pending_borrow_cpu": sorted(self._pending_borrow_cpu),
+            "pending_borrow_gpu": sorted(self._pending_borrow_gpu),
+        }
+
+    def _restore_queues(
+        self, state: Dict[str, Any], jobs_by_id: Dict[str, Job]
+    ) -> None:
+        def queues_from(raw: Dict[str, List[str]]) -> Dict[int, Deque]:
+            return {
+                int(tenant_id): deque(jobs_by_id[job_id] for job_id in job_ids)
+                for tenant_id, job_ids in raw.items()
+            }
+
+        self._gpu_queues_small = queues_from(state["gpu_small"])
+        self._gpu_queues_big = queues_from(state["gpu_big"])
+        self._cpu_queues = queues_from(state["cpu"])
+        self._inference_queues = queues_from(state["inference"])
+        self._gpu_ledger.restore(state["gpu_ledger"])
+        self._cpu_ledger.restore(state["cpu_ledger"])
+        self._running = {
+            job_id: jobs_by_id[job_id] for job_id in state["running"]
+        }
+        self._cpu_node = {
+            job_id: int(node_id)
+            for job_id, node_id in state["cpu_node"].items()
+        }
+        self._borrowed_cpu = {
+            job_id: int(node_id)
+            for job_id, node_id in state["borrowed_cpu"].items()
+        }
+        self._borrowed_gpu = {
+            job_id: int(node_id)
+            for job_id, node_id in state["borrowed_gpu"].items()
+        }
+        self._pending_borrow_cpu = set(state["pending_borrow_cpu"])
+        self._pending_borrow_gpu = set(state["pending_borrow_gpu"])
 
     # --------------------------- shared ------------------------------- #
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Minimum utilization gain that counts as an improvement.
 DEFAULT_EPSILON = 0.01
@@ -138,6 +138,42 @@ class TuningSession:
         """Settle immediately on the best seen (e.g., resize impossible)."""
         self._phase = _Phase.DONE
         self._pending_cores = None
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "n_start": self.n_start,
+            "min_cores": self.min_cores,
+            "max_cores": self.max_cores,
+            "epsilon": self.epsilon,
+            "phase": self._phase.value,
+            "measurements": [[cores, util] for cores, util in self._measurements],
+            "best_cores": self._best_cores,
+            "best_util": self._best_util,
+            "pending_cores": self._pending_cores,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Dict[str, Any]) -> "TuningSession":
+        session = cls(
+            n_start=int(state["n_start"]),
+            min_cores=int(state["min_cores"]),
+            max_cores=int(state["max_cores"]),
+            epsilon=float(state["epsilon"]),
+        )
+        session._phase = _Phase(state["phase"])
+        session._measurements = [
+            (int(cores), float(util)) for cores, util in state["measurements"]
+        ]
+        best_cores = state["best_cores"]
+        session._best_cores = None if best_cores is None else int(best_cores)
+        session._best_util = float(state["best_util"])
+        # Written after __post_init__ already primed it with n_start.
+        pending = state["pending_cores"]
+        session._pending_cores = None if pending is None else int(pending)
+        return session
 
     # ------------------------------------------------------------------ #
     # Phase transitions

@@ -20,6 +20,7 @@ import os
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     List,
@@ -174,6 +175,11 @@ class SimulationRunner(SchedulerContext):
         self._pass_pending = False
         self._preemptions = 0
         self._sampling = False
+        #: Per-job start counter distinguishing incarnations of a restarted
+        #: CPU job, so straggler-heal timers (whose tags carry the
+        #: incarnation) never touch a successor of the record they slowed.
+        self._cpu_incarnation: Dict[str, int] = {}
+        self._straggle_count = 0
         active_profiler = profiling.active()
         if active_profiler is not None:
             self.engine.set_profiler(active_profiler)
@@ -478,6 +484,9 @@ class SimulationRunner(SchedulerContext):
             completion=None,  # type: ignore[arg-type]
         )
         self._running_cpu[job.job_id] = record
+        self._cpu_incarnation[job.job_id] = (
+            self._cpu_incarnation.get(job.job_id, 0) + 1
+        )
         self.collector.job_started(job.job_id, now, share.cpus)
         self._audit("started", job, cores=share.cpus, nodes=[share.node_id])
         self._reprice_cpu(record)
@@ -727,17 +736,26 @@ class SimulationRunner(SchedulerContext):
         self.collector.faults.stragglers += 1
         self._audit("straggler", record.job, factor=factor)
         self._reprice_cpu(record)
+        # The tag carries the incarnation (for the heal check) and a
+        # global straggle counter (for uniqueness when the same job is
+        # straggled twice), so a checkpoint restore can rebuild this
+        # closure from the live-event inventory alone.
+        self._straggle_count += 1
+        incarnation = self._cpu_incarnation[job_id]
         self.engine.schedule_in(
             duration_s,
-            lambda: self._end_straggler(job_id, record),
+            lambda job_id=job_id, incarnation=incarnation: self._end_straggler(
+                job_id, incarnation
+            ),
             priority=EventPriority.MONITOR,
-            tag=f"straggler-end:{job_id}",
+            tag=f"straggler-end:{job_id}:{incarnation}:{self._straggle_count}",
         )
 
-    def _end_straggler(self, job_id: str, record: _RunningCpu) -> None:
+    def _end_straggler(self, job_id: str, incarnation: int) -> None:
         # Only heal the same incarnation: if the job finished or restarted
-        # meanwhile, the stale handle must not touch the new record.
-        if self._running_cpu.get(job_id) is not record:
+        # meanwhile, the stale timer must not touch the new record.
+        record = self._running_cpu.get(job_id)
+        if record is None or self._cpu_incarnation.get(job_id) != incarnation:
             return
         record.straggle_factor = 1.0
         self._reprice_cpu(record)
@@ -852,3 +870,140 @@ class SimulationRunner(SchedulerContext):
             priority=EventPriority.MONITOR,
             tag="sample",
         )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable runner-core state (running jobs, pass flags).
+
+        Model profiles are re-derived from the catalog and completion
+        handles are reconnected by :meth:`rearm`, so neither serializes.
+        """
+        return {
+            "running_gpu": {
+                job_id: [
+                    r.cores_per_node,
+                    r.work_done,
+                    r.speed,
+                    r.utilization,
+                    r.last_update,
+                ]
+                for job_id, r in self._running_gpu.items()
+            },
+            "running_cpu": {
+                job_id: [
+                    r.node_id,
+                    r.cores,
+                    r.work_done,
+                    r.speed,
+                    r.last_update,
+                    r.straggle_factor,
+                ]
+                for job_id, r in self._running_cpu.items()
+            },
+            "stashed_progress": dict(self._stashed_progress),
+            "pass_pending": self._pass_pending,
+            "preemptions": self._preemptions,
+            "sampling": self._sampling,
+            "cpu_incarnation": dict(self._cpu_incarnation),
+            "straggle_count": self._straggle_count,
+        }
+
+    def restore(self, state: Dict[str, Any], jobs_by_id: Dict[str, Job]) -> None:
+        self._running_gpu = {}
+        for job_id, fields in state["running_gpu"].items():
+            cores, work_done, speed, utilization, last_update = fields
+            job = jobs_by_id[job_id]
+            assert isinstance(job, GpuJob)
+            self._running_gpu[job_id] = _RunningGpu(
+                job=job,
+                profile=get_model(job.model_name),
+                cores_per_node=int(cores),
+                work_done=float(work_done),
+                speed=float(speed),
+                utilization=float(utilization),
+                last_update=float(last_update),
+                completion=None,  # type: ignore[arg-type]
+            )
+        self._running_cpu = {}
+        for job_id, fields in state["running_cpu"].items():
+            node_id, cores, work_done, speed, last_update, straggle = fields
+            job = jobs_by_id[job_id]
+            assert isinstance(job, CpuJob)
+            self._running_cpu[job_id] = _RunningCpu(
+                job=job,
+                node_id=int(node_id),
+                cores=int(cores),
+                work_done=float(work_done),
+                speed=float(speed),
+                last_update=float(last_update),
+                completion=None,  # type: ignore[arg-type]
+                straggle_factor=float(straggle),
+            )
+        self._stashed_progress = {
+            job_id: float(progress)
+            for job_id, progress in state["stashed_progress"].items()
+        }
+        self._pass_pending = bool(state["pass_pending"])
+        self._preemptions = int(state["preemptions"])
+        self._sampling = bool(state["sampling"])
+        self._cpu_incarnation = {
+            job_id: int(count)
+            for job_id, count in state["cpu_incarnation"].items()
+        }
+        self._straggle_count = int(state["straggle_count"])
+
+    def rearm(self, jobs_by_id: Dict[str, Job]) -> None:
+        """Re-claim every runner-owned timer from the engine inventory.
+
+        Runs inside an engine restore window, after :meth:`restore`;
+        completion handles are wired back into their running records, and
+        a final pass verifies no running job was left without one.
+        """
+        engine = self.engine
+        for tag in engine.pending_rearm_tags():
+            family = tag.partition(":")[0]
+            if family == "arrival":
+                job = jobs_by_id[tag.partition(":")[2]]
+                engine.rearm(tag, lambda job=job: self._on_arrival(job))
+            elif tag == "sample":
+                engine.rearm(tag, self._on_sample)
+            elif tag == "schedule-pass":
+                engine.rearm(tag, self._run_pass)
+            elif family == "gpu-done":
+                job_id = tag.partition(":")[2]
+                self._running_gpu[job_id].completion = engine.rearm(
+                    tag, lambda job_id=job_id: self._on_gpu_complete(job_id)
+                )
+            elif family == "cpu-done":
+                job_id = tag.partition(":")[2]
+                self._running_cpu[job_id].completion = engine.rearm(
+                    tag, lambda job_id=job_id: self._on_cpu_complete(job_id)
+                )
+            elif family == "straggler-end":
+                _, job_id, incarnation, _count = tag.split(":")
+                engine.rearm(
+                    tag,
+                    lambda job_id=job_id, incarnation=int(
+                        incarnation
+                    ): self._end_straggler(job_id, incarnation),
+                )
+            elif family == "quarantine-end":
+                node_id = int(tag.partition(":")[2])
+                engine.rearm(
+                    tag,
+                    lambda node_id=node_id: self._on_quarantine_end(node_id),
+                )
+        for job_id, gpu_record in self._running_gpu.items():
+            if gpu_record.completion is None:
+                raise RuntimeError(
+                    f"restore left running GPU job {job_id} without a "
+                    "completion event"
+                )
+        for job_id, cpu_record in self._running_cpu.items():
+            if cpu_record.completion is None:
+                raise RuntimeError(
+                    f"restore left running CPU job {job_id} without a "
+                    "completion event"
+                )

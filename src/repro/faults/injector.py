@@ -17,7 +17,7 @@ Channel processes (all renewal processes with exponential gaps):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.faults.config import FaultConfig
 from repro.sim.events import EventPriority
@@ -136,10 +136,13 @@ class FaultInjector:
             gpu_id = self.rng.stream(f"gpu:{node_id}").choice(healthy)
             self._log("gpu-fail", node_id=node_id, gpu_id=gpu_id)
             self._attached.fail_gpu(node_id, gpu_id)
+            # The gpu id rides in the tag so a checkpoint restore can
+            # rebuild this closure from the live-event inventory alone
+            # (and so two pending repairs on one node cannot collide).
             self._schedule(
                 self.config.gpu_mttr_s,
                 lambda: self._repair_gpu(node_id, gpu_id),
-                tag=f"fault:gpu-repair:{node_id}",
+                tag=f"fault:gpu-repair:{node_id}:{gpu_id}",
             )
         self._arm_gpu_failure(node_id)
 
@@ -183,3 +186,73 @@ class FaultInjector:
                 duration_s=self.config.straggler_duration_s,
             )
         self._arm_straggler()
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable injector state: RNG positions and the event log.
+
+        The pending fault *timers* are not stored here — they live in the
+        engine's event inventory, and :meth:`rearm` rebuilds their
+        closures from the tags alone.
+        """
+        return {
+            "rng": self.rng.snapshot(),
+            "injected": [
+                [time, kind, dict(detail)] for time, kind, detail in self.injected
+            ],
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self.rng.restore(state["rng"])
+        self.injected = [
+            (float(time), str(kind), dict(detail))
+            for time, kind, detail in state["injected"]
+        ]
+
+    def rearm(self, engine: Any) -> None:
+        """Re-claim every snapshotted ``fault:*`` event from ``engine``.
+
+        Runs inside an engine restore window: the construction-time arms
+        scheduled by :meth:`attach` were discarded with the rest of the
+        heap, and each live fault timer is rebuilt under its original
+        ``(time, priority, seq)`` from the information in its tag.
+        """
+        for tag in engine.pending_rearm_tags():
+            if not tag.startswith("fault:"):
+                continue
+            parts = tag.split(":")
+            kind = parts[1]
+            if kind == "crash":
+                node_id = int(parts[2])
+                engine.rearm(
+                    tag, lambda node_id=node_id: self._crash_node(node_id)
+                )
+            elif kind == "recover":
+                node_id = int(parts[2])
+                engine.rearm(
+                    tag, lambda node_id=node_id: self._recover_node(node_id)
+                )
+            elif kind == "gpu":
+                node_id = int(parts[2])
+                engine.rearm(
+                    tag, lambda node_id=node_id: self._fail_gpu(node_id)
+                )
+            elif kind == "gpu-repair":
+                node_id, gpu_id = int(parts[2]), int(parts[3])
+                engine.rearm(
+                    tag,
+                    lambda node_id=node_id, gpu_id=gpu_id: self._repair_gpu(
+                        node_id, gpu_id
+                    ),
+                )
+            elif kind == "mbm":
+                node_id = int(parts[2])
+                engine.rearm(
+                    tag, lambda node_id=node_id: self._drop_telemetry(node_id)
+                )
+            elif kind == "straggler":
+                engine.rearm(tag, self._straggle)
+            else:
+                raise RuntimeError(f"cannot re-arm unknown fault tag {tag!r}")

@@ -31,7 +31,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.health.config import HealthConfig
 
@@ -169,6 +169,54 @@ class NodeHealthTracker:
         return sum(
             max(0.0, min(span.end, now) - span.start) for span in self.spans
         )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable tracker state (the scan memo is rebuilt on demand)."""
+        return {
+            "records": {
+                str(node_id): [
+                    record.state.value,
+                    [[time, weight] for time, weight in record.strikes],
+                    record.backoff_level,
+                    record.quarantine_until,
+                    record.probation_until,
+                ]
+                for node_id, record in self._records.items()
+            },
+            "spans": [
+                [span.node_id, span.start, span.end] for span in self.spans
+            ],
+            "quarantines_started": self.quarantines_started,
+            "version": self.version,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._records = {}
+        for raw_id, (state_value, strikes, backoff, q_until, p_until) in state[
+            "records"
+        ].items():
+            self._records[int(raw_id)] = _NodeRecord(
+                state=NodeHealthState(state_value),
+                strikes=deque(
+                    (float(time), float(weight)) for time, weight in strikes
+                ),
+                backoff_level=int(backoff),
+                quarantine_until=float(q_until),
+                probation_until=float(p_until),
+            )
+        self.spans = [
+            QuarantineSpan(
+                node_id=int(node_id), start=float(start), end=float(end)
+            )
+            for node_id, start, end in state["spans"]
+        ]
+        self.quarantines_started = int(state["quarantines_started"])
+        self.version = int(state["version"])
+        self._scan_key = None
+        self._scan_result = ([], [])
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -93,16 +93,15 @@ class CacheStats:
     store_failures: int = 0
 
     def render(self) -> str:
-        text = (
+        # Retry/failure counters render even at zero: "no line" and
+        # "no losses" must not look the same to whoever reads the
+        # --cache-stats output or the sweep report.
+        return (
             f"{self.hits} hit(s), {self.misses} miss(es), "
-            f"{self.stores} store(s)"
+            f"{self.stores} store(s), "
+            f"{self.store_retries} store retry(ies), "
+            f"{self.store_failures} store failure(s)"
         )
-        if self.store_retries or self.store_failures:
-            text += (
-                f", {self.store_retries} store retry(ies), "
-                f"{self.store_failures} store failure(s)"
-            )
-        return text
 
 
 class ResultCache:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.cluster import Cluster
 from repro.health.restarts import DeadJob, RestartPolicy
@@ -195,6 +195,19 @@ class Scheduler(abc.ABC):
         if delay <= 0 or context is None:
             self._requeue_failed_job(job, now)
             return
+        context.schedule_event(
+            delay,
+            self._make_requeue_action(job, context),
+            tag=f"requeue:{job.job_id}",
+        )
+
+    def _make_requeue_action(
+        self, job: Job, context: SchedulerContext
+    ) -> Callable[[], None]:
+        """The deferred-requeue closure for one backed-off failed job.
+
+        Factored out so a checkpoint restore re-arms the identical action
+        under the event's original tag (see :meth:`rearm`)."""
 
         def _deferred_requeue(
             job: Job = job, context: SchedulerContext = context
@@ -202,9 +215,7 @@ class Scheduler(abc.ABC):
             self._requeue_failed_job(job, context.now)
             context.request_schedule()
 
-        context.schedule_event(
-            delay, _deferred_requeue, tag=f"requeue:{job.job_id}"
-        )
+        return _deferred_requeue
 
     def _requeue_failed_job(self, job: Job, now: float) -> None:
         """Put a failed (but not dead) job back in its queue.  Default:
@@ -223,6 +234,71 @@ class Scheduler(abc.ABC):
 
     def queue_depth(self) -> int:
         return len(self.pending_jobs())
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    #
+    # The base class owns the shared resilience bookkeeping; each policy
+    # contributes its queues via ``_snapshot_queues``/``_restore_queues``.
+    # Queues hold live Job objects, so they serialize as job ids and are
+    # resolved against the deterministically regenerated trace on restore.
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable policy state (queues by job id, restart ledger)."""
+        return {
+            "dead_jobs": [
+                [dead.job_id, dead.time, dead.failures, dead.reason]
+                for dead in self.dead_jobs
+            ],
+            "restart_counts": dict(self._restart_counts),
+            "queues": self._snapshot_queues(),
+        }
+
+    def restore(self, state: Dict[str, Any], jobs_by_id: Dict[str, Job]) -> None:
+        self.dead_jobs = [
+            DeadJob(
+                job_id=str(job_id),
+                time=float(time),
+                failures=int(failures),
+                reason=str(reason),
+            )
+            for job_id, time, failures, reason in state["dead_jobs"]
+        ]
+        self._restart_counts = {
+            job_id: int(count)
+            for job_id, count in state["restart_counts"].items()
+        }
+        self._restore_queues(state["queues"], jobs_by_id)
+
+    def _snapshot_queues(self) -> Dict[str, Any]:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def _restore_queues(
+        self, state: Dict[str, Any], jobs_by_id: Dict[str, Job]
+    ) -> None:
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def rearm(self, engine: Any, jobs_by_id: Dict[str, Job]) -> None:
+        """Re-claim this policy's snapshotted timers from ``engine``.
+
+        The base class owns exactly one timer family — the deferred
+        failure requeues; policies with their own timers (CODA's profiler
+        steps and eliminator tick) extend this.
+        """
+        context = self._base_context
+        for tag in engine.pending_rearm_tags():
+            if not tag.startswith("requeue:"):
+                continue
+            if context is None:
+                raise RuntimeError(
+                    f"cannot re-arm {tag!r}: scheduler is not attached"
+                )
+            job = jobs_by_id[tag.partition(":")[2]]
+            engine.rearm(tag, self._make_requeue_action(job, context))
 
 
 @dataclass
@@ -267,6 +343,19 @@ class UsageLedger:
 
     def usage_of(self, tenant_id: int) -> TenantUsage:
         return self._usage.get(tenant_id, TenantUsage())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable footprints; per-tenant usage is derived state."""
+        return {
+            job_id: list(footprint)
+            for job_id, footprint in self._job_footprint.items()
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._usage = {}
+        self._job_footprint = {}
+        for job_id, (tenant_id, cpus, gpus) in state.items():
+            self.start(job_id, int(tenant_id), int(cpus), int(gpus))
 
     def dominant_share(
         self, tenant_id: int, total_cpus: int, total_gpus: int

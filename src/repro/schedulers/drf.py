@@ -17,7 +17,7 @@ that GPU-starved nodes are missing.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set
+from typing import Any, Deque, Dict, List, Optional, Set
 
 from repro.cluster.cluster import Cluster
 from repro.health.restarts import RestartPolicy
@@ -106,3 +106,24 @@ class DrfScheduler(Scheduler):
             pending.extend(queue)
         pending.sort(key=lambda job: (job.submit_time, job.job_id))
         return pending
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def _snapshot_queues(self) -> Dict[str, Any]:
+        return {
+            "tenants": {
+                str(tenant_id): [job.job_id for job in queue]
+                for tenant_id, queue in self._queues.items()
+            },
+            "ledger": self._ledger.snapshot(),
+        }
+
+    def _restore_queues(
+        self, state: Dict[str, Any], jobs_by_id: Dict[str, Job]
+    ) -> None:
+        self._queues = {
+            int(tenant_id): deque(jobs_by_id[job_id] for job_id in job_ids)
+            for tenant_id, job_ids in state["tenants"].items()
+        }
+        self._ledger.restore(state["ledger"])

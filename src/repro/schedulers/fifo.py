@@ -20,7 +20,7 @@ fragmentation mechanism of Sec. VI-C.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.health.restarts import RestartPolicy
@@ -85,3 +85,18 @@ class FifoScheduler(Scheduler):
 
     def pending_jobs(self) -> List[Job]:
         return list(self._gpu_queue) + list(self._cpu_queue)
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+
+    def _snapshot_queues(self) -> Dict[str, Any]:
+        return {
+            "gpu": [job.job_id for job in self._gpu_queue],
+            "cpu": [job.job_id for job in self._cpu_queue],
+        }
+
+    def _restore_queues(
+        self, state: Dict[str, Any], jobs_by_id: Dict[str, Job]
+    ) -> None:
+        self._gpu_queue = deque(jobs_by_id[job_id] for job_id in state["gpu"])
+        self._cpu_queue = deque(jobs_by_id[job_id] for job_id in state["cpu"])

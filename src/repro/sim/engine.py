@@ -24,7 +24,7 @@ head of the queue::
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventHandle, EventPriority
@@ -51,6 +51,10 @@ class Engine:
         self._running = False
         self._observers: list[Observer] = []
         self._profiler: Optional["Profiler"] = None
+        # Checkpoint-restore bookkeeping: tag -> (time, priority, seq) of
+        # snapshotted live events awaiting a rearm() claim.  None outside
+        # a begin_restore()/finish_restore() window.
+        self._pending_rearm: Optional[Dict[str, Tuple[float, int, int]]] = None
 
     @property
     def now(self) -> float:
@@ -223,6 +227,93 @@ class Engine:
         if until is not None and self.clock.now < until:
             self.clock.advance_to(until)
         return self._fired - fired_before
+
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore
+    #
+    # Events hold closures, so the heap itself is never serialized.  A
+    # snapshot records the *inventory* of live events — ``(time,
+    # priority, seq, tag)`` — and restore expects each owning subsystem
+    # to re-arm its own timers by tag, reconstructing the closure from
+    # its restored state.  Preserving the original seq numbers (and the
+    # pre-crash ``_seq`` counter) keeps same-time tie-breaking, and thus
+    # the whole remaining run, byte-identical to the uninterrupted one.
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable engine state: clock, counters, live-event inventory."""
+        live: List[List[Any]] = sorted(
+            [event.time, event.priority, event.seq, event.tag]
+            for _, _, _, event in self._queue
+            if not event.cancelled and not event.fired
+        )
+        return {
+            "now": self.clock.now,
+            "seq": self._seq,
+            "fired": self._fired,
+            "live": live,
+        }
+
+    def begin_restore(self, state: Dict[str, Any]) -> None:
+        """Enter restore mode: adopt counters, clear the heap.
+
+        Every event scheduled before this call (construction-time
+        arrivals, monitors, fault arms) is discarded; subsystems must
+        claim their snapshotted events back via :meth:`rearm` before
+        :meth:`finish_restore` seals the window.
+        """
+        if self._pending_rearm is not None:
+            raise RuntimeError("engine restore already in progress")
+        self._queue.clear()
+        self._live = 0
+        self._seq = int(state["seq"])
+        self._fired = int(state["fired"])
+        now = float(state["now"])
+        if now > self.clock.now:
+            self.clock.advance_to(now)
+        pending: Dict[str, Tuple[float, int, int]] = {}
+        for time, priority, seq, tag in state["live"]:
+            if tag in pending:
+                raise RuntimeError(
+                    f"snapshot has duplicate live event tag {tag!r}"
+                )
+            pending[str(tag)] = (float(time), int(priority), int(seq))
+        self._pending_rearm = pending
+
+    def rearm(self, tag: str, action: Callable[[], Any]) -> EventHandle:
+        """Re-schedule one snapshotted live event under its original
+        ``(time, priority, seq)``, claiming it from the restore inventory."""
+        if self._pending_rearm is None:
+            raise RuntimeError("rearm() outside an engine restore")
+        entry = self._pending_rearm.pop(tag, None)
+        if entry is None:
+            raise RuntimeError(
+                f"no snapshotted live event with tag {tag!r} to re-arm"
+            )
+        time, priority, seq = entry
+        event = Event(
+            time=time, priority=priority, seq=seq, action=action, tag=tag
+        )
+        heapq.heappush(self._queue, (time, priority, seq, event))
+        self._live += 1
+        return EventHandle(event, self)
+
+    def pending_rearm_tags(self) -> Tuple[str, ...]:
+        """Tags snapshotted live but not yet claimed by :meth:`rearm`."""
+        if self._pending_rearm is None:
+            return ()
+        return tuple(sorted(self._pending_rearm))
+
+    def finish_restore(self) -> None:
+        """Seal the restore window; every snapshotted event must be claimed."""
+        if self._pending_rearm is None:
+            raise RuntimeError("finish_restore() outside an engine restore")
+        unclaimed = sorted(self._pending_rearm)
+        self._pending_rearm = None
+        if unclaimed:
+            raise RuntimeError(
+                "restore left snapshotted events unclaimed: "
+                + ", ".join(repr(tag) for tag in unclaimed)
+            )
 
     def _on_handle_cancelled(self, event: Event) -> None:
         """EventHandle callback: a queued live event just went dead."""

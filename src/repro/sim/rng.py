@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict
+from typing import Any, Dict, List
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -58,6 +58,48 @@ class RngRegistry:
         rng = random.Random(derive_seed(self.root_seed, name))
         self._streams[name] = rng
         return rng
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable state of every stream created so far.
+
+        ``random.Random.getstate()`` is a nested tuple of ints; tuples are
+        converted to lists so the snapshot round-trips through JSON.
+        """
+
+        def _listify(value: Any) -> Any:
+            if isinstance(value, tuple):
+                return [_listify(item) for item in value]
+            return value
+
+        return {
+            "root_seed": self.root_seed,
+            "streams": {
+                name: _listify(rng.getstate())
+                for name, rng in self._streams.items()
+            },
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Rewind every stream to a :meth:`snapshot`'s exact position.
+
+        Streams absent from the snapshot (created after it was taken) are
+        dropped; re-creating them from the root seed reproduces their
+        pre-snapshot draws exactly.
+        """
+        if int(state["root_seed"]) != self.root_seed:
+            raise ValueError(
+                f"rng snapshot root seed {state['root_seed']} does not "
+                f"match registry root seed {self.root_seed}"
+            )
+
+        def _tuplify(value: Any) -> Any:
+            if isinstance(value, list):
+                return tuple(_tuplify(item) for item in value)
+            return value
+
+        self._streams.clear()
+        for name, raw in state["streams"].items():
+            self.stream(name).setstate(_tuplify(raw))
 
     def fork(self, name: str) -> "RngRegistry":
         """Derive a child registry (e.g., one per tenant) from this one."""

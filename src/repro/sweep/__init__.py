@@ -22,6 +22,7 @@ from repro.sweep.ledger import (
     COMPLETE_STATUSES,
     STATUS_CACHED,
     STATUS_FAILED,
+    STATUS_INTERRUPTED,
     STATUS_OK,
     STATUS_PENDING,
     STATUS_QUARANTINED,
@@ -36,15 +37,19 @@ from repro.sweep.supervisor import (
     OUTCOME_QUARANTINED,
     RunOutcome,
     SupervisorEvent,
+    SupervisorInterrupted,
+    cell_checkpoint_dir,
     run_supervised,
 )
 from repro.sweep.report import render_sweep_report
 from repro.sweep.service import (
+    CHECKPOINTS_DIR_NAME,
     FORCE_SPAWN_ENV,
     LEDGER_NAME,
     MANIFEST_NAME,
     REPORT_NAME,
     CellOutcome,
+    SweepInterrupted,
     SweepResult,
     effective_jobs,
     run_sweep,
@@ -55,12 +60,14 @@ __all__ = [
     "COMPLETE_STATUSES",
     "STATUS_CACHED",
     "STATUS_FAILED",
+    "STATUS_INTERRUPTED",
     "STATUS_OK",
     "STATUS_PENDING",
     "STATUS_QUARANTINED",
     "STATUS_RUNNING",
     "OUTCOME_OK",
     "OUTCOME_QUARANTINED",
+    "CHECKPOINTS_DIR_NAME",
     "FORCE_SPAWN_ENV",
     "LEDGER_NAME",
     "MANIFEST_NAME",
@@ -72,8 +79,11 @@ __all__ = [
     "RunOutcome",
     "SupervisorConfig",
     "SupervisorEvent",
+    "SupervisorInterrupted",
+    "SweepInterrupted",
     "SweepLedger",
     "SweepResult",
+    "cell_checkpoint_dir",
     "effective_jobs",
     "render_sweep_report",
     "run_supervised",

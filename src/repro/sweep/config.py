@@ -56,6 +56,15 @@ class SupervisorConfig:
     #: Consecutive worker *spawn* failures (not run failures) tolerated
     #: before the supervisor degrades to in-process serial execution.
     spawn_failure_limit: int = 3
+    #: Root directory of per-cell checkpoint directories
+    #: (``<dir>/<sanitized label>/ckpt-*.json``).  ``None`` disables
+    #: checkpoint-aware execution entirely: attempts run the exact
+    #: pre-checkpoint ``spec.execute()`` path.
+    checkpoint_dir: Optional[str] = None
+    #: Fired-event cadence of the periodic checkpoint writer.  ``None``
+    #: with ``checkpoint_dir`` set still *restores* from an existing
+    #: checkpoint but writes no new ones.
+    checkpoint_every_events: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -96,6 +105,13 @@ class SupervisorConfig:
         if self.spawn_failure_limit < 1:
             raise ValueError(
                 f"spawn_failure_limit must be >= 1: {self.spawn_failure_limit}"
+            )
+        if self.checkpoint_every_events is not None and (
+            self.checkpoint_every_events < 1
+        ):
+            raise ValueError(
+                "checkpoint_every_events must be >= 1 event: "
+                f"{self.checkpoint_every_events}"
             )
 
     def backoff_s(self, label: str, failures: int) -> float:

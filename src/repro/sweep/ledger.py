@@ -33,6 +33,9 @@ STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_QUARANTINED = "quarantined"
 STATUS_CACHED = "cached"
+#: A SIGINT/SIGTERM stopped the sweep while this cell was unfinished;
+#: deliberately *not* a complete status, so a resume re-runs the cell.
+STATUS_INTERRUPTED = "interrupted"
 
 ALL_STATUSES = (
     STATUS_PENDING,
@@ -41,6 +44,7 @@ ALL_STATUSES = (
     STATUS_FAILED,
     STATUS_QUARANTINED,
     STATUS_CACHED,
+    STATUS_INTERRUPTED,
 )
 
 #: Statuses that mean "this cell's result exists and is reusable".

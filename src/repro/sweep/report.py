@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro.parallel.cache import CacheStats
 from repro.sweep.ledger import STATUS_OK, STATUS_QUARANTINED
 from repro.sweep.supervisor import RunOutcome
 
@@ -36,6 +37,7 @@ def render_sweep_report(
     executed: int = 0,
     reused_labels: Sequence[str] = (),
     degraded_reason: Optional[str] = None,
+    cache_stats: Optional[CacheStats] = None,
 ) -> str:
     """The markdown summary of one sweep invocation."""
     reused = len(reused_labels)
@@ -56,6 +58,11 @@ def render_sweep_report(
         f"({ok} ok, {len(quarantined)} quarantined)",
         f"- retries spent: **{retries}**",
     ]
+    if cache_stats is not None:
+        # Store retries/failures are surfaced even at zero: a sweep that
+        # silently lost memoizations is indistinguishable from a healthy
+        # one unless the report says the counters were actually clean.
+        lines.append(f"- cache: {cache_stats.render()}")
     if degraded_reason:
         lines.append(f"- **degraded mode:** {degraded_reason}")
     lines += [

@@ -12,10 +12,18 @@ subcommand (and any thousand-run grid script) drives:
    simply re-runs;
 3. the remainder executes under the worker supervisor
    (:func:`repro.sweep.supervisor.run_supervised`), with every
-   transition journalled to the crash-safe ledger as it happens;
-4. a markdown report — per-cell status, retries, failure excerpts — is
-   written even when cells were quarantined or execution degraded to
-   serial: a partial sweep always leaves a usable record.
+   transition journalled to the crash-safe ledger as it happens; with
+   ``SupervisorConfig.checkpoint_every_events`` set, each cell
+   checkpoints periodically under ``<out>/checkpoints/<label>/`` and a
+   retry resumes from the newest snapshot (journalled as a ``running``
+   entry with a ``restored_from=...`` detail);
+4. a markdown report — per-cell status, retries, failure excerpts,
+   cache counters — is written even when cells were quarantined or
+   execution degraded to serial: a partial sweep always leaves a usable
+   record.  A SIGINT/SIGTERM gets the same treatment: unfinished cells
+   are journalled ``interrupted``, settled results are already in the
+   cache, the report is flushed, and :class:`SweepInterrupted` carries
+   the partial result out (the CLI exits 130).
 
 Degradation: a single-CPU host (or an explicit ``jobs=1``) runs
 in-process serial with a logged reason instead of paying spawn overhead;
@@ -27,7 +35,7 @@ repeated worker spawn failures degrade mid-batch the same way.  Set
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -41,6 +49,7 @@ from repro.sweep.config import SupervisorConfig
 from repro.sweep.ledger import (
     STATUS_CACHED,
     STATUS_FAILED,
+    STATUS_INTERRUPTED,
     STATUS_OK,
     STATUS_PENDING,
     STATUS_QUARANTINED,
@@ -52,6 +61,7 @@ from repro.sweep.supervisor import (
     OUTCOME_OK,
     RunOutcome,
     SupervisorEvent,
+    SupervisorInterrupted,
     run_supervised,
 )
 
@@ -59,6 +69,9 @@ from repro.sweep.supervisor import (
 LEDGER_NAME = "ledger.jsonl"
 REPORT_NAME = "report.md"
 MANIFEST_NAME = "manifest.json"
+#: Per-cell checkpoint directories live under this subdirectory when
+#: checkpointing is enabled and no explicit directory was configured.
+CHECKPOINTS_DIR_NAME = "checkpoints"
 
 #: Escape hatch: keep the spawn pool even on a single-CPU host.
 #: (Defined in repro.parallel.pool so every jobs-clamping path shares
@@ -72,13 +85,29 @@ def _silent(message: str) -> None:
     return None
 
 
+class SweepInterrupted(RuntimeError):
+    """The sweep stopped on SIGINT/SIGTERM with its partial state flushed.
+
+    By the time this is raised the ledger has journalled ``interrupted``
+    for every unfinished cell, every settled result has reached the
+    cache, and the markdown report covers the partial grid — so
+    ``--resume`` picks up exactly where the interrupt landed.
+    ``result`` is the partial :class:`SweepResult`.
+    """
+
+    def __init__(self, result: "SweepResult") -> None:
+        super().__init__("sweep interrupted")
+        self.result = result
+
+
 @dataclass
 class CellOutcome:
     """Final state of one grid cell after a sweep invocation."""
 
     label: str
     key: str
-    #: ``ok`` (freshly executed), ``cached`` (reused), or ``quarantined``.
+    #: ``ok`` (freshly executed), ``cached`` (reused), ``quarantined``,
+    #: or ``interrupted`` (a signal stopped the sweep first).
     status: str
     attempts: int = 0
     failures: List[str] = field(default_factory=list)
@@ -98,10 +127,13 @@ class SweepResult:
     retries: int
     degraded_reason: Optional[str]
     report_path: Path
+    #: Cells left unfinished by a SIGINT/SIGTERM (see
+    #: :class:`SweepInterrupted`); they re-run on resume.
+    interrupted: int = 0
 
     @property
     def ok(self) -> bool:
-        return self.quarantined == 0
+        return self.quarantined == 0 and self.interrupted == 0
 
     def results_by_label(self) -> Dict[str, RunResult]:
         return {
@@ -144,6 +176,14 @@ def run_sweep(
     config = supervisor if supervisor is not None else SupervisorConfig()
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
+    if (
+        config.checkpoint_every_events is not None
+        and config.checkpoint_dir is None
+    ):
+        # Checkpoints belong next to the ledger they make resumable.
+        config = replace(
+            config, checkpoint_dir=str(out / CHECKPOINTS_DIR_NAME)
+        )
     ledger_path = out / LEDGER_NAME
 
     if resume:
@@ -178,6 +218,7 @@ def run_sweep(
 
     outcomes: List[Optional[CellOutcome]] = [None] * len(specs)
     pending_indices: List[int] = []
+    was_interrupted = False
     with SweepLedger.resume(ledger_path) as ledger:
         for index, spec in enumerate(specs):
             hit = cache.load(keys[index]) if cache is not None else None
@@ -253,23 +294,68 @@ def run_sweep(
                         f"{labels[index]}: quarantined after "
                         f"{event.attempt} attempt(s)"
                     )
+                elif event.kind == "restored":
+                    # The checkpoint-aware retry resumed mid-simulation;
+                    # journal which snapshot so the ledger tells the
+                    # whole recovery story.
+                    ledger.append(
+                        keys[index],
+                        labels[index],
+                        STATUS_RUNNING,
+                        attempt=event.attempt,
+                        detail=f"restored_from={event.reason}",
+                    )
+                    log(
+                        f"{labels[index]}: attempt {event.attempt} "
+                        f"resumed from checkpoint {event.reason}"
+                    )
+                elif event.kind == "checkpoint-fallback":
+                    ledger.append(
+                        keys[index],
+                        labels[index],
+                        STATUS_RUNNING,
+                        attempt=event.attempt,
+                        detail=event.reason,
+                    )
+                    log(f"{labels[index]}: {event.reason}")
 
-            run_outcomes = run_supervised(
-                [specs[index] for index in pending_indices],
-                jobs=jobs_used,
-                config=config,
-                on_event=journal,
-            )
+            try:
+                run_outcomes = run_supervised(
+                    [specs[index] for index in pending_indices],
+                    jobs=jobs_used,
+                    config=config,
+                    on_event=journal,
+                )
+            except SupervisorInterrupted as stop:
+                was_interrupted = True
+                run_outcomes = stop.outcomes
+                log(
+                    "interrupted: flushing partial results, ledger, "
+                    "and report"
+                )
             for sub_index, run_outcome in enumerate(run_outcomes):
                 index = pending_indices[sub_index]
+                if run_outcome.status == OUTCOME_OK:
+                    status = STATUS_OK
+                elif run_outcome.status:
+                    status = STATUS_QUARANTINED
+                else:
+                    # Unsettled when the signal landed: journal it so
+                    # the ledger's tail explains the missing result, and
+                    # mark the run outcome for the report table.
+                    status = STATUS_INTERRUPTED
+                    run_outcome.status = STATUS_INTERRUPTED
+                    ledger.append(
+                        keys[index],
+                        labels[index],
+                        STATUS_INTERRUPTED,
+                        attempt=run_outcome.attempts,
+                        detail="sweep interrupted by signal",
+                    )
                 cell = CellOutcome(
                     label=labels[index],
                     key=keys[index],
-                    status=(
-                        STATUS_OK
-                        if run_outcome.status == OUTCOME_OK
-                        else STATUS_QUARANTINED
-                    ),
+                    status=status,
                     attempts=run_outcome.attempts,
                     failures=list(run_outcome.failures),
                 )
@@ -283,6 +369,9 @@ def run_sweep(
     quarantined = sum(
         1 for cell in final if cell.status == STATUS_QUARANTINED
     )
+    interrupted = sum(
+        1 for cell in final if cell.status == STATUS_INTERRUPTED
+    )
     retries = sum(max(0, cell.attempts - 1) for cell in final)
     report_path = out / REPORT_NAME
     report_path.write_text(
@@ -294,10 +383,11 @@ def run_sweep(
                 cell.label for cell in final if cell.status == STATUS_CACHED
             ],
             degraded_reason=degraded_reason,
+            cache_stats=cache.stats if cache is not None else None,
         ),
         encoding="utf-8",
     )
-    return SweepResult(
+    result = SweepResult(
         outcomes=final,
         executed=executed,
         reused=reused,
@@ -305,4 +395,8 @@ def run_sweep(
         retries=retries,
         degraded_reason=degraded_reason,
         report_path=report_path,
+        interrupted=interrupted,
     )
+    if was_interrupted:
+        raise SweepInterrupted(result)
+    return result

@@ -16,10 +16,17 @@ process per attempt, supervised over a one-way pipe:
   **quarantined** and the rest of the grid keeps going;
 * repeated worker *spawn* failures (or ``jobs=1``) degrade gracefully to
   in-process serial execution — retries and quarantine still apply, but
-  timeouts cannot be enforced without a process boundary.
+  timeouts cannot be enforced without a process boundary;
+* with :attr:`SupervisorConfig.checkpoint_dir` set, attempts are
+  **checkpoint-aware**: each run periodically snapshots itself (see
+  :mod:`repro.checkpoint`), a retry resumes from the cell's newest
+  checkpoint instead of replaying from scratch, and a damaged checkpoint
+  falls back to a from-scratch attempt rather than sinking the retry.
 
 Results are plain serialized payloads (the exact JSON round trip the
-cache uses), so a supervised run is byte-identical to a serial one.
+cache uses), so a supervised run is byte-identical to a serial one —
+and, because restore is byte-identical, to a checkpointed-and-resumed
+one.
 
 Test-only chaos hooks (inert unless the ``REPRO_TEST_*`` environment
 variables are set) let the failure paths be exercised end-to-end: see
@@ -37,11 +44,31 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as connection_wait
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.checkpoint import (
+    CheckpointError,
+    CheckpointWriter,
+    build_runner,
+    latest_checkpoint,
+    read_checkpoint,
+    restore_run,
+)
 from repro.metrics.serialize import run_result_to_dict
 from repro.parallel.spec import RunSpec
 from repro.sweep.config import SupervisorConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import SimulationRunner
 
 #: Terminal outcome statuses.
 OUTCOME_OK = "ok"
@@ -50,12 +77,17 @@ OUTCOME_QUARANTINED = "quarantined"
 #: Chaos-injection environment variables (test/CI only; unset = inert).
 #: ``REPRO_TEST_CRASH_SPEC`` — comma-separated spec labels whose worker
 #: process dies on startup, per ``REPRO_TEST_CRASH_MODE`` (``exit`` |
-#: ``kill`` | ``stop`` | ``hang``); ``REPRO_TEST_RAISE_SPEC`` — labels
-#: whose attempt raises in-process (works on the serial path too);
-#: ``REPRO_TEST_CRASH_ONCE_DIR`` — a marker directory making either
-#: injection fire once per label instead of every attempt.
+#: ``kill`` | ``stop`` | ``hang`` | ``midrun``); ``midrun`` SIGKILLs the
+#: worker *mid-simulation*, after ``REPRO_TEST_CRASH_EVENT`` fired
+#: events (checkpoint-aware attempts only — the kill lands after that
+#: event's checkpoint, if due, is already durable);
+#: ``REPRO_TEST_RAISE_SPEC`` — labels whose attempt raises in-process
+#: (works on the serial path too); ``REPRO_TEST_CRASH_ONCE_DIR`` — a
+#: marker directory making either injection fire once per label instead
+#: of every attempt.
 CRASH_SPEC_ENV = "REPRO_TEST_CRASH_SPEC"
 CRASH_MODE_ENV = "REPRO_TEST_CRASH_MODE"
+CRASH_EVENT_ENV = "REPRO_TEST_CRASH_EVENT"
 CRASH_ONCE_DIR_ENV = "REPRO_TEST_CRASH_ONCE_DIR"
 RAISE_SPEC_ENV = "REPRO_TEST_RAISE_SPEC"
 
@@ -106,8 +138,12 @@ class SupervisorEvent:
     """One supervision transition, streamed to the caller's sink.
 
     ``kind`` is one of ``attempt`` (a run started), ``ok``, ``failure``,
-    ``retry`` (a failure that will be retried), ``quarantine``, or
-    ``degrade`` (the whole batch fell back to serial; ``index`` is -1).
+    ``retry`` (a failure that will be retried), ``quarantine``,
+    ``degrade`` (the whole batch fell back to serial; ``index`` is -1),
+    ``restored`` (a checkpoint-aware attempt resumed from the checkpoint
+    named in ``reason``), or ``checkpoint-fallback`` (the cell's newest
+    checkpoint was unusable and the attempt started from scratch;
+    ``reason`` says why).
     """
 
     kind: str
@@ -124,9 +160,32 @@ class SupervisorEvent:
 
 EventSink = Callable[[SupervisorEvent], None]
 
+#: In-attempt notices (``restored`` / ``checkpoint-fallback``) flow
+#: through this callback: over the pipe from a worker, directly to the
+#: event sink on the serial path.
+Notify = Callable[[str, str], None]
+
 
 def _no_event(event: SupervisorEvent) -> None:
     return None
+
+
+class SupervisorInterrupted(Exception):
+    """SIGINT/SIGTERM arrived mid-batch.
+
+    Raised by :func:`run_supervised` after in-flight workers are reaped;
+    ``outcomes`` holds the partial verdicts — unsettled cells keep an
+    empty status, which the sweep service journals as ``interrupted``.
+    """
+
+    def __init__(self, outcomes: List[RunOutcome]) -> None:
+        super().__init__("supervised batch interrupted")
+        self.outcomes = outcomes
+
+
+def cell_checkpoint_dir(root: str, label: str) -> str:
+    """Where one cell keeps its checkpoints under the sweep's root."""
+    return os.path.join(root, label.replace(":", "_").replace("/", "_"))
 
 
 # ---------------------------------------------------------------------- #
@@ -166,6 +225,11 @@ def _chaos_armed(env_name: str, label: str) -> bool:
 
 def _maybe_inject_failure(label: str) -> None:
     """Process-level chaos: die the way real workers die (worker only)."""
+    if os.environ.get(CRASH_MODE_ENV) == "midrun":
+        # Fires inside the attempt, after N simulation events — see
+        # _arm_midrun_chaos.  Consuming the once-marker here would
+        # disarm it before the run even starts.
+        return
     if not _chaos_armed(CRASH_SPEC_ENV, label):
         return
     mode = os.environ.get(CRASH_MODE_ENV, "exit")
@@ -184,11 +248,78 @@ def _maybe_inject_failure(label: str) -> None:
     os._exit(_CHAOS_EXIT_CODE)
 
 
-def _execute_attempt(spec: RunSpec) -> Dict[str, Any]:
-    """One attempt at a spec, with the in-process raise hook applied."""
-    if _chaos_armed(RAISE_SPEC_ENV, spec.label()):
-        raise RuntimeError(f"injected failure for {spec.label()}")
-    return run_result_to_dict(spec.execute())
+def _arm_midrun_chaos(label: str, runner: "SimulationRunner") -> None:
+    """Mid-simulation chaos: SIGKILL the worker after N fired events.
+
+    Registered *after* the cell's :class:`CheckpointWriter`, so when the
+    kill event is also a checkpoint event the snapshot is durable before
+    the process dies — the exact torn-mid-run shape the restore gate in
+    CI replays.
+    """
+    if os.environ.get(CRASH_MODE_ENV) != "midrun":
+        return
+    if not _chaos_armed(CRASH_SPEC_ENV, label):
+        return
+    target = int(os.environ.get(CRASH_EVENT_ENV, "500"))
+    engine = runner.engine
+
+    def die_midrun(event: object) -> None:
+        if engine.fired >= target:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    engine.add_observer(die_midrun)
+
+
+def _execute_attempt(
+    spec: RunSpec,
+    config: SupervisorConfig,
+    notify: Optional[Notify] = None,
+) -> Dict[str, Any]:
+    """One attempt at a spec, with the in-process raise hook applied.
+
+    Without :attr:`SupervisorConfig.checkpoint_dir` this is exactly
+    ``spec.execute()`` — the zero-cost-when-off path.  With it, the
+    attempt resumes from the cell's newest checkpoint when one exists
+    (reporting ``restored`` via ``notify``), falls back to a
+    from-scratch run when that checkpoint is damaged or stale
+    (``checkpoint-fallback``), and checkpoints periodically when
+    :attr:`SupervisorConfig.checkpoint_every_events` is set.
+    """
+    label = spec.label()
+    if _chaos_armed(RAISE_SPEC_ENV, label):
+        raise RuntimeError(f"injected failure for {label}")
+    if config.checkpoint_dir is None:
+        return run_result_to_dict(spec.execute())
+    cell_dir = cell_checkpoint_dir(config.checkpoint_dir, label)
+    runner: Optional["SimulationRunner"] = None
+    resume_path = latest_checkpoint(cell_dir)
+    if resume_path is not None:
+        try:
+            runner = restore_run(spec, read_checkpoint(resume_path))
+        except CheckpointError as error:
+            if notify is not None:
+                notify(
+                    "checkpoint-fallback",
+                    f"unusable checkpoint "
+                    f"{os.path.basename(resume_path)} ({error}); "
+                    "starting from scratch",
+                )
+            runner = None
+        else:
+            if notify is not None:
+                notify("restored", resume_path)
+    if runner is None:
+        runner = build_runner(spec)
+    if config.checkpoint_every_events is not None:
+        runner.engine.add_observer(
+            CheckpointWriter(
+                runner, cell_dir, config.checkpoint_every_events, spec=spec
+            )
+        )
+    _arm_midrun_chaos(label, runner)
+    return run_result_to_dict(
+        runner.run(until=spec.resolved_scenario().horizon_s)
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -196,13 +327,15 @@ def _execute_attempt(spec: RunSpec) -> Dict[str, Any]:
 
 
 def _supervised_worker(
-    spec: RunSpec, conn: Connection, heartbeat_interval_s: float
+    spec: RunSpec, conn: Connection, config: SupervisorConfig
 ) -> None:
     """Process entry point: run one spec, streaming heartbeats.
 
     Module-level so the ``spawn`` context can import it.  All pipe
     writes share a lock because the heartbeat thread and the main thread
-    both send.
+    both send.  Checkpoint notices (``restored`` and
+    ``checkpoint-fallback``) travel the same pipe as non-terminal
+    messages.
     """
     label = spec.label()
     lock = threading.Lock()
@@ -221,14 +354,16 @@ def _supervised_worker(
 
     def beat() -> None:
         sequence = 1
-        while not stop.wait(heartbeat_interval_s):
+        while not stop.wait(config.heartbeat_interval_s):
             send(("hb", sequence))
             sequence += 1
 
     threading.Thread(target=beat, daemon=True, name="sweep-heartbeat").start()
     _maybe_inject_failure(label)
     try:
-        payload = _execute_attempt(spec)
+        payload = _execute_attempt(
+            spec, config, lambda kind, detail: send((kind, detail))
+        )
     except Exception as error:  # codalint: disable=CL004
         # The process boundary is exactly where arbitrary spec failures
         # must be marshalled (not propagated): the supervisor decides
@@ -252,6 +387,8 @@ class _ActiveRun:
     conn: Connection
     deadline: Optional[float]
     last_heartbeat: float
+    #: Checkpoint notices drained off the pipe, pending emission.
+    notices: List[Tuple[str, str]] = field(default_factory=list)
 
 
 def _launch(
@@ -267,7 +404,7 @@ def _launch(
     recv_conn, send_conn = context.Pipe(duplex=False)
     process = context.Process(
         target=_supervised_worker,
-        args=(spec, send_conn, config.heartbeat_interval_s),
+        args=(spec, send_conn, config),
         daemon=True,
     )
     process.start()
@@ -287,15 +424,18 @@ def _reap(process: "multiprocessing.process.BaseProcess") -> None:
 def _pump(active: _ActiveRun, now: float) -> Optional[Tuple[str, Any]]:
     """Drain buffered messages; return the terminal one, if any.
 
-    Heartbeats refresh ``last_heartbeat`` and are swallowed.  ``eof``
-    means the worker closed (or died on) the pipe without a terminal
-    message — a crash.
+    Heartbeats refresh ``last_heartbeat`` and are swallowed; checkpoint
+    notices are queued on ``active.notices`` for the collect loop to
+    emit.  ``eof`` means the worker closed (or died on) the pipe without
+    a terminal message — a crash.
     """
     try:
         while active.conn.poll():
             kind, detail = active.conn.recv()
             if kind == "hb":
                 active.last_heartbeat = now
+            elif kind in ("restored", "checkpoint-fallback"):
+                active.notices.append((str(kind), str(detail)))
             else:
                 return (str(kind), detail)
     except (EOFError, OSError):
@@ -316,6 +456,11 @@ def run_supervised(
     ``quarantined`` and the batch always completes.  ``jobs <= 1`` takes
     the in-process serial path directly (no spawn overhead, no timeout
     enforcement); repeated spawn failures degrade to it mid-batch.
+
+    A SIGINT/SIGTERM (``KeyboardInterrupt``) does raise — as
+    :class:`SupervisorInterrupted`, after in-flight workers are reaped,
+    carrying the partial outcomes so the caller can journal and flush
+    what already settled.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1: {jobs}")
@@ -325,13 +470,16 @@ def run_supervised(
         RunOutcome(index=index, label=spec.label())
         for index, spec in enumerate(specs)
     ]
-    if jobs > 1 and len(specs) > 1:
-        degraded = _run_spawned(specs, outcomes, jobs, config, emit)
-        if degraded is not None:
-            emit(SupervisorEvent(kind="degrade", reason=degraded))
+    try:
+        if jobs > 1 and len(specs) > 1:
+            degraded = _run_spawned(specs, outcomes, jobs, config, emit)
+            if degraded is not None:
+                emit(SupervisorEvent(kind="degrade", reason=degraded))
+                _run_serial(specs, outcomes, config, emit)
+        else:
             _run_serial(specs, outcomes, config, emit)
-    else:
-        _run_serial(specs, outcomes, config, emit)
+    except KeyboardInterrupt:
+        raise SupervisorInterrupted(outcomes) from None
     return outcomes
 
 
@@ -346,6 +494,18 @@ def _run_serial(
         if outcome.status:
             continue  # already settled by the spawn path
         spec = specs[outcome.index]
+
+        def notify(kind: str, detail: str, outcome: RunOutcome = outcome) -> None:
+            emit(
+                SupervisorEvent(
+                    kind=kind,
+                    index=outcome.index,
+                    label=outcome.label,
+                    attempt=outcome.attempts,
+                    reason=detail,
+                )
+            )
+
         while True:
             outcome.attempts += 1
             emit(
@@ -357,7 +517,7 @@ def _run_serial(
                 )
             )
             try:
-                payload = _execute_attempt(spec)
+                payload = _execute_attempt(spec, config, notify)
             except Exception as error:  # codalint: disable=CL004
                 # Serial supervision must survive arbitrary spec
                 # failures to retry or quarantine them, same as the
@@ -450,7 +610,6 @@ def _run_spawned(
         (0.0, index) for index in range(len(specs))
     ]
     active: Dict[int, _ActiveRun] = {}
-    spawn_failures = 0
 
     def fail(index: int, reason: str, now: float) -> None:
         outcome = outcomes[index]
@@ -458,6 +617,48 @@ def _run_spawned(
             delay = config.backoff_s(outcome.label, len(outcome.failures))
             pending.append((now + delay, index))
 
+    def drain_notices(act: _ActiveRun) -> None:
+        while act.notices:
+            kind, detail = act.notices.pop(0)
+            emit(
+                SupervisorEvent(
+                    kind=kind,
+                    index=act.index,
+                    label=outcomes[act.index].label,
+                    attempt=outcomes[act.index].attempts,
+                    reason=detail,
+                )
+            )
+
+    try:
+        return _spawned_loop(
+            specs, outcomes, jobs, config, emit,
+            context, pending, active, fail, drain_notices,
+        )
+    except KeyboardInterrupt:
+        # Graceful shutdown: reap in-flight workers before the interrupt
+        # propagates; their unfinished attempts stay journalled as
+        # attempts, and the caller flushes whatever already settled.
+        for act in list(active.values()):
+            _reap(act.process)
+            act.conn.close()
+        active.clear()
+        raise
+
+
+def _spawned_loop(
+    specs: Sequence[RunSpec],
+    outcomes: List[RunOutcome],
+    jobs: int,
+    config: SupervisorConfig,
+    emit: EventSink,
+    context: "multiprocessing.context.SpawnContext",
+    pending: List[Tuple[float, int]],
+    active: Dict[int, _ActiveRun],
+    fail: Callable[[int, str, float], None],
+    drain_notices: Callable[[_ActiveRun], None],
+) -> Optional[str]:
+    spawn_failures = 0
     while pending or active:
         now = _wall_now()
         # -- launch ------------------------------------------------------
@@ -526,6 +727,9 @@ def _run_spawned(
                 terminal = _pump(act, now)
                 if terminal is None:
                     terminal = ("eof", None)
+            # Emit checkpoint notices before the terminal verdict so a
+            # ``restored`` line always precedes its attempt's ``ok``.
+            drain_notices(act)
             if terminal is not None:
                 kind, detail = terminal
                 _reap(act.process)

@@ -220,3 +220,58 @@ class TestResilienceFlags:
         ) == 0
         out = capsys.readouterr().out
         assert "0 violation(s)" in out
+
+
+class TestCheckpointFlags:
+    def test_checkpoint_run_then_restore(self, tmp_path, capsys):
+        ckpts = tmp_path / "ckpts"
+        argv = [
+            "run", "--days", "0.02", "--seed", "1",
+            "--checkpoint-dir", str(ckpts), "--checkpoint-interval", "50",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "CODA summary" in first
+        written = sorted(p.name for p in ckpts.iterdir())
+        assert written and all(n.startswith("ckpt-") for n in written)
+
+        assert main(argv + ["--restore", str(ckpts / written[-1])]) == 0
+        resumed = capsys.readouterr().out
+        # Resuming from the newest snapshot replays the identical summary.
+        assert resumed == first
+
+    def test_damaged_checkpoint_fails_loudly(self, tmp_path, capsys):
+        bad = tmp_path / "ckpt-000000000050.json"
+        bad.write_text("garbage")
+        argv = [
+            "run", "--days", "0.02",
+            "--checkpoint-dir", str(tmp_path), "--checkpoint-interval", "50",
+            "--restore", str(bad),
+        ]
+        assert main(argv) == 1
+        assert "checkpoint" in capsys.readouterr().err
+
+    def test_interval_without_dir_rejected(self, capsys):
+        assert main(["run", "--checkpoint-interval", "50"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_dir_without_interval_rejected(self, tmp_path, capsys):
+        assert main(["run", "--checkpoint-dir", str(tmp_path)]) == 2
+        assert "--checkpoint-interval" in capsys.readouterr().err
+
+    def test_non_positive_interval_rejected(self, tmp_path, capsys):
+        argv = [
+            "run", "--checkpoint-dir", str(tmp_path),
+            "--checkpoint-interval", "0",
+        ]
+        assert main(argv) == 2
+        assert "--checkpoint-interval" in capsys.readouterr().err
+
+    def test_checkpointing_incompatible_with_audit(self, tmp_path, capsys):
+        argv = [
+            "run", "--audit",
+            "--checkpoint-dir", str(tmp_path),
+            "--checkpoint-interval", "50",
+        ]
+        assert main(argv) == 2
+        assert "--audit" in capsys.readouterr().err

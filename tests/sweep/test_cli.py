@@ -75,3 +75,29 @@ class TestQuarantineExitCode:
         out = capsys.readouterr().out
         assert "quarantined 1" in out
         assert "report:" in out
+
+
+class TestInterruptExitCode:
+    def test_sigint_mid_sweep_exits_130(self, tmp_path, capsys, monkeypatch):
+        from repro.sweep import supervisor as supervisor_module
+
+        real = supervisor_module._execute_attempt
+
+        def fake(spec, config, notify=None):
+            if spec.label() == "coda:s1":
+                raise KeyboardInterrupt
+            return real(spec, config, notify)
+
+        monkeypatch.setattr(supervisor_module, "_execute_attempt", fake)
+        out = tmp_path / "sweep"
+        assert main(_sweep_argv(tmp_path, "--out", out)) == 130
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "--resume" in captured.err
+        assert (out / REPORT_NAME).is_file()
+
+    def test_non_positive_checkpoint_interval_refused(self, tmp_path, capsys):
+        argv = _sweep_argv(tmp_path, "--out", tmp_path / "sweep")
+        argv += ["--checkpoint-interval", "0"]
+        assert main(argv) == 2
+        assert "--checkpoint-interval" in capsys.readouterr().err

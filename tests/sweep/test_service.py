@@ -8,16 +8,19 @@ from repro.experiments.scenarios import grid_specs, small_scenario
 from repro.metrics.serialize import run_result_to_dict
 from repro.parallel import ResultCache, serial_map
 from repro.sweep import (
+    CHECKPOINTS_DIR_NAME,
     LEDGER_NAME,
     REPORT_NAME,
     STATUS_CACHED,
     STATUS_OK,
     SupervisorConfig,
+    SweepInterrupted,
     SweepLedger,
     effective_jobs,
     run_sweep,
 )
 from repro.sweep import service as service_module
+from repro.sweep import supervisor as supervisor_module
 
 
 def _dumps(result):
@@ -228,3 +231,137 @@ class TestDegradation:
         monkeypatch.delenv("REPRO_SWEEP_FORCE_SPAWN", raising=False)
         assert effective_jobs(4) == 4
         assert effective_jobs(1) == 1
+
+
+class TestCheckpointing:
+    def test_interval_derives_dir_and_writes_checkpoints(
+        self, tmp_path, specs
+    ):
+        out = tmp_path / "s"
+        supervisor = SupervisorConfig(
+            backoff_base_s=0.01, checkpoint_every_events=50
+        )
+        result = run_sweep(
+            specs,
+            out_dir=out,
+            cache=ResultCache(tmp_path / "cache"),
+            supervisor=supervisor,
+        )
+        assert result.ok
+        # Short cells (fifo fires ~31 events) never reach the 50-event
+        # interval; the long coda cells must have durable snapshots.
+        cells = {p.name for p in (out / CHECKPOINTS_DIR_NAME).iterdir()}
+        assert cells <= {s.label().replace(":", "_") for s in specs}
+        for label in ("coda_s1", "coda_s2"):
+            assert label in cells
+            written = [
+                p.name for p in (out / CHECKPOINTS_DIR_NAME / label).iterdir()
+            ]
+            assert written and all(n.startswith("ckpt-") for n in written)
+
+    def test_checkpointing_does_not_perturb_results(self, tmp_path, specs):
+        supervisor = SupervisorConfig(
+            backoff_base_s=0.01, checkpoint_every_events=50
+        )
+        result = run_sweep(
+            specs,
+            out_dir=tmp_path / "s",
+            cache=ResultCache(tmp_path / "cache"),
+            supervisor=supervisor,
+        )
+        by_label = result.results_by_label()
+        for spec, expected in zip(specs, serial_map(specs)):
+            assert _dumps(by_label[spec.label()]) == _dumps(expected)
+
+    def test_midrun_kill_journals_the_restore(
+        self, tmp_path, specs, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_CRASH_SPEC", "coda:s1")
+        monkeypatch.setenv("REPRO_TEST_CRASH_MODE", "midrun")
+        monkeypatch.setenv("REPRO_TEST_CRASH_EVENT", "120")
+        monkeypatch.setenv("REPRO_TEST_CRASH_ONCE_DIR", str(tmp_path / "once"))
+        # The SIGKILL must land in a worker process, not the test run:
+        # don't let a single-CPU host degrade the batch to in-process.
+        monkeypatch.setenv("REPRO_SWEEP_FORCE_SPAWN", "1")
+        out = tmp_path / "s"
+        supervisor = SupervisorConfig(
+            backoff_base_s=0.01,
+            max_retries=2,
+            checkpoint_every_events=40,
+        )
+        result = run_sweep(
+            specs,
+            out_dir=out,
+            jobs=2,
+            cache=ResultCache(tmp_path / "cache"),
+            supervisor=supervisor,
+        )
+        assert result.ok
+        ledger_text = (out / LEDGER_NAME).read_text()
+        assert "restored_from=" in ledger_text
+        by_label = result.results_by_label()
+        for spec, expected in zip(specs, serial_map(specs)):
+            assert _dumps(by_label[spec.label()]) == _dumps(expected)
+
+    def test_report_carries_cache_stats_line(self, tmp_path, specs):
+        out = tmp_path / "s"
+        run_sweep(
+            specs,
+            out_dir=out,
+            cache=ResultCache(tmp_path / "cache"),
+            supervisor=_FAST,
+        )
+        report = (out / REPORT_NAME).read_text()
+        assert "- cache:" in report
+        assert "store retry" in report and "store failure" in report
+
+
+class TestInterruptedSweep:
+    def _interrupt_on(self, monkeypatch, label):
+        real = supervisor_module._execute_attempt
+
+        def fake(spec, config, notify=None):
+            if spec.label() == label:
+                raise KeyboardInterrupt
+            return real(spec, config, notify)
+
+        monkeypatch.setattr(supervisor_module, "_execute_attempt", fake)
+
+    def test_interrupt_journals_flushes_and_raises(
+        self, tmp_path, specs, monkeypatch
+    ):
+        self._interrupt_on(monkeypatch, "coda:s1")
+        out = tmp_path / "s"
+        with pytest.raises(SweepInterrupted) as info:
+            run_sweep(
+                specs,
+                out_dir=out,
+                cache=ResultCache(tmp_path / "cache"),
+                supervisor=_FAST,
+            )
+        result = info.value.result
+        assert not result.ok
+        assert result.interrupted == 2  # coda:s1 and the never-started coda:s2
+        assert result.executed == 2
+        ledger_text = (out / LEDGER_NAME).read_text()
+        assert '"interrupted"' in ledger_text
+        # Partial results and the report were still flushed.
+        assert (out / REPORT_NAME).exists()
+        assert "interrupted" in (out / REPORT_NAME).read_text()
+
+    def test_interrupted_sweep_resumes_to_completion(
+        self, tmp_path, specs, monkeypatch
+    ):
+        self._interrupt_on(monkeypatch, "coda:s1")
+        out = tmp_path / "s"
+        cache = ResultCache(tmp_path / "cache")
+        with pytest.raises(SweepInterrupted):
+            run_sweep(specs, out_dir=out, cache=cache, supervisor=_FAST)
+        monkeypatch.undo()
+        result = run_sweep(specs, out_dir=out, cache=cache, supervisor=_FAST)
+        assert result.ok
+        assert result.reused == 2  # the two cells settled before the signal
+        assert result.executed == 2  # the interrupted remainder re-ran
+        by_label = result.results_by_label()
+        for spec, expected in zip(specs, serial_map(specs)):
+            assert _dumps(by_label[spec.label()]) == _dumps(expected)

@@ -7,16 +7,20 @@ execution — supervision must never perturb what a run computes.
 """
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.scenarios import grid_specs, small_scenario
 from repro.metrics.serialize import run_result_to_dict
 from repro.parallel import SimPool, serial_map
+from repro.checkpoint import execute_with_checkpoints
 from repro.sweep import (
     OUTCOME_OK,
     OUTCOME_QUARANTINED,
     SupervisorConfig,
+    SupervisorInterrupted,
+    cell_checkpoint_dir,
     run_supervised,
 )
 from repro.sweep import supervisor as supervisor_module
@@ -208,3 +212,96 @@ class TestSimPoolIntegration:
         )
         with pytest.raises(RuntimeError, match="quarantined"):
             pool.map(specs)
+
+
+class TestCheckpointAwareRetry:
+    """Retries resume from the cell's newest checkpoint, byte-identically."""
+
+    def _config(self, root, **extra):
+        return SupervisorConfig(
+            checkpoint_dir=str(root),
+            max_retries=2,
+            **_FAST,
+            **extra,
+        )
+
+    def test_preseeded_checkpoint_restored_and_result_identical(
+        self, specs, tmp_path
+    ):
+        spec = specs[1]  # coda:s1 — the long cell
+        cell = cell_checkpoint_dir(str(tmp_path), spec.label())
+        execute_with_checkpoints(
+            spec, checkpoint_dir=cell, checkpoint_every_events=40
+        )
+        events = []
+        outcomes = run_supervised(
+            specs, jobs=1, config=self._config(tmp_path),
+            on_event=events.append,
+        )
+        assert [o.status for o in outcomes] == [OUTCOME_OK, OUTCOME_OK]
+        restored = [e for e in events if e.kind == "restored"]
+        assert [e.label for e in restored] == [spec.label()]
+        assert "ckpt-" in restored[0].reason
+        for outcome, result in zip(outcomes, serial_map(specs)):
+            assert _payload_dumps(outcome.payload) == _dumps(result)
+
+    def test_damaged_checkpoint_falls_back_to_scratch(self, specs, tmp_path):
+        spec = specs[1]
+        cell = Path(cell_checkpoint_dir(str(tmp_path), spec.label()))
+        cell.mkdir(parents=True)
+        (cell / "ckpt-000000000120.json").write_text("garbage")
+        events = []
+        outcomes = run_supervised(
+            specs, jobs=1, config=self._config(tmp_path),
+            on_event=events.append,
+        )
+        assert [o.status for o in outcomes] == [OUTCOME_OK, OUTCOME_OK]
+        fallback = [e for e in events if e.kind == "checkpoint-fallback"]
+        assert [e.label for e in fallback] == [spec.label()]
+        assert "starting from scratch" in fallback[0].reason
+        assert not any(e.kind == "restored" for e in events)
+        for outcome, result in zip(outcomes, serial_map(specs)):
+            assert _payload_dumps(outcome.payload) == _dumps(result)
+
+    def test_midrun_kill_resumes_from_checkpoint(
+        self, specs, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TEST_CRASH_SPEC", "coda:s1")
+        monkeypatch.setenv("REPRO_TEST_CRASH_MODE", "midrun")
+        monkeypatch.setenv("REPRO_TEST_CRASH_EVENT", "120")
+        monkeypatch.setenv("REPRO_TEST_CRASH_ONCE_DIR", str(tmp_path / "once"))
+        events = []
+        config = self._config(
+            tmp_path / "ckpts", checkpoint_every_events=40
+        )
+        outcomes = run_supervised(
+            specs, jobs=2, config=config, on_event=events.append
+        )
+        healthy, crashed = outcomes
+        assert crashed.status == OUTCOME_OK
+        assert crashed.attempts == 2
+        assert "worker crashed" in crashed.failures[0]
+        restored = [e for e in events if e.kind == "restored"]
+        assert [e.label for e in restored] == ["coda:s1"]
+        assert healthy.status == OUTCOME_OK
+        for outcome, result in zip(outcomes, serial_map(specs)):
+            assert _payload_dumps(outcome.payload) == _dumps(result)
+
+
+class TestInterrupt:
+    def test_serial_interrupt_raises_with_partial_outcomes(
+        self, specs, monkeypatch
+    ):
+        real = supervisor_module._execute_attempt
+
+        def fake(spec, config, notify=None):
+            if spec.label() == "coda:s1":
+                raise KeyboardInterrupt
+            return real(spec, config, notify)
+
+        monkeypatch.setattr(supervisor_module, "_execute_attempt", fake)
+        with pytest.raises(SupervisorInterrupted) as info:
+            run_supervised(specs, jobs=1)
+        first, unsettled = info.value.outcomes
+        assert first.status == OUTCOME_OK
+        assert unsettled.status == ""  # left for the service to journal

@@ -30,6 +30,7 @@ EXPECTED_BLAME = {
     "resize_cpus": "Node.resize_cpus",
     "fail_gpu": "Node.fail_gpu",
     "repair_gpu": "Node.repair_gpu",
+    "restore": "Node.restore",
 }
 
 

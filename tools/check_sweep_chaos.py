@@ -8,10 +8,16 @@ chaos injection armed through the ``REPRO_TEST_*`` environment hooks:
    attempt (``REPRO_TEST_CRASH_ONCE_DIR`` makes it a transient crash).
    The sweep must exit 0, report at least one retry, and complete every
    cell.
-2. **Poison pass** (``--poison``) — a second sweep adds a cell that
+2. **Restore pass** — a checkpointing sweep (``--checkpoint-interval``)
+   whose long cell is SIGKILLed *mid-simulation* after N fired events
+   (``REPRO_TEST_CRASH_MODE=midrun``).  The retry must resume from the
+   cell's durable checkpoint (the ledger journals ``restored_from=``)
+   and every cell's cached ``RunResult`` document must be byte-identical
+   to an uninterrupted reference sweep of the same grid.
+3. **Poison pass** (``--poison``) — a second sweep adds a cell that
    crashes on *every* attempt.  The sweep must exit 1, quarantine
    exactly that cell, and still complete the rest.
-3. **Resume pass** — re-invoking with ``--resume`` must execute **zero**
+4. **Resume pass** — re-invoking with ``--resume`` must execute **zero**
    new simulations: everything is served from the ledger + result cache.
 
 ``REPRO_SWEEP_FORCE_SPAWN=1`` keeps the process pool even on a 1-CPU
@@ -55,6 +61,106 @@ def _run_sweep(
     return proc
 
 
+def _cache_documents(root: Path) -> dict:
+    """Relative path -> raw bytes for every cached RunResult document."""
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.glob("*/*.json"))
+    }
+
+
+def _check_restore_pass(
+    base: Path, env: dict, args: argparse.Namespace, failures: List[str]
+) -> None:
+    """Midrun-kill + checkpoint-restore gate (pass 2).
+
+    A reference sweep and a midrun-killed sweep run the same grid into
+    separate caches; resumed cells must leave byte-identical cached
+    documents, and the killed sweep's ledger must journal the restore.
+    """
+    common = [
+        "--days", f"{args.days:g}",
+        "--policies", args.policies,
+        "--seeds", "0",
+        "--jobs", "2",
+        "--retries", "2",
+        "--backoff-base", "0.1",
+        "--run-timeout", "600",
+    ]
+    env_ref = dict(env)
+    for name in (
+        "REPRO_TEST_CRASH_SPEC",
+        "REPRO_TEST_CRASH_MODE",
+        "REPRO_TEST_CRASH_ONCE_DIR",
+        "REPRO_TEST_CRASH_EVENT",
+    ):
+        env_ref.pop(name, None)
+    reference = _run_sweep(
+        common
+        + [
+            "--out", str(base / "ref"),
+            "--cache-dir", str(base / "ref-cache"),
+        ],
+        env_ref,
+        "restore pass (reference)",
+    )
+    if reference.returncode != 0:
+        failures.append(
+            f"restore reference sweep exited {reference.returncode}"
+        )
+        return
+
+    env_midrun = dict(env_ref)
+    env_midrun["REPRO_TEST_CRASH_SPEC"] = args.restore_cell
+    env_midrun["REPRO_TEST_CRASH_MODE"] = "midrun"
+    env_midrun["REPRO_TEST_CRASH_EVENT"] = str(args.crash_event)
+    env_midrun["REPRO_TEST_CRASH_ONCE_DIR"] = str(base / "midrun-once")
+    midrun = _run_sweep(
+        common
+        + [
+            "--checkpoint-interval", str(args.checkpoint_interval),
+            "--out", str(base / "restore"),
+            "--cache-dir", str(base / "restore-cache"),
+        ],
+        env_midrun,
+        "restore pass (midrun kill)",
+    )
+    if midrun.returncode != 0:
+        failures.append(
+            f"midrun-kill sweep exited {midrun.returncode}; expected 0 "
+            "(the killed worker should have restored and finished)"
+        )
+        return
+    if _summary_int(_RETRIES_RE, midrun.stdout) < 1:
+        failures.append(
+            "midrun-kill sweep spent no retries — the injected kill "
+            f"never fired for {args.restore_cell!r}"
+        )
+    ledger_text = (base / "restore" / "ledger.jsonl").read_text()
+    if "restored_from=" not in ledger_text:
+        failures.append(
+            "midrun-kill sweep's ledger never journalled "
+            "'restored_from=' — the retry ran from scratch instead of "
+            "resuming the cell's checkpoint"
+        )
+    reference_docs = _cache_documents(base / "ref-cache")
+    restored_docs = _cache_documents(base / "restore-cache")
+    if set(reference_docs) != set(restored_docs):
+        failures.append(
+            "restore pass cached a different cell set than the "
+            f"reference ({sorted(restored_docs)} vs "
+            f"{sorted(reference_docs)})"
+        )
+        return
+    for rel_path, payload in reference_docs.items():
+        if restored_docs[rel_path] != payload:
+            failures.append(
+                f"cached document {rel_path} differs between the "
+                "resumed and uninterrupted sweeps — restore is not "
+                "byte-identical"
+            )
+
+
 def _summary_int(pattern: "re.Pattern[str]", output: str) -> int:
     match = pattern.search(output)
     if match is None:
@@ -74,6 +180,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--crash-cell", default="fifo:s0", metavar="LABEL",
         help="cell whose worker is SIGKILLed once (default: fifo:s0)",
+    )
+    parser.add_argument(
+        "--restore-cell", default="coda:s0", metavar="LABEL",
+        help="cell SIGKILLed mid-simulation in the restore pass "
+        "(default: coda:s0 — the long cell)",
+    )
+    parser.add_argument(
+        "--crash-event", type=int, default=150,
+        help="fired-event count at which the midrun kill lands "
+        "(default: 150)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=60,
+        help="checkpoint cadence (events) for the restore pass "
+        "(default: 60)",
+    )
+    parser.add_argument(
+        "--skip-restore", action="store_true",
+        help="skip the midrun-kill + checkpoint-restore pass",
     )
     parser.add_argument(
         "--poison", action="store_true",
@@ -121,6 +246,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             if _summary_int(_QUARANTINED_RE, chaos.stdout) != 0:
                 failures.append("chaos pass quarantined a cell; expected none")
+
+        if not args.skip_restore and not failures:
+            _check_restore_pass(base, env, args, failures)
 
         if args.poison and not failures:
             env_poison = dict(env)
@@ -176,7 +304,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         for failure in failures:
             print(f"[sweep-chaos] FAIL: {failure}", file=sys.stderr)
         return 1
-    print("[sweep-chaos] OK: crash retried, resume was a no-op")
+    print(
+        "[sweep-chaos] OK: crash retried, checkpoint restore "
+        "byte-identical, resume was a no-op"
+    )
     return 0
 
 
