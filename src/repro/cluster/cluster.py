@@ -72,6 +72,32 @@ class Cluster:
         return self._generation.value
 
     @property
+    def capacity_freed(self) -> int:
+        """Monotone counter bumped only by capacity-*increasing* mutations
+        (release, resize-down, mark_up, repair, quarantine exit).  The
+        schedulers' pass gates compare it between passes: while it holds
+        still and no queue changed, every previously blocked job is still
+        blocked (consumption cannot unblock anyone)."""
+        return self._generation.freed
+
+    def note_capacity_freed(self, node_id: int) -> None:
+        """Record a capacity increase that no node mutator saw — the one
+        case today is quarantine expiry, where a node's capacity returns
+        by a deadline passing rather than by any write."""
+        self._generation.bump_node(node_id, freed=True)
+
+    def dirty_capacity(self) -> Tuple[bool, set]:
+        """``(coarse, touched)``: which nodes changed since the snapshot
+        cache last caught up.  ``coarse`` means an unattributed mutation
+        happened and only a full rebuild is safe."""
+        return self._generation.coarse, self._generation.touched
+
+    def clear_dirty_capacity(self) -> None:
+        """The snapshot cache has caught up with every recorded change."""
+        self._generation.coarse = False
+        self._generation.touched.clear()
+
+    @property
     def total(self) -> ResourceVector:
         return self._total
 

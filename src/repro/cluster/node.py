@@ -28,15 +28,46 @@ class GenerationCounter:
     compare the value instead of re-reading every node.  The cluster hands
     one shared counter to all of its nodes, so a single integer captures
     "has any free capacity changed anywhere".
+
+    Beyond the plain counter, the dirty-set scheduling core needs two more
+    readings (see docs/scheduler-internals.md):
+
+    * ``touched`` — which nodes changed since the last whole-cluster
+      snapshot refresh, so :class:`~repro.schedulers.placement.FreeState`
+      re-reads only those instead of every node;
+    * ``freed`` — a monotone counter bumped only by capacity-*increasing*
+      mutations (release, resize-down, mark_up, repair).  Pass skipping
+      keys on it: a queue of blocked jobs can only become placeable again
+      when capacity was freed, never when it was consumed.
+
+    :meth:`bump` (the attribution-free legacy hook) stays safe by being
+    conservative: it counts as freed *and* sets ``coarse``, which forces
+    the next snapshot to rebuild from scratch — a caller that cannot say
+    what changed must not benefit from partial refresh.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "freed", "touched", "coarse")
 
     def __init__(self) -> None:
         self.value = 0
+        self.freed = 0
+        self.touched: set = set()
+        self.coarse = False
 
     def bump(self) -> None:
+        """Unattributed mutation: conservatively treat it as freed
+        capacity on an unknown node (forces a full snapshot rebuild)."""
         self.value += 1
+        self.freed += 1
+        self.coarse = True
+
+    def bump_node(self, node_id: int, *, freed: bool) -> None:
+        """Attributed mutation: ``node_id`` changed; ``freed`` says in
+        which direction (True when free capacity increased)."""
+        self.value += 1
+        self.touched.add(node_id)
+        if freed:
+            self.freed += 1
 
 
 @dataclass
@@ -114,12 +145,12 @@ class Node:
                 "evict residents before marking it down"
             )
         self._up = False
-        self.generation.bump()
+        self.generation.bump_node(self.node_id, freed=False)
 
     def mark_up(self) -> None:
         """Return a crashed node to service. Idempotent."""
         self._up = True
-        self.generation.bump()
+        self.generation.bump_node(self.node_id, freed=True)
 
     # ------------------------------------------------------------------ #
     # Capacity queries
@@ -194,7 +225,7 @@ class Node:
         self._used_cpus += cpus
         share = NodeShare(node_id=self.node_id, cpus=cpus, gpu_ids=granted_ids)
         self._shares[job_id] = share
-        self.generation.bump()
+        self.generation.bump_node(self.node_id, freed=False)
         return share
 
     def release(self, job_id: str) -> NodeShare:
@@ -210,7 +241,7 @@ class Node:
         self.bandwidth.unregister(job_id)
         self.pcie.unregister(job_id)
         self.llc_occupancy_mb.pop(job_id, None)
-        self.generation.bump()
+        self.generation.bump_node(self.node_id, freed=True)
         return share
 
     def resize_cpus(self, job_id: str, new_cpus: int) -> NodeShare:
@@ -231,7 +262,7 @@ class Node:
             node_id=self.node_id, cpus=new_cpus, gpu_ids=share.gpu_ids
         )
         self._shares[job_id] = new_share
-        self.generation.bump()
+        self.generation.bump_node(self.node_id, freed=delta < 0)
         return new_share
 
     # ------------------------------------------------------------------ #
@@ -241,11 +272,11 @@ class Node:
         """Break one GPU; its (already evicted) slot disappears from the
         free pool until :meth:`repair_gpu`."""
         self.gpus[gpu_id].mark_failed()
-        self.generation.bump()
+        self.generation.bump_node(self.node_id, freed=False)
 
     def repair_gpu(self, gpu_id: int) -> None:
         self.gpus[gpu_id].repair()
-        self.generation.bump()
+        self.generation.bump_node(self.node_id, freed=True)
 
     @property
     def failed_gpu_ids(self) -> List[int]:

@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.cluster.node import Node
-from repro.health.tracker import NodeHealthState
 from repro.perfmodel.contention import BANDWIDTH_PRESSURE_THRESHOLD
 from repro.schedulers.base import SchedulerContext
 from repro.sim.events import EventHandle
@@ -124,17 +123,17 @@ class ContentionEliminator:
         )
 
     def _tick(self, context: SchedulerContext) -> None:
-        health = context.cluster.health
+        # One memoized scan instead of a per-node state_of: the tracker's
+        # lazy transitions are idempotent at fixed now, so the set is
+        # exactly the nodes the per-node check would have excluded.
+        # A quarantined node hosts nothing to police (residents were
+        # evicted at quarantine entry) and its telemetry is the least
+        # trustworthy on the floor; leave those alone.
+        quarantined = set(
+            context.cluster.health.quarantined_nodes(context.now)
+        )
         for node in context.cluster.nodes:
-            if not node.is_up:
-                continue
-            if (
-                health.state_of(node.node_id, context.now)
-                is NodeHealthState.QUARANTINED
-            ):
-                # A quarantined node hosts nothing to police (residents
-                # were evicted at quarantine entry) and its telemetry is
-                # the least trustworthy on the floor; leave it alone.
+            if not node.is_up or node.node_id in quarantined:
                 continue
             self._check_node(node, context)
         self._arm(context)

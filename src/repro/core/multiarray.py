@@ -48,9 +48,11 @@ from repro.schedulers.base import (
     PreemptDecision,
     Scheduler,
     SchedulerContext,
+    ShareHeap,
     StartDecision,
     UsageLedger,
 )
+from repro.schedulers.dirty import PassGate
 from repro.schedulers.placement import (
     FreeState,
     Placement,
@@ -119,6 +121,33 @@ class MultiArrayScheduler(Scheduler):
         self._borrowed_gpu: Dict[str, int] = {}
         self._pending_borrow_cpu: Set[str] = set()
         self._pending_borrow_gpu: Set[str] = set()
+        #: Inverse of the borrow maps (node_id -> borrower job ids), so
+        #: reclaim scans touch only nodes that actually host borrowers.
+        self._cpu_borrow_index: Dict[int, Set[str]] = {}
+        self._gpu_borrow_index: Dict[int, Set[str]] = {}
+
+        #: Incremental-pass state (see docs/scheduler-internals.md): one
+        #: gate group per queue family, one share heap per family (the
+        #: two GPU heaps share the GPU ledger, the two CPU heaps the CPU
+        #: ledger, so a share change re-keys the tenant in both).
+        self._gate = PassGate(("gpu_big", "gpu_small", "inference", "cpu"))
+        self._heap_gpu_big = ShareHeap(self._gpu_ledger)
+        self._heap_gpu_small = ShareHeap(self._gpu_ledger)
+        self._heap_inference = ShareHeap(self._cpu_ledger)
+        self._heap_cpu = ShareHeap(self._cpu_ledger)
+        #: ``gpu_queue_empty()`` at the end of the last pass; a flip to
+        #: idle gives blocked CPU jobs new borrow options without any
+        #: capacity being freed, so it must dirty the "cpu" group.
+        self._gpu_idle_prev = True
+        #: Per-pass memo of placement *shapes* that failed the full
+        #: cascade, keyed by (num_nodes, gpus_per_node, total_gpus,
+        #: cores, model) and stamped with the free-state mutation count:
+        #: an identical request at an identical snapshot must fail again,
+        #: so the whole cascade is skipped.  Reset at the top of every
+        #: pass.
+        self._place_memo: Dict[
+            Tuple[int, int, int, int, Optional[str]], int
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # Scheduler interface
@@ -133,22 +162,42 @@ class MultiArrayScheduler(Scheduler):
 
     def submit(self, job: Job, now: float) -> None:
         if isinstance(job, GpuJob):
-            self._gpu_queue_for(job).append(job)
+            group, queue = self._gpu_group_queue(job)
+            # GPU sub-arrays look BACKFILL_DEPTH deep per tenant, so a
+            # submit is only visible when it lands inside that window.
+            if len(queue) < self.BACKFILL_DEPTH:
+                self._gate.mark(group)
+            if not queue:
+                self._gpu_heap(group).push(job.tenant_id)
+            queue.append(job)
         elif isinstance(job, CpuJob):
-            queues = (
-                self._inference_queues if job.is_inference else self._cpu_queues
-            )
-            queues.setdefault(job.tenant_id, deque()).append(job)
+            if job.is_inference:
+                queues, group, heap = (
+                    self._inference_queues, "inference", self._heap_inference
+                )
+            else:
+                queues, group, heap = (
+                    self._cpu_queues, "cpu", self._heap_cpu
+                )
+            queue = queues.setdefault(job.tenant_id, deque())
+            # CPU classes are head-only: a submit behind a blocked head
+            # cannot be examined until the head moves.
+            if not queue:
+                self._gate.mark(group)
+                heap.push(job.tenant_id)
+            queue.append(job)
         else:
             raise TypeError(f"unknown job type: {type(job).__name__}")
 
-    def _gpu_queue_for(self, job: GpuJob) -> Deque[GpuJob]:
-        queues = (
-            self._gpu_queues_big
-            if job.setup.total_gpus >= FOUR_GPU_THRESHOLD
-            else self._gpu_queues_small
-        )
-        return queues.setdefault(job.tenant_id, deque())
+    def _gpu_group_queue(self, job: GpuJob) -> Tuple[str, Deque[GpuJob]]:
+        if job.setup.total_gpus >= FOUR_GPU_THRESHOLD:
+            group, queues = "gpu_big", self._gpu_queues_big
+        else:
+            group, queues = "gpu_small", self._gpu_queues_small
+        return group, queues.setdefault(job.tenant_id, deque())
+
+    def _gpu_heap(self, group: str) -> ShareHeap:
+        return self._heap_gpu_big if group == "gpu_big" else self._heap_gpu_small
 
     def job_started(
         self, job: Job, placements: Sequence[Tuple[int, int, int]], now: float
@@ -159,11 +208,19 @@ class MultiArrayScheduler(Scheduler):
         if isinstance(job, GpuJob):
             if job.job_id in self._pending_borrow_gpu:
                 self._pending_borrow_gpu.discard(job.job_id)
-                self._borrowed_gpu[job.job_id] = placements[0][0]
+                node_id = placements[0][0]
+                self._borrowed_gpu[job.job_id] = node_id
+                self._gpu_borrow_index.setdefault(node_id, set()).add(
+                    job.job_id
+                )
         else:
             if job.job_id in self._pending_borrow_cpu:
                 self._pending_borrow_cpu.discard(job.job_id)
-                self._borrowed_cpu[job.job_id] = placements[0][0]
+                node_id = placements[0][0]
+                self._borrowed_cpu[job.job_id] = node_id
+                self._cpu_borrow_index.setdefault(node_id, set()).add(
+                    job.job_id
+                )
             elif isinstance(job, CpuJob) and not job.is_inference:
                 self._cpu_node[job.job_id] = placements[0][0]
 
@@ -173,21 +230,51 @@ class MultiArrayScheduler(Scheduler):
     def job_preempted(self, job: Job, now: float, *, preserve_progress: bool) -> None:
         self._forget(job.job_id)
         if isinstance(job, GpuJob):
-            self._gpu_queue_for(job).appendleft(job)
+            group, queue = self._gpu_group_queue(job)
+            self._gate.mark(group)
+            self._gpu_heap(group).push(job.tenant_id)
+            queue.appendleft(job)
         elif job.is_inference:
+            self._gate.mark("inference")
+            self._heap_inference.push(job.tenant_id)
             self._inference_queues.setdefault(job.tenant_id, deque()).appendleft(job)
         else:
+            self._gate.mark("cpu")
+            self._heap_cpu.push(job.tenant_id)
             self._cpu_queues.setdefault(job.tenant_id, deque()).appendleft(job)
 
     def _forget(self, job_id: str) -> None:
         self._running.pop(job_id, None)
-        self._gpu_ledger.finish(job_id)
-        self._cpu_ledger.finish(job_id)
+        gpu_footprint = self._gpu_ledger.finish(job_id)
+        if gpu_footprint is not None:
+            self._push_gpu_tenant(gpu_footprint[0])
+        cpu_footprint = self._cpu_ledger.finish(job_id)
+        if cpu_footprint is not None:
+            self._push_cpu_tenant(cpu_footprint[0])
         self._cpu_node.pop(job_id, None)
-        self._borrowed_cpu.pop(job_id, None)
-        self._borrowed_gpu.pop(job_id, None)
+        node_id = self._borrowed_cpu.pop(job_id, None)
+        if node_id is not None:
+            self._cpu_borrow_index[node_id].discard(job_id)
+        node_id = self._borrowed_gpu.pop(job_id, None)
+        if node_id is not None:
+            self._gpu_borrow_index[node_id].discard(job_id)
         self._pending_borrow_cpu.discard(job_id)
         self._pending_borrow_gpu.discard(job_id)
+
+    def _push_gpu_tenant(self, tenant_id: int) -> None:
+        """The tenant's GPU-ledger share changed: re-key it in both
+        sub-array heaps (the ledger is shared across them)."""
+        if self._gpu_queues_big.get(tenant_id):
+            self._heap_gpu_big.push(tenant_id)
+        if self._gpu_queues_small.get(tenant_id):
+            self._heap_gpu_small.push(tenant_id)
+
+    def _push_cpu_tenant(self, tenant_id: int) -> None:
+        """Same as :meth:`_push_gpu_tenant` for the CPU-side heaps."""
+        if self._inference_queues.get(tenant_id):
+            self._heap_inference.push(tenant_id)
+        if self._cpu_queues.get(tenant_id):
+            self._heap_cpu.push(tenant_id)
 
     def pending_jobs(self) -> List[Job]:
         pending: List[Job] = []
@@ -230,9 +317,46 @@ class MultiArrayScheduler(Scheduler):
         decisions: List[Decision] = []
         free = FreeState.of(cluster, now=now)
         preempted: Set[str] = set()
+        self._place_memo = {}
+        if self._gate.enabled:
+            total = cluster.total
+            for heap, queues in (
+                (self._heap_gpu_big, self._gpu_queues_big),
+                (self._heap_gpu_small, self._gpu_queues_small),
+                (self._heap_inference, self._inference_queues),
+                (self._heap_cpu, self._cpu_queues),
+            ):
+                heap.configure(total.cpus, total.gpus)
+                if heap.needs_rebuild:
+                    heap.rebuild(queues)
         self._schedule_gpu_array(cluster, free, decisions, preempted)
         self._schedule_cpu_array(cluster, free, decisions, preempted)
+        self._gate.pass_done(cluster)
+        if self._gate.enabled:
+            for heap in (
+                self._heap_gpu_big,
+                self._heap_gpu_small,
+                self._heap_inference,
+                self._heap_cpu,
+            ):
+                heap.flush_stash()
+            # Cross-group coupling that no capacity-freed bump covers:
+            # the GPU queues draining gives blocked CPU jobs new borrow
+            # options, and freshly-planned borrowers give blocked GPU
+            # jobs new *reclaim* options.
+            gpu_idle = self.gpu_queue_empty()
+            if gpu_idle and not self._gpu_idle_prev:
+                self._gate.mark("cpu")
+            self._gpu_idle_prev = gpu_idle
+            if self._pending_borrow_cpu or self._pending_borrow_gpu:
+                self._gate.mark("gpu_big")
+                self._gate.mark("gpu_small")
         return decisions
+
+    def can_skip_pass(self, cluster: Cluster) -> bool:
+        if self._layout is None:
+            return False  # the first pass must build the layout
+        return self._gate.can_skip_pass(cluster)
 
     # -------------------------- GPU array ----------------------------- #
 
@@ -246,12 +370,16 @@ class MultiArrayScheduler(Scheduler):
         # Big jobs first: they are the hardest to place and small jobs
         # backfill around them.  The DRF ledger is shared, so fairness is
         # still judged on each tenant's total GPU usage.
-        self._schedule_gpu_subarray(
-            self._gpu_queues_big, cluster, free, decisions, preempted
-        )
-        self._schedule_gpu_subarray(
-            self._gpu_queues_small, cluster, free, decisions, preempted
-        )
+        if self._gate.should_scan("gpu_big", cluster):
+            self._schedule_gpu_subarray(
+                self._gpu_queues_big, cluster, free, decisions, preempted,
+                heap=self._heap_gpu_big if self._gate.enabled else None,
+            )
+        if self._gate.should_scan("gpu_small", cluster):
+            self._schedule_gpu_subarray(
+                self._gpu_queues_small, cluster, free, decisions, preempted,
+                heap=self._heap_gpu_small if self._gate.enabled else None,
+            )
 
     #: How far past a tenant's blocked queue head the scheduler may look
     #: for a placeable job (bounded backfill; skipped jobs keep their
@@ -265,14 +393,21 @@ class MultiArrayScheduler(Scheduler):
         free: FreeState,
         decisions: List[Decision],
         preempted: Set[str],
+        *,
+        heap: Optional[ShareHeap] = None,
     ) -> None:
         total = cluster.total
         biggest_node = self._biggest_node_cores
         blocked: Set[int] = set()
         while True:
-            tenant_id = self._next_tenant(
-                queues, self._gpu_ledger, total.cpus, total.gpus, blocked
-            )
+            if heap is None:
+                entry = None
+                tenant_id = self._next_tenant(
+                    queues, self._gpu_ledger, total.cpus, total.gpus, blocked
+                )
+            else:
+                entry = heap.pop_min(queues, blocked)
+                tenant_id = None if entry is None else entry[1]
             if tenant_id is None:
                 return
             queue = queues[tenant_id]
@@ -292,6 +427,8 @@ class MultiArrayScheduler(Scheduler):
                     break
             if placed_index is None:
                 blocked.add(tenant_id)
+                if heap is not None and entry is not None:
+                    heap.stash(entry)
                 continue
             job = queue[placed_index]
             free.commit(placements)
@@ -301,9 +438,47 @@ class MultiArrayScheduler(Scheduler):
             self._gpu_ledger.start(
                 job.job_id, job.tenant_id, 0, job.setup.total_gpus
             )
+            if heap is not None:
+                self._push_gpu_tenant(job.tenant_id)
             decisions.append(StartDecision(job=job, placements=tuple(placements)))
 
     def _try_place_gpu(
+        self,
+        job: GpuJob,
+        cores: int,
+        cluster: Cluster,
+        free: FreeState,
+        decisions: List[Decision],
+        preempted: Set[str],
+    ) -> Optional[List[Placement]]:
+        """Memoized front door for the placement cascade.
+
+        The cascade's outcome for a *failing* job depends only on the
+        placement shape (node/GPU geometry, core request, and — under the
+        contention extension — the model) plus the free snapshot, and a
+        failed cascade has no side effects.  So within one pass, a shape
+        that failed at the current free-state mutation stamp is
+        guaranteed to fail again and the whole cascade is skipped.
+        (``preempted`` only ever grows alongside a *successful* reclaim,
+        which also mutates ``free``, so the stamp covers it too.)
+        """
+        key = (
+            job.setup.num_nodes,
+            job.setup.gpus_per_node,
+            job.setup.total_gpus,
+            cores,
+            job.model_name if self.contention_aware else None,
+        )
+        if self._place_memo.get(key) == free.mutations:
+            return None
+        placements = self._try_place_gpu_uncached(
+            job, cores, cluster, free, decisions, preempted
+        )
+        if placements is None:
+            self._place_memo[key] = free.mutations
+        return placements
+
+    def _try_place_gpu_uncached(
         self,
         job: GpuJob,
         cores: int,
@@ -456,6 +631,12 @@ class MultiArrayScheduler(Scheduler):
         """Placement by reclaiming borrowed resources: big jobs may migrate
         small GPU borrowers off their own sub-array; every GPU job may
         abort CPU borrowers sitting on reserved cores."""
+        if not self._borrowed_cpu and not self._borrowed_gpu:
+            # With zero reclaimable capacity every attempt below reduces
+            # to plain feasibility over a subset of the nodes the plain
+            # cascade just failed on (the multi-node straddle attempt was
+            # tried over *all* nodes), so failure is guaranteed.
+            return None
         layout = self._layout
         assert layout is not None
         total_gpus = job.setup.total_gpus
@@ -503,11 +684,11 @@ class MultiArrayScheduler(Scheduler):
         for node_id in node_set:
             free_cpus, free_gpus = free.free_of(node_id)
             cpu_borrowers = self._borrowers_on(
-                cluster, node_id, self._borrowed_cpu, preempted
+                cluster, node_id, self._cpu_borrow_index, preempted
             )
             gpu_borrowers = (
                 self._borrowers_on(
-                    cluster, node_id, self._borrowed_gpu, preempted
+                    cluster, node_id, self._gpu_borrow_index, preempted
                 )
                 if allow_gpu_reclaim
                 else []
@@ -581,17 +762,24 @@ class MultiArrayScheduler(Scheduler):
         self,
         cluster: Cluster,
         node_id: int,
-        borrow_map: Dict[str, int],
+        borrow_index: Dict[int, Set[str]],
         preempted: Set[str],
     ) -> List[Tuple[str, int, int]]:
-        """Live (job_id, cores, gpus) of borrowers on a node, largest first."""
+        """Live (job_id, cores, gpus) of borrowers on a node, largest first.
+
+        Reads the per-node inverse index rather than scanning the whole
+        borrow map; the ``(-cores, job_id)`` sort is a total order, so
+        the set's iteration order cannot leak into the result.
+        """
+        borrowers = borrow_index.get(node_id)
+        if not borrowers:
+            return []
+        node = cluster.node(node_id)
         found: List[Tuple[str, int, int]] = []
-        for job_id, home in borrow_map.items():
-            if home != node_id or job_id in preempted:
+        for job_id in borrowers:
+            if job_id in preempted or not node.holds(job_id):
                 continue
-            if not cluster.node(node_id).holds(job_id):
-                continue
-            share = cluster.node(node_id).share_of(job_id)
+            share = node.share_of(job_id)
             found.append((job_id, share.cpus, share.gpus))
         found.sort(key=lambda item: (-item[1], item[0]))
         return found
@@ -607,6 +795,11 @@ class MultiArrayScheduler(Scheduler):
     ) -> None:
         layout = self._layout
         assert layout is not None
+        incremental = self._gate.enabled
+        scan_inference = self._gate.should_scan("inference", cluster)
+        scan_cpu = self._gate.should_scan("cpu", cluster)
+        if not scan_inference and not scan_cpu:
+            return
         if not any(self._inference_queues.values()) and not any(
             self._cpu_queues.values()
         ):
@@ -614,6 +807,40 @@ class MultiArrayScheduler(Scheduler):
             # would spin zero iterations, so skip the headroom census too.
             return
         total = cluster.total
+
+        # User-facing inference first: it outranks training, so it may use
+        # any free cores (reserved or not) and is never a borrower.
+        heap = self._heap_inference if incremental else None
+        blocked: Set[int] = set()
+        while scan_inference:
+            if heap is None:
+                entry = None
+                tenant_id = self._next_tenant(
+                    self._inference_queues, self._cpu_ledger, total.cpus,
+                    total.gpus, blocked,
+                )
+            else:
+                entry = heap.pop_min(self._inference_queues, blocked)
+                tenant_id = None if entry is None else entry[1]
+            if tenant_id is None:
+                break
+            queue = self._inference_queues[tenant_id]
+            job = queue[0]
+            placement = place_cpu_job(job, free)
+            if placement is None:
+                blocked.add(tenant_id)
+                if heap is not None and entry is not None:
+                    heap.stash(entry)
+                continue
+            free.commit(placement)
+            queue.popleft()
+            self._cpu_ledger.start(job.job_id, job.tenant_id, job.cores, 0)
+            if heap is not None:
+                self._push_cpu_tenant(job.tenant_id)
+            decisions.append(StartDecision(job=job, placements=tuple(placement)))
+
+        if not scan_cpu:
+            return
         # Normal CPU-array headroom per node: unreserved cores minus what
         # non-borrowing CPU jobs already hold there.  The census walks the
         # tracked-job map rather than every resident of every node; core
@@ -627,33 +854,19 @@ class MultiArrayScheduler(Scheduler):
             if node.holds(job_id):
                 normal_used[node_id] += node.share_of(job_id).cpus
 
-        # User-facing inference first: it outranks training, so it may use
-        # any free cores (reserved or not) and is never a borrower.
-        blocked: Set[int] = set()
-        while True:
-            tenant_id = self._next_tenant(
-                self._inference_queues, self._cpu_ledger, total.cpus,
-                total.gpus, blocked,
-            )
-            if tenant_id is None:
-                break
-            queue = self._inference_queues[tenant_id]
-            job = queue[0]
-            placement = place_cpu_job(job, free)
-            if placement is None:
-                blocked.add(tenant_id)
-                continue
-            free.commit(placement)
-            queue.popleft()
-            self._cpu_ledger.start(job.job_id, job.tenant_id, job.cores, 0)
-            decisions.append(StartDecision(job=job, placements=tuple(placement)))
-
         gpu_idle = self.gpu_queue_empty()
-        blocked: Set[int] = set()
+        heap = self._heap_cpu if incremental else None
+        blocked = set()
         while True:
-            tenant_id = self._next_tenant(
-                self._cpu_queues, self._cpu_ledger, total.cpus, total.gpus, blocked
-            )
+            if heap is None:
+                entry = None
+                tenant_id = self._next_tenant(
+                    self._cpu_queues, self._cpu_ledger, total.cpus,
+                    total.gpus, blocked,
+                )
+            else:
+                entry = heap.pop_min(self._cpu_queues, blocked)
+                tenant_id = None if entry is None else entry[1]
             if tenant_id is None:
                 return
             queue = self._cpu_queues[tenant_id]
@@ -665,6 +878,8 @@ class MultiArrayScheduler(Scheduler):
                 borrowed = placement is not None
             if placement is None:
                 blocked.add(tenant_id)
+                if heap is not None and entry is not None:
+                    heap.stash(entry)
                 continue
             free.commit(placement)
             node_id = placement[0][0]
@@ -674,6 +889,8 @@ class MultiArrayScheduler(Scheduler):
                 normal_used[node_id] += job.cores
             queue.popleft()
             self._cpu_ledger.start(job.job_id, job.tenant_id, job.cores, 0)
+            if heap is not None:
+                self._push_cpu_tenant(job.tenant_id)
             decisions.append(StartDecision(job=job, placements=tuple(placement)))
 
     def _place_cpu_normal(
@@ -766,6 +983,24 @@ class MultiArrayScheduler(Scheduler):
         }
         self._pending_borrow_cpu = set(state["pending_borrow_cpu"])
         self._pending_borrow_gpu = set(state["pending_borrow_gpu"])
+        self._cpu_borrow_index = {}
+        for job_id, node_id in self._borrowed_cpu.items():
+            self._cpu_borrow_index.setdefault(node_id, set()).add(job_id)
+        self._gpu_borrow_index = {}
+        for job_id, node_id in self._borrowed_gpu.items():
+            self._gpu_borrow_index.setdefault(node_id, set()).add(job_id)
+        # Restored state may differ arbitrarily from the last pass this
+        # process saw: re-arm every gate group and rebuild the heaps.
+        self._gate.mark_all()
+        for heap in (
+            self._heap_gpu_big,
+            self._heap_gpu_small,
+            self._heap_inference,
+            self._heap_cpu,
+        ):
+            heap.invalidate()
+        self._gpu_idle_prev = self.gpu_queue_empty()
+        self._place_memo = {}
 
     # --------------------------- shared ------------------------------- #
 

@@ -388,6 +388,15 @@ class SimulationRunner(SchedulerContext):
 
     def _run_pass(self) -> None:
         self._pass_pending = False
+        if self.scheduler.can_skip_pass(self.cluster):
+            # Incremental fast path: nothing relevant changed since the
+            # last pass, so schedule() would provably return zero
+            # decisions.  The pass *event* still fired (event counts and
+            # ordering stay byte-identical); only its cost is booked
+            # under a distinct profiling category.
+            self.engine.recategorize_current_event("schedule-skip")
+            profiling.count("schedule-skips")
+            return
         decisions = self.scheduler.schedule(self.cluster, self.engine.now)
         for decision in decisions:
             self._execute(decision)
@@ -793,7 +802,13 @@ class SimulationRunner(SchedulerContext):
 
     def _on_quarantine_end(self, node_id: int) -> None:
         """A quarantine expired (the node is on probation now); let the
-        scheduler re-discover its capacity."""
+        scheduler re-discover its capacity.
+
+        The health tracker's lazy QUARANTINED->PROBATION transition is a
+        pure function of time, so no node mutator runs here — record the
+        capacity return explicitly or the incremental pass gates would
+        never see it."""
+        self.cluster.note_capacity_freed(node_id)
         self.request_schedule()
 
     def _execute_failure(self, job_id: str, *, reason: str) -> None:

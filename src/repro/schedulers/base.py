@@ -15,6 +15,7 @@ never see capabilities they must not use.
 from __future__ import annotations
 
 import abc
+import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -228,6 +229,16 @@ class Scheduler(abc.ABC):
     def schedule(self, cluster: Cluster, now: float) -> List[Decision]:
         """Produce this pass's decisions given current cluster state."""
 
+    def can_skip_pass(self, cluster: Cluster) -> bool:
+        """True when :meth:`schedule` is guaranteed to return zero
+        decisions and mutate nothing, so the runner may skip calling it.
+
+        The default is the always-safe False; incremental policies
+        override this with their :class:`repro.schedulers.dirty.PassGate`
+        verdict.  Must stay False under ``REPRO_FULL_RESCAN=1`` (the
+        gates handle that themselves)."""
+        return False
+
     @abc.abstractmethod
     def pending_jobs(self) -> List[Job]:
         """Jobs currently queued (for metrics and debugging)."""
@@ -334,12 +345,16 @@ class UsageLedger:
         self._usage.setdefault(tenant_id, TenantUsage()).add(cpus, gpus)
         self._job_footprint[job_id] = (tenant_id, cpus, gpus)
 
-    def finish(self, job_id: str) -> None:
+    def finish(self, job_id: str) -> Optional[Tuple[int, int, int]]:
+        """Drop the job's footprint; returns ``(tenant_id, cpus, gpus)``
+        (or None if untracked) so callers maintaining share heaps know
+        whose dominant share just changed."""
         footprint = self._job_footprint.pop(job_id, None)
         if footprint is None:
-            return
+            return None
         tenant_id, cpus, gpus = footprint
         self._usage[tenant_id].remove(cpus, gpus)
+        return footprint
 
     def usage_of(self, tenant_id: int) -> TenantUsage:
         return self._usage.get(tenant_id, TenantUsage())
@@ -367,3 +382,121 @@ class UsageLedger:
         if total_gpus > 0:
             shares.append(usage.gpus / total_gpus)
         return max(shares) if shares else 0.0
+
+
+class ShareHeap:
+    """Lazy min-heap over ``(dominant_share, tenant_id)`` for DRF-style
+    tenant selection, replacing the per-iteration linear scan.
+
+    Invariant: every tenant with a nonempty queue has at least one heap
+    entry carrying its *current* share.  It is maintained by pushing on
+    each event that could break it — a queue going nonempty (submit to an
+    empty queue, any re-queue at the head) and a share change while the
+    queue is nonempty (ledger ``start``/``finish``).  Stale entries are
+    never removed eagerly; :meth:`pop_min` drops them on contact by
+    re-checking the stored share against the ledger (the share is
+    recomputed by the *identical* float expression, so equality is
+    exact).  Selection is therefore byte-identical to a linear min over
+    ``(share, tenant_id)`` of the nonempty, unblocked queues — both pick
+    the same unique minimum of a total order.
+
+    Entries popped for *blocked* tenants are stashed and must be
+    re-pushed via :meth:`flush_stash` before the pass ends: a blocked
+    tenant's share cannot change within a pass (it starts nothing), so
+    the stashed entry is still current.
+
+    Totals are unknown until the first :meth:`configure`; until then
+    pushes are no-ops and the heap stays in ``needs_rebuild`` state — the
+    next pass rebuilds from the queues, which covers every earlier event.
+    """
+
+    __slots__ = (
+        "_ledger",
+        "_total_cpus",
+        "_total_gpus",
+        "_entries",
+        "_stash",
+        "needs_rebuild",
+    )
+
+    def __init__(self, ledger: UsageLedger) -> None:
+        self._ledger = ledger
+        self._total_cpus: Optional[int] = None
+        self._total_gpus: Optional[int] = None
+        self._entries: List[Tuple[float, int]] = []
+        self._stash: List[Tuple[float, int]] = []
+        self.needs_rebuild = True
+
+    def configure(self, total_cpus: int, total_gpus: int) -> None:
+        """Set (or confirm) the cluster totals shares are computed over."""
+        if (total_cpus, total_gpus) != (self._total_cpus, self._total_gpus):
+            self._total_cpus = total_cpus
+            self._total_gpus = total_gpus
+            self.needs_rebuild = True
+
+    def invalidate(self) -> None:
+        """Discard everything; the next pass rebuilds from the queues."""
+        self.needs_rebuild = True
+
+    def push(self, tenant_id: int) -> None:
+        """Record that ``tenant_id``'s queue or share just changed."""
+        if self.needs_rebuild or self._total_cpus is None:
+            return
+        heapq.heappush(
+            self._entries,
+            (
+                self._ledger.dominant_share(
+                    tenant_id, self._total_cpus, self._total_gpus
+                ),
+                tenant_id,
+            ),
+        )
+
+    def rebuild(self, queues: Dict[int, Any]) -> None:
+        """Re-seed one entry per tenant with a nonempty queue."""
+        assert self._total_cpus is not None and self._total_gpus is not None
+        self._entries = [
+            (
+                self._ledger.dominant_share(
+                    tenant_id, self._total_cpus, self._total_gpus
+                ),
+                tenant_id,
+            )
+            for tenant_id, queue in queues.items()
+            if queue
+        ]
+        heapq.heapify(self._entries)
+        self._stash.clear()
+        self.needs_rebuild = False
+
+    def pop_min(
+        self, queues: Dict[int, Any], blocked: Any
+    ) -> Optional[Tuple[float, int]]:
+        """Next ``(share, tenant_id)`` among nonempty unblocked queues,
+        or None when every remaining tenant is blocked or empty."""
+        while self._entries:
+            entry = heapq.heappop(self._entries)
+            share, tenant_id = entry
+            queue = queues.get(tenant_id)
+            if not queue:
+                continue
+            assert self._total_cpus is not None and self._total_gpus is not None
+            if share != self._ledger.dominant_share(
+                tenant_id, self._total_cpus, self._total_gpus
+            ):
+                continue
+            if tenant_id in blocked:
+                self._stash.append(entry)
+                continue
+            return entry
+        return None
+
+    def stash(self, entry: Tuple[float, int]) -> None:
+        """Hold a popped entry for a tenant that just became blocked."""
+        self._stash.append(entry)
+
+    def flush_stash(self) -> None:
+        """Re-push every stashed (still-current) entry; call at pass end."""
+        for entry in self._stash:
+            heapq.heappush(self._entries, entry)
+        self._stash.clear()

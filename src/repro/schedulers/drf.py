@@ -21,13 +21,31 @@ from typing import Any, Deque, Dict, List, Optional, Set
 
 from repro.cluster.cluster import Cluster
 from repro.health.restarts import RestartPolicy
-from repro.schedulers.base import Decision, Scheduler, StartDecision, UsageLedger
+from repro.schedulers.base import (
+    Decision,
+    Scheduler,
+    ShareHeap,
+    StartDecision,
+    UsageLedger,
+)
+from repro.schedulers.dirty import PassGate
 from repro.schedulers.placement import FreeState, place_cpu_job, place_gpu_job
 from repro.workload.job import CpuJob, GpuJob, Job
 
 
 class DrfScheduler(Scheduler):
-    """Dominant Resource Fairness with per-tenant FIFO queues."""
+    """Dominant Resource Fairness with per-tenant FIFO queues.
+
+    Incremental scheduling: one :class:`PassGate` group ("drf") and a
+    :class:`ShareHeap` replacing the per-iteration linear tenant scan.
+    Per-tenant queues are head-only windows, so only a submit that lands
+    on an empty queue or a head re-queue dirties the group.  Ledger
+    changes (a job finishing) alter tenant *order* only — with every
+    head still blocked, selection order is irrelevant and the pass still
+    returns zero decisions, so they update the heap without dirtying the
+    gate.  Under ``REPRO_FULL_RESCAN=1`` the original linear scan runs
+    as the parity reference.
+    """
 
     name = "drf"
 
@@ -37,22 +55,37 @@ class DrfScheduler(Scheduler):
         super().__init__(restart_policy=restart_policy)
         self._queues: Dict[int, Deque[Job]] = {}
         self._ledger = UsageLedger()
+        self._gate = PassGate(("drf",))
+        self._share_heap = ShareHeap(self._ledger)
 
     # ------------------------------------------------------------------ #
     # Queue maintenance
 
     def submit(self, job: Job, now: float) -> None:
-        self._queues.setdefault(job.tenant_id, deque()).append(job)
+        queue = self._queues.setdefault(job.tenant_id, deque())
+        if not queue:
+            self._gate.mark("drf")
+            self._share_heap.push(job.tenant_id)
+        queue.append(job)
 
     def job_finished(self, job: Job, now: float) -> None:
-        self._ledger.finish(job.job_id)
+        if self._ledger.finish(job.job_id) is not None:
+            # The tenant's dominant share dropped: re-key it in the heap
+            # (order-only change; the gate stays clean).
+            if self._queues.get(job.tenant_id):
+                self._share_heap.push(job.tenant_id)
 
     def job_preempted(self, job: Job, now: float, *, preserve_progress: bool) -> None:
         self._ledger.finish(job.job_id)
+        self._gate.mark("drf")
         self._queues.setdefault(job.tenant_id, deque()).appendleft(job)
+        self._share_heap.push(job.tenant_id)
 
     # ------------------------------------------------------------------ #
     # Progressive filling
+
+    def can_skip_pass(self, cluster: Cluster) -> bool:
+        return self._gate.can_skip_pass(cluster)
 
     def schedule(self, cluster: Cluster, now: float) -> List[Decision]:
         decisions: List[Decision] = []
@@ -60,25 +93,56 @@ class DrfScheduler(Scheduler):
         total = cluster.total
         blocked: Set[int] = set()
 
-        while True:
-            tenant_id = self._next_tenant(total.cpus, total.gpus, blocked)
-            if tenant_id is None:
-                break
-            queue = self._queues[tenant_id]
-            head = queue[0]
-            placements = self._try_place(head, free)
-            if placements is None:
-                blocked.add(tenant_id)
-                continue
-            free.commit(placements)
-            queue.popleft()
-            requested = head.requested
-            self._ledger.start(
-                head.job_id, tenant_id, requested.cpus, requested.gpus
-            )
-            decisions.append(StartDecision(job=head, placements=tuple(placements)))
+        if not self._gate.enabled:
+            # Reference implementation: linear min-share scan per pick.
+            while True:
+                tenant_id = self._next_tenant(total.cpus, total.gpus, blocked)
+                if tenant_id is None:
+                    break
+                self._fill_one(tenant_id, free, blocked, decisions)
+            return decisions
 
+        heap = self._share_heap
+        heap.configure(total.cpus, total.gpus)
+        if heap.needs_rebuild:
+            heap.rebuild(self._queues)
+        if self._gate.should_scan("drf", cluster):
+            while True:
+                entry = heap.pop_min(self._queues, blocked)
+                if entry is None:
+                    break
+                tenant_id = entry[1]
+                if self._fill_one(tenant_id, free, blocked, decisions):
+                    if self._queues[tenant_id]:
+                        heap.push(tenant_id)
+                else:
+                    heap.stash(entry)
+        heap.flush_stash()
+        self._gate.pass_done(cluster)
         return decisions
+
+    def _fill_one(
+        self,
+        tenant_id: int,
+        free: FreeState,
+        blocked: Set[int],
+        decisions: List[Decision],
+    ) -> bool:
+        """Try the tenant's head job; True when it was placed."""
+        queue = self._queues[tenant_id]
+        head = queue[0]
+        placements = self._try_place(head, free)
+        if placements is None:
+            blocked.add(tenant_id)
+            return False
+        free.commit(placements)
+        queue.popleft()
+        requested = head.requested
+        self._ledger.start(
+            head.job_id, tenant_id, requested.cpus, requested.gpus
+        )
+        decisions.append(StartDecision(job=head, placements=tuple(placements)))
+        return True
 
     def _next_tenant(
         self, total_cpus: int, total_gpus: int, blocked: Set[int]
@@ -127,3 +191,5 @@ class DrfScheduler(Scheduler):
             for tenant_id, job_ids in state["tenants"].items()
         }
         self._ledger.restore(state["ledger"])
+        self._gate.mark_all()
+        self._share_heap.invalidate()

@@ -25,12 +25,22 @@ from typing import Any, Deque, Dict, List, Optional
 from repro.cluster.cluster import Cluster
 from repro.health.restarts import RestartPolicy
 from repro.schedulers.base import Decision, Scheduler, StartDecision
+from repro.schedulers.dirty import PassGate
 from repro.schedulers.placement import FreeState, place_cpu_job, place_gpu_job
 from repro.workload.job import CpuJob, GpuJob, Job
 
 
 class FifoScheduler(Scheduler):
-    """First-in-first-out per job kind, no backfill."""
+    """First-in-first-out per job kind, no backfill.
+
+    Incremental scheduling: each kind is one :class:`PassGate` group.
+    Only the queue *head* is ever examined (no backfill), so a submit
+    dirties its group only when it lands on an empty queue (it becomes
+    the head); a re-queue at the head always dirties.  A clean group's
+    head is still blocked against a free state that has only shrunk
+    since the last pass, so skipping its loop reproduces the previous
+    answer — zero decisions — byte-for-byte.
+    """
 
     name = "fifo"
 
@@ -40,11 +50,16 @@ class FifoScheduler(Scheduler):
         super().__init__(restart_policy=restart_policy)
         self._gpu_queue: Deque[GpuJob] = deque()
         self._cpu_queue: Deque[CpuJob] = deque()
+        self._gate = PassGate(("gpu", "cpu"))
 
     def submit(self, job: Job, now: float) -> None:
         if isinstance(job, GpuJob):
+            if not self._gpu_queue:
+                self._gate.mark("gpu")
             self._gpu_queue.append(job)
         elif isinstance(job, CpuJob):
+            if not self._cpu_queue:
+                self._gate.mark("cpu")
             self._cpu_queue.append(job)
         else:
             raise TypeError(f"unknown job type: {type(job).__name__}")
@@ -55,32 +70,44 @@ class FifoScheduler(Scheduler):
     def job_preempted(self, job: Job, now: float, *, preserve_progress: bool) -> None:
         """FIFO never preempts, but honour the interface: back to the head."""
         if isinstance(job, GpuJob):
+            self._gate.mark("gpu")
             self._gpu_queue.appendleft(job)
         else:
+            self._gate.mark("cpu")
             self._cpu_queue.appendleft(job)
+
+    def can_skip_pass(self, cluster: Cluster) -> bool:
+        return self._gate.can_skip_pass(cluster)
 
     def schedule(self, cluster: Cluster, now: float) -> List[Decision]:
         decisions: List[Decision] = []
         free = FreeState.of(cluster, now=now)
 
-        while self._gpu_queue:
-            head = self._gpu_queue[0]
-            placements = place_gpu_job(head, free)
-            if placements is None:
-                break  # head-of-line blocking: no GPU backfill
-            free.commit(placements)
-            decisions.append(StartDecision(job=head, placements=tuple(placements)))
-            self._gpu_queue.popleft()
+        if self._gate.should_scan("gpu", cluster):
+            while self._gpu_queue:
+                head = self._gpu_queue[0]
+                placements = place_gpu_job(head, free)
+                if placements is None:
+                    break  # head-of-line blocking: no GPU backfill
+                free.commit(placements)
+                decisions.append(
+                    StartDecision(job=head, placements=tuple(placements))
+                )
+                self._gpu_queue.popleft()
 
-        while self._cpu_queue:
-            head = self._cpu_queue[0]
-            placements = place_cpu_job(head, free)
-            if placements is None:
-                break
-            free.commit(placements)
-            decisions.append(StartDecision(job=head, placements=tuple(placements)))
-            self._cpu_queue.popleft()
+        if self._gate.should_scan("cpu", cluster):
+            while self._cpu_queue:
+                head = self._cpu_queue[0]
+                placements = place_cpu_job(head, free)
+                if placements is None:
+                    break
+                free.commit(placements)
+                decisions.append(
+                    StartDecision(job=head, placements=tuple(placements))
+                )
+                self._cpu_queue.popleft()
 
+        self._gate.pass_done(cluster)
         return decisions
 
     def pending_jobs(self) -> List[Job]:
@@ -100,3 +127,4 @@ class FifoScheduler(Scheduler):
     ) -> None:
         self._gpu_queue = deque(jobs_by_id[job_id] for job_id in state["gpu"])
         self._cpu_queue = deque(jobs_by_id[job_id] for job_id in state["cpu"])
+        self._gate.mark_all()

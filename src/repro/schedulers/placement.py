@@ -20,30 +20,33 @@ health-unaware ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cluster.cluster import Cluster
+from repro.schedulers.dirty import full_rescan_enabled
 from repro.workload.job import CpuJob, GpuJob
 
 Placement = Tuple[int, int, int]  # (node_id, cpus, gpus)
 
 
-@dataclass
-class _NodeFree:
-    node_id: int
-    cpus: int
-    gpus: int
-
-
 class FreeState:
-    """Per-node free (cpus, gpus) snapshot with commit semantics."""
+    """Per-node free (cpus, gpus) snapshot with commit semantics.
+
+    Stored as a plain ``node_id -> (cpus, gpus)`` dict: constructing a
+    snapshot from the shared cache is then one C-level ``dict`` copy
+    instead of one object per node — the construction cost is what every
+    scheduling pass pays even on a perfect cache hit."""
 
     #: Cumulative count of full snapshot rebuilds performed by
     #: :meth:`of` (cache misses).  Exists for the memoization regression
     #: test: with no intervening cluster/health mutation, repeated calls
     #: must not rebuild.
     rebuilds: int = 0
+    #: Cumulative count of *partial* refreshes: cache hits that only
+    #: re-read the nodes the cluster reported dirty (see
+    #: :meth:`repro.cluster.cluster.Cluster.dirty_capacity`) instead of
+    #: scanning all of them.
+    refreshes: int = 0
 
     def __init__(
         self,
@@ -51,15 +54,18 @@ class FreeState:
         *,
         deprioritized: Optional[Iterable[int]] = None,
     ) -> None:
-        self._nodes: Dict[int, _NodeFree] = {
-            node_id: _NodeFree(node_id, cpus, gpus)
-            for node_id, (cpus, gpus) in free.items()
-        }
+        self._free: Dict[int, Tuple[int, int]] = dict(free)
         self._deprioritized: Set[int] = set(deprioritized or ())
         #: Lazily-built candidate orderings (see ``_gpu_sorted`` /
         #: ``_cpu_sorted``); invalidated whenever the snapshot mutates.
-        self._gpu_order: Optional[List[_NodeFree]] = None
-        self._cpu_order: Optional[List[_NodeFree]] = None
+        self._gpu_order: Optional[List[int]] = None
+        self._cpu_order: Optional[List[int]] = None
+        #: In-pass mutation stamp, bumped by :meth:`add` and
+        #: :meth:`commit`.  Placement-shape memos (see
+        #: ``MultiArrayScheduler._place_memo``) record the stamp at
+        #: failure time: an identical request re-tried at the same stamp
+        #: is guaranteed to fail again.
+        self.mutations = 0
 
     @classmethod
     def of(
@@ -76,29 +82,62 @@ class FreeState:
         a policy that still places there trips :meth:`commit`'s guard,
         which is a bug worth crashing on.
 
-        The whole-cluster snapshot (``among=None``) is memoized on the
-        cluster's and health tracker's generation counters plus ``now``:
-        calling :meth:`of` twice in the same scheduling round with no
-        intervening commit reuses the previous scan instead of re-reading
-        every node.
+        The whole-cluster snapshot (``among=None``) is memoized on
+        ``cluster.free_snapshot_cache`` as ``(version, health, qset,
+        dset, free)`` where qset/dset are the quarantined/de-prioritized
+        node sets at ``now``.  Incremental maintenance:
+
+        * cache empty, foreign health tracker, or a *coarse* (unattributed)
+          mutation → full rebuild, one read per node;
+        * cluster version or quarantine set moved → partial refresh
+          re-reading only ``touched | (qset ^ cached_qset)`` nodes (free
+          capacity is time-independent; quarantine zeroing is derived
+          from qset, so every other entry is still exact);
+        * only the de-prioritized set moved → swap dset, zero node reads;
+        * otherwise → pure hit.
+
+        ``REPRO_FULL_RESCAN=1`` bypasses the memo entirely — every call
+        is an uncached scan, the reference behaviour the parity test
+        compares against.
         """
-        if among is not None:
-            return cls._build(cluster, among, now)
+        if among is not None or full_rescan_enabled():
+            return cls._build(
+                cluster,
+                range(len(cluster.nodes)) if among is None else among,
+                now,
+            )
         health = cluster.health
-        key = (cluster.version, health.version, now)
-        cached = cluster.free_snapshot_cache
-        if cached is not None and cached[0] == key and cached[1] is health:
-            free, deprioritized = cached[2], cached[3]
+        if now is None:
+            qset: frozenset = frozenset()
+            dset: frozenset = frozenset()
         else:
+            qset = frozenset(health.quarantined_nodes(now))
+            dset = frozenset(health.deprioritized_nodes(now))
+        version = cluster.version
+        cached = cluster.free_snapshot_cache
+        coarse, touched = cluster.dirty_capacity()
+        if cached is None or cached[1] is not health or coarse:
             state = cls._build(cluster, range(len(cluster.nodes)), now)
-            free = {
-                node_id: (node.cpus, node.gpus)
-                for node_id, node in state._nodes.items()
-            }
-            deprioritized = frozenset(state._deprioritized)
-            cluster.free_snapshot_cache = (key, health, free, deprioritized)
+            cluster.free_snapshot_cache = (
+                version, health, qset, dset, dict(state._free),
+            )
+            cluster.clear_dirty_capacity()
             return state
-        return cls(free, deprioritized=deprioritized)
+        _, _, c_qset, c_dset, free = cached
+        if version != cached[0] or qset != c_qset:
+            cls.refreshes += 1
+            nodes = cluster.nodes
+            for node_id in sorted(touched | (qset ^ c_qset)):
+                free[node_id] = (
+                    (0, 0)
+                    if node_id in qset
+                    else (nodes[node_id].free_cpus, nodes[node_id].free_gpus)
+                )
+            cluster.free_snapshot_cache = (version, health, qset, dset, free)
+            cluster.clear_dirty_capacity()
+        elif dset != c_dset:
+            cluster.free_snapshot_cache = (version, health, qset, dset, free)
+        return cls(free, deprioritized=dset)
 
     @classmethod
     def _build(
@@ -136,19 +175,18 @@ class FreeState:
         return 1 if node_id in self._deprioritized else 0
 
     def free_of(self, node_id: int) -> Tuple[int, int]:
-        node = self._nodes[node_id]
-        return node.cpus, node.gpus
+        return self._free[node_id]
 
     def node_ids(self) -> List[int]:
-        return list(self._nodes)
+        return list(self._free)
 
     def add(self, node_id: int, cpus: int, gpus: int) -> None:
         """Return capacity to the snapshot (e.g., a planned preemption)."""
-        node = self._nodes[node_id]
-        node.cpus += cpus
-        node.gpus += gpus
+        free_cpus, free_gpus = self._free[node_id]
+        self._free[node_id] = (free_cpus + cpus, free_gpus + gpus)
         self._gpu_order = None
         self._cpu_order = None
+        self.mutations += 1
 
     def commit(self, placements: Iterable[Placement]) -> None:
         """Deduct a decision from the snapshot.
@@ -158,19 +196,19 @@ class FreeState:
                 placed against stale data, which is a policy bug.
         """
         for node_id, cpus, gpus in placements:
-            node = self._nodes[node_id]
-            if cpus > node.cpus or gpus > node.gpus:
+            free_cpus, free_gpus = self._free[node_id]
+            if cpus > free_cpus or gpus > free_gpus:
                 raise RuntimeError(
                     f"placement overcommits node {node_id}: "
-                    f"want {cpus}c/{gpus}g, free {node.cpus}c/{node.gpus}g"
+                    f"want {cpus}c/{gpus}g, free {free_cpus}c/{free_gpus}g"
                 )
-            node.cpus -= cpus
-            node.gpus -= gpus
+            self._free[node_id] = (free_cpus - cpus, free_gpus - gpus)
         self._gpu_order = None
         self._cpu_order = None
+        self.mutations += 1
 
-    def _gpu_sorted(self) -> List[_NodeFree]:
-        """All nodes in GPU best-fit order, cached between mutations.
+    def _gpu_sorted(self) -> List[int]:
+        """All node ids in GPU best-fit order, cached between mutations.
 
         The sort key ``(penalty, gpus, cpus, node_id)`` is a total order
         (node_id is unique), so selecting the first qualifying nodes from
@@ -180,43 +218,33 @@ class FreeState:
         """
         if self._gpu_order is None:
             deprioritized = self._deprioritized
+            free = self._free
             self._gpu_order = sorted(
-                self._nodes.values(),
-                key=lambda node: (
-                    1 if node.node_id in deprioritized else 0,
-                    node.gpus,
-                    node.cpus,
-                    node.node_id,
+                free,
+                key=lambda node_id: (
+                    1 if node_id in deprioritized else 0,
+                    free[node_id][1],
+                    free[node_id][0],
+                    node_id,
                 ),
             )
         return self._gpu_order
 
-    def _cpu_sorted(self) -> List[_NodeFree]:
-        """All nodes in CPU best-fit order ``(penalty, cpus, node_id)``,
-        cached between mutations (see :meth:`_gpu_sorted`)."""
+    def _cpu_sorted(self) -> List[int]:
+        """All node ids in CPU best-fit order ``(penalty, cpus,
+        node_id)``, cached between mutations (see :meth:`_gpu_sorted`)."""
         if self._cpu_order is None:
             deprioritized = self._deprioritized
+            free = self._free
             self._cpu_order = sorted(
-                self._nodes.values(),
-                key=lambda node: (
-                    1 if node.node_id in deprioritized else 0,
-                    node.cpus,
-                    node.node_id,
+                free,
+                key=lambda node_id: (
+                    1 if node_id in deprioritized else 0,
+                    free[node_id][0],
+                    node_id,
                 ),
             )
         return self._cpu_order
-
-    def _candidates(
-        self, cpus: int, gpus: int, among: Optional[Iterable[int]] = None
-    ) -> List[_NodeFree]:
-        allowed = None if among is None else set(among)
-        return [
-            node
-            for node in self._nodes.values()
-            if node.cpus >= cpus
-            and node.gpus >= gpus
-            and (allowed is None or node.node_id in allowed)
-        ]
 
 
 def place_gpu_job(
@@ -242,16 +270,18 @@ def place_gpu_job(
         if among is None
         else (among if isinstance(among, (set, frozenset)) else set(among))
     )
-    chosen: List[_NodeFree] = []
-    for node in free._gpu_sorted():
+    chosen: List[int] = []
+    capacity = free._free
+    for node_id in free._gpu_sorted():
+        free_cpus, free_gpus = capacity[node_id]
         if (
-            node.gpus >= gpus
-            and node.cpus >= cores
-            and (allowed is None or node.node_id in allowed)
+            free_gpus >= gpus
+            and free_cpus >= cores
+            and (allowed is None or node_id in allowed)
         ):
-            chosen.append(node)
+            chosen.append(node_id)
             if len(chosen) == needed:
-                return [(node.node_id, cores, gpus) for node in chosen]
+                return [(node_id, cores, gpus) for node_id in chosen]
     return None
 
 
@@ -272,9 +302,10 @@ def place_cpu_job(
         if among is None
         else (among if isinstance(among, (set, frozenset)) else set(among))
     )
-    for node in free._cpu_sorted():
-        if node.cpus >= job.cores and (
-            allowed is None or node.node_id in allowed
+    capacity = free._free
+    for node_id in free._cpu_sorted():
+        if capacity[node_id][0] >= job.cores and (
+            allowed is None or node_id in allowed
         ):
-            return [(node.node_id, job.cores, 0)]
+            return [(node_id, job.cores, 0)]
     return None

@@ -51,6 +51,9 @@ class Engine:
         self._running = False
         self._observers: list[Observer] = []
         self._profiler: Optional["Profiler"] = None
+        # The profiler section of the event currently executing, so the
+        # action can re-attribute itself (see recategorize_current_event).
+        self._current_section: Optional[Any] = None
         # Checkpoint-restore bookkeeping: tag -> (time, priority, seq) of
         # snapshotted live events awaiting a rearm() claim.  None outside
         # a begin_restore()/finish_restore() window.
@@ -157,12 +160,28 @@ class Engine:
             # Time each event under its tag category ("gpu-done:j17" ->
             # "gpu-done"), giving disjoint per-subsystem wall-time shares.
             category = event.tag.partition(":")[0] or "untagged"
-            with profiler.section(category):
-                event.action()
+            section = profiler.section(category)
+            self._current_section = section
+            try:
+                with section:
+                    event.action()
+            finally:
+                self._current_section = None
             profiler.count("events")
         if self._observers:
             for observer in tuple(self._observers):
                 observer(event)
+
+    def recategorize_current_event(self, category: str) -> None:
+        """Re-attribute the currently executing event's profiler time.
+
+        Called from *inside* an event action when it resolves to a
+        distinct fast path (the runner books a skipped scheduling pass
+        under ``schedule-skip`` instead of ``schedule-pass``, keeping the
+        reported time shares honest).  A no-op when profiling is off.
+        """
+        if self._current_section is not None:
+            self._current_section.rename(category)
 
     def set_profiler(self, profiler: Optional["Profiler"]) -> None:
         """Attach (or with ``None``, detach) a wall-clock profiler.

@@ -279,7 +279,7 @@ class TestSchedulerRecovery:
         scheduler.submit(_gpu("second", iters=10_000, submit=1.0), 1.0)
         cluster.release("first")
         scheduler.job_failed(first, 2.0)
-        queue = scheduler._gpu_queue_for(first)
+        _, queue = scheduler._gpu_group_queue(first)
         assert [job.job_id for job in queue] == ["first", "second"]
         assert "first" not in scheduler.allocator._active
 

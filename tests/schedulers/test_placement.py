@@ -175,8 +175,10 @@ class TestHealthAwarePlacement:
 
 
 class TestFreeStateMemo:
-    """The whole-cluster snapshot memoizes on (cluster, health, now)
-    generations: exactly one rebuild per mutation, not one per call."""
+    """The whole-cluster snapshot is memoized incrementally: full
+    rebuilds only for unattributed (coarse) changes, a partial refresh
+    of just the dirtied nodes for attributed mutations, a set swap for
+    pure health-ordering changes, and byte-for-byte reuse otherwise."""
 
     def test_repeat_snapshot_reuses_scan(self, tiny_cluster):
         FreeState.of(tiny_cluster, now=0.0)
@@ -185,15 +187,20 @@ class TestFreeStateMemo:
         assert FreeState.rebuilds == before
         assert again.free_of(0) == (28, 4)
 
-    def test_one_rebuild_per_cluster_mutation(self, tiny_cluster):
+    def test_mutation_refreshes_only_touched_nodes(self, tiny_cluster):
         FreeState.of(tiny_cluster, now=0.0)
-        before = FreeState.rebuilds
+        rebuilds = FreeState.rebuilds
+        refreshes = FreeState.refreshes
         tiny_cluster.allocate("x", [(0, 4, 1)])
         fresh = FreeState.of(tiny_cluster, now=0.0)
-        assert FreeState.rebuilds == before + 1
+        # An attributed mutation partially refreshes the cache (node 0
+        # only) instead of rebuilding the whole snapshot.
+        assert FreeState.rebuilds == rebuilds
+        assert FreeState.refreshes == refreshes + 1
         assert fresh.free_of(0) == (24, 3)
+        assert fresh.free_of(1) == (28, 4)
         FreeState.of(tiny_cluster, now=0.0)
-        assert FreeState.rebuilds == before + 1  # second call reuses
+        assert FreeState.refreshes == refreshes + 1  # second call reuses
 
     def test_cached_snapshots_are_independent(self, tiny_cluster):
         first = FreeState.of(tiny_cluster, now=0.0)
@@ -203,18 +210,39 @@ class TestFreeStateMemo:
         # commit mutated the first snapshot, never the shared cache.
         assert second.free_of(0) == (28, 4)
 
-    def test_health_strike_invalidates(self, tiny_cluster):
+    def test_health_strike_swaps_penalties_without_rescan(self, tiny_cluster):
         FreeState.of(tiny_cluster, now=0.0)
-        before = FreeState.rebuilds
+        rebuilds = FreeState.rebuilds
+        refreshes = FreeState.refreshes
         tiny_cluster.health.record_failure(0, 0.0, kind="crash")
-        FreeState.of(tiny_cluster, now=0.0)
-        assert FreeState.rebuilds == before + 1
+        flagged = FreeState.of(tiny_cluster, now=0.0)
+        # A SUSPECT transition changes best-fit ordering, not capacity:
+        # the cache swaps the de-prioritized set and reads no node.
+        assert FreeState.rebuilds == rebuilds
+        assert FreeState.refreshes == refreshes
+        assert flagged.placement_penalty(0) == 1
+        assert flagged.placement_penalty(1) == 0
 
-    def test_now_change_invalidates(self, tiny_cluster):
+    def test_quarantine_refreshes_the_quarantined_node(self, tiny_cluster):
+        FreeState.of(tiny_cluster, now=0.0)
+        rebuilds = FreeState.rebuilds
+        for i in range(3):
+            tiny_cluster.health.record_failure(0, float(i), kind="crash")
+        gated = FreeState.of(tiny_cluster, now=10.0)
+        # Quarantine zeroes the node's offered capacity; only the nodes
+        # entering/leaving the quarantine set are re-read.
+        assert FreeState.rebuilds == rebuilds
+        assert gated.free_of(0) == (0, 0)
+        assert gated.free_of(1) == (28, 4)
+
+    def test_now_change_alone_reuses_cache(self, tiny_cluster):
         FreeState.of(tiny_cluster, now=0.0)
         before = FreeState.rebuilds
-        FreeState.of(tiny_cluster, now=30.0)
-        assert FreeState.rebuilds == before + 1
+        later = FreeState.of(tiny_cluster, now=30.0)
+        # Free capacity is time-independent; with no health transitions
+        # between the two instants the snapshot is identical.
+        assert FreeState.rebuilds == before
+        assert later.free_of(0) == (28, 4)
 
     def test_among_bypasses_cache(self, tiny_cluster):
         FreeState.of(tiny_cluster, now=0.0)
@@ -222,3 +250,11 @@ class TestFreeStateMemo:
         restricted = FreeState.of(tiny_cluster, among=[1], now=0.0)
         assert FreeState.rebuilds == before + 1
         assert restricted.node_ids() == [1]
+
+    def test_full_rescan_env_bypasses_cache(self, tiny_cluster, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_RESCAN", "1")
+        FreeState.of(tiny_cluster, now=0.0)
+        before = FreeState.rebuilds
+        fresh = FreeState.of(tiny_cluster, now=0.0)
+        assert FreeState.rebuilds == before + 1
+        assert fresh.free_of(0) == (28, 4)

@@ -1,9 +1,10 @@
 """The acceptance gate for the effect analysis.
 
-Mutation check: deleting any single ``generation.bump()`` call from
-``src/repro/cluster/node.py`` (on a copied tree) must make the analysis
-report **exactly** the function that lost its bump — one EF001 finding,
-nothing else.  And the committed tree must analyze clean.
+Mutation check: deleting any single ``generation.bump()`` /
+``generation.bump_node(...)`` call from ``src/repro/cluster/node.py``
+(on a copied tree) must make the analysis report **exactly** the
+function that lost its bump — one EF001 finding, nothing else.  And the
+committed tree must analyze clean.
 """
 
 import re
@@ -35,14 +36,15 @@ EXPECTED_BLAME = {
 
 
 def _bump_sites():
-    """(line_number, enclosing_function_name) for every bump call."""
+    """(line_number, enclosing_function_name) for every bump call —
+    the plain (coarse) ``bump()`` and the node-attributed ``bump_node``."""
     sites = []
     current = None
     for lineno, line in enumerate(NODE_PY.read_text().splitlines(), 1):
         match = re.match(r"    def (\w+)", line)
         if match:
             current = match.group(1)
-        if "generation.bump()" in line:
+        if "generation.bump()" in line or "generation.bump_node(" in line:
             sites.append((lineno, current))
     return sites
 
@@ -69,7 +71,7 @@ def test_deleting_one_bump_blames_exactly_that_function(
     mutated = tmp_path / "repro"
     shutil.copytree(SRC, mutated)
     lines = NODE_PY.read_text().splitlines(True)
-    assert "generation.bump()" in lines[lineno - 1]
+    assert "generation.bump" in lines[lineno - 1]
     lines[lineno - 1] = re.sub(
         r"\S.*", "pass", lines[lineno - 1], count=1
     )
