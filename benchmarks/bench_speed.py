@@ -1,6 +1,6 @@
 """End-to-end simulator speed benchmark.
 
-Runs three canonical scenarios under fixed seeds and records, per scenario:
+Runs four canonical scenarios under fixed seeds and records, per scenario:
 
 * ``events_per_sec`` — fired simulation events over wall time (the headline
   throughput number; higher is better);
@@ -18,6 +18,9 @@ The scenarios:
   telemetry dropouts with health tracking and restart budgets armed.
 * ``tuning_storm`` — a small cluster flooded with GPU jobs so the adaptive
   allocator's tuning/slimming machinery dominates.
+* ``replay_1week_200node`` — a week on a 200-node / 1,000-GPU cluster at
+  2.5x the paper load: the scale-stress scenario where per-event monitor
+  and reschedule costs dominate.
 
 Results land in ``BENCH_speed.json`` at the repo root.  The committed file
 holds a ``baseline`` section (captured on the pre-optimization code) and a
@@ -71,6 +74,7 @@ from repro.experiments.scenarios import (  # noqa: E402
     paper_scale_scenario,
     run_scenario,
     small_scenario,
+    week_scale_scenario,
 )
 from repro.faults import FaultConfig  # noqa: E402
 from repro.health import HealthConfig, RestartPolicy  # noqa: E402
@@ -135,10 +139,17 @@ def tuning_storm(quick: bool) -> Setup:
     return scenario, _coda, None
 
 
+def replay_1week_200node(quick: bool) -> Setup:
+    """Week-long 200-node / 1,000-GPU replay (2.5x paper scale)."""
+    days = 0.05 if quick else 7.0
+    return week_scale_scenario(duration_days=days, seed=0), _coda, None
+
+
 SCENARIOS: Dict[str, Callable[[bool], Setup]] = {
     "replay_1day": replay_1day,
     "chaos_replay": chaos_replay,
     "tuning_storm": tuning_storm,
+    "replay_1week_200node": replay_1week_200node,
 }
 
 
@@ -242,12 +253,21 @@ def check_regressions(
     *,
     mode: str,
     tolerance: float,
+    rerun: Optional[Callable[[str], Dict[str, object]]] = None,
+    retries: int = 2,
 ) -> int:
     """Compare fresh events/sec against the committed ``current`` numbers.
 
     Returns the number of regressed scenarios (0 = gate passes).  Missing
     committed entries are skipped with a notice, so adding a scenario does
     not break the gate before its numbers are committed.
+
+    The quick variants finish in tens of milliseconds, where one unlucky
+    host-scheduling blip can shave 25 % off a single reading.  When
+    ``rerun`` is given, a below-floor scenario is therefore re-measured up
+    to ``retries`` more times and only counted as regressed if *every*
+    attempt lands below the floor — a genuine regression fails all of
+    them, while a noise outlier clears the bar on a repeat.
     """
     reference = committed.get("current", {}).get(mode, {})
     regressions = 0
@@ -259,6 +279,14 @@ def check_regressions(
         pinned_eps = float(pinned["events_per_sec"])
         fresh_eps = float(entry["events_per_sec"])
         floor = pinned_eps * (1.0 - tolerance)
+        attempts = 0
+        while fresh_eps < floor and rerun is not None and attempts < retries:
+            attempts += 1
+            print(
+                f"[check] {name}: {fresh_eps:.0f} ev/s below floor "
+                f"{floor:.0f}, re-measuring (attempt {attempts + 1})"
+            )
+            fresh_eps = float(rerun(name)["events_per_sec"])
         verdict = "OK" if fresh_eps >= floor else "REGRESSED"
         print(
             f"[check] {name}: {fresh_eps:.0f} ev/s vs committed "
@@ -377,7 +405,11 @@ def main(argv: Optional[list] = None) -> int:
 
     if committed is not None:
         regressions = check_regressions(
-            fresh, committed, mode=mode, tolerance=args.tolerance
+            fresh,
+            committed,
+            mode=mode,
+            tolerance=args.tolerance,
+            rerun=lambda name: run_one(name, quick=args.quick),
         )
         if regressions:
             print(f"[bench] FAIL: {regressions} scenario(s) regressed")

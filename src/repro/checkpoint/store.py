@@ -27,7 +27,9 @@ from repro.checkpoint.errors import CheckpointError
 
 #: Bumped whenever the snapshot state shape changes; a mismatch refuses
 #: the restore rather than mis-reading old state into new code.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v2: runner records carry ``completion_time`` (lazy timers) and the
+#: activity-indexed monitor state (active set, last tick, observability).
+CHECKPOINT_SCHEMA_VERSION = 2
 
 #: Checkpoint files are named by the event count at which they were taken,
 #: zero-padded so lexicographic order is numeric order.

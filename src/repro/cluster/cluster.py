@@ -212,6 +212,8 @@ class Cluster:
         """
         utils: List[float] = []
         for node in self.nodes:
+            if active_only and node.used_gpus == 0:
+                continue  # no owned GPUs: nothing would be appended
             for gpu in node.gpus:
                 if gpu.is_free:
                     if not active_only:

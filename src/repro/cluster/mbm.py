@@ -52,6 +52,13 @@ class BandwidthMonitor:
         # there instead of being re-summed on every pressure reading.
         self._total_granted = 0.0
         self._cpu_job_count = 0
+        #: Bumped every arbitration — the only place grants (and therefore
+        #: every grant_ratio and the node pressure) can change.  Consumers
+        #: that derive values from grants may compare epochs instead of
+        #: re-reading them; note the cluster-wide GenerationCounter does
+        #: *not* cover grant changes (throttles re-arbitrate without
+        #: touching capacity), which is why this counter exists.
+        self.epoch = 0
 
     # ------------------------------------------------------------------ #
     # Telemetry health (fault injection)
@@ -86,6 +93,20 @@ class BandwidthMonitor:
             return float("inf")
         return now - self._last_sample_time
 
+    def sync_sample_time(self, when: float) -> None:
+        """Adopt ``when`` as the last successful read time (if newer).
+
+        Used by the activity-indexed monitor: a node outside the active
+        set is *provably* telemetry-up at every skipped tick, so when it
+        re-enters the set the runner back-fills the sample timestamp an
+        eager per-tick :meth:`observe` would have left — the staleness
+        window then behaves identically to a monitor that was never
+        skipped.  Callers own that proof; this only moves the stamp
+        forward, never back.
+        """
+        if self._last_sample_time is None or when > self._last_sample_time:
+            self._last_sample_time = when
+
     # ------------------------------------------------------------------ #
     # Registration
 
@@ -113,10 +134,22 @@ class BandwidthMonitor:
         self._arbitrate()
 
     def update_demand(self, job_id: str, demand_gbps: float) -> None:
-        """Change a registered job's demand (e.g., the model changed phase)."""
+        """Change a registered job's demand (e.g., the model changed phase).
+
+        An update to the *identical* demand is observably a no-op: grants
+        are a pure function of (membership, demands, caps), so water-
+        filling would land on the same vector bit-for-bit.  Returning
+        early keeps the epoch unmoved, which is what lets downstream
+        epoch-keyed repricing memos survive the allocator's steady-state
+        demand re-pushes instead of being invalidated by them.
+        """
         if demand_gbps < 0:
             raise ValueError(f"negative bandwidth demand for {job_id}: {demand_gbps}")
-        self._usages[job_id].demand = float(demand_gbps)
+        usage = self._usages[job_id]
+        demand = float(demand_gbps)
+        if usage.demand == demand:
+            return
+        usage.demand = demand
         self._arbitrate()
 
     def unregister(self, job_id: str) -> None:
@@ -236,6 +269,9 @@ class BandwidthMonitor:
         )
         self._total_granted = float(state["total_granted"])
         self._cpu_job_count = int(state["cpu_job_count"])
+        # Restore replaces grants wholesale; treat it as an arbitration so
+        # any epoch-keyed memo built against the old state goes stale.
+        self.epoch += 1
 
     # ------------------------------------------------------------------ #
     # Arbitration
@@ -247,8 +283,31 @@ class BandwidthMonitor:
         among unsatisfied jobs; jobs whose demand is below the equal share
         are granted their demand exactly and leave the pool.
         """
-        pending = [u for u in self._usages.values() if u.effective_demand > 0]
-        for usage in self._usages.values():
+        usages = list(self._usages.values())
+        demands = [u.effective_demand for u in usages]
+        if self.capacity_gbps - sum(demands) > 1e-9:
+            # Uncontended fast path: with headroom comfortably past the
+            # loop's 1e-12 remaining-capacity guard (the 1e-9 margin dwarfs
+            # any sequential-subtraction rounding the rounds could
+            # accumulate), water-filling provably grants every job its
+            # effective demand exactly — each round's fair share exceeds
+            # the smallest pending demand, so the rounds drain without the
+            # guard ever tripping.  Skip them and land on the identical
+            # grant vector directly.
+            for usage, demand in zip(usages, demands):
+                usage.granted = demand if demand > 0 else 0.0
+            total = 0.0
+            for usage in usages:
+                if math.isnan(usage.granted):
+                    raise ArithmeticError(
+                        f"NaN bandwidth grant for {usage.job_id}"
+                    )
+                total += usage.granted
+            self._total_granted = total
+            self.epoch += 1
+            return
+        pending = [u for u in usages if u.effective_demand > 0]
+        for usage in usages:
             usage.granted = 0.0
         remaining = self.capacity_gbps
         while pending and remaining > 1e-12:
@@ -272,3 +331,4 @@ class BandwidthMonitor:
                 raise ArithmeticError(f"NaN bandwidth grant for {usage.job_id}")
             total += usage.granted
         self._total_granted = total
+        self.epoch += 1

@@ -119,10 +119,22 @@ class Node:
         self.llc_occupancy_mb: Dict[str, float] = {}
         self._shares: Dict[str, NodeShare] = {}
         self._used_cpus = 0
+        # Owned-GPU count maintained like _used_cpus (exact integer
+        # arithmetic, so it can never drift from the per-device truth the
+        # invariant auditor re-derives); reading it is O(1) where the old
+        # property summed over every device.
+        self._used_gpus = 0
         self._up = True
         #: Bumped on every capacity mutation; the cluster replaces it with
         #: one counter shared across all of its nodes.
         self.generation = GenerationCounter()
+        #: Bumped whenever this node's LLC occupancy or PCIe demand set
+        #: changes (the two contention inputs not guarded by the bandwidth
+        #: monitor's own :attr:`BandwidthMonitor.epoch`).  Together the two
+        #: epochs fingerprint everything ``iteration_time`` reads from a
+        #: node, which is what lets the runner's reprice memo skip the
+        #: recompute (see docs/scheduler-internals.md).
+        self.contention_epoch = 0
 
     # ------------------------------------------------------------------ #
     # Availability (fault injection)
@@ -185,7 +197,7 @@ class Node:
 
     @property
     def used_gpus(self) -> int:
-        return sum(1 for gpu in self.gpus if gpu.owner is not None)
+        return self._used_gpus
 
     @property
     def free_vector(self) -> ResourceVector:
@@ -222,6 +234,7 @@ class Node:
         granted_ids: Tuple[int, ...] = tuple(self.free_gpu_ids[:gpus])
         for gpu_id in granted_ids:
             self.gpus[gpu_id].assign(job_id)
+        self._used_gpus += len(granted_ids)
         self._used_cpus += cpus
         share = NodeShare(node_id=self.node_id, cpus=cpus, gpu_ids=granted_ids)
         self._shares[job_id] = share
@@ -236,11 +249,13 @@ class Node:
             raise RuntimeError(f"job {job_id} holds nothing on node {self.node_id}")
         for gpu_id in share.gpu_ids:
             self.gpus[gpu_id].release(job_id)
+        self._used_gpus -= len(share.gpu_ids)
         self._used_cpus -= share.cpus
         self.mba.release(job_id)
         self.bandwidth.unregister(job_id)
         self.pcie.unregister(job_id)
         self.llc_occupancy_mb.pop(job_id, None)
+        self.contention_epoch += 1
         self.generation.bump_node(self.node_id, freed=True)
         return share
 
@@ -308,6 +323,7 @@ class Node:
             self.llc_occupancy_mb[job_id] = llc_mb
         if pcie_gbps > 0:
             self.pcie.register(job_id, pcie_gbps)
+        self.contention_epoch += 1
 
     @property
     def llc_pressure(self) -> float:
@@ -371,6 +387,7 @@ class Node:
             gpu.owner = owner
             gpu.utilization = float(utilization)
             gpu.failed = bool(failed)
+        self._used_gpus = sum(1 for gpu in self.gpus if gpu.owner is not None)
         self.llc_occupancy_mb = {
             job_id: float(mb) for job_id, mb in state["llc"].items()
         }
@@ -380,6 +397,7 @@ class Node:
             job_id: float(gbps)
             for job_id, gbps in state["pcie_demands"].items()
         }
+        self.contention_epoch += 1
         self.generation.bump()
 
     def __repr__(self) -> str:

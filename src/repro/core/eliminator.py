@@ -129,19 +129,29 @@ class ContentionEliminator:
         # A quarantined node hosts nothing to police (residents were
         # evicted at quarantine entry) and its telemetry is the least
         # trustworthy on the floor; leave those alone.
-        quarantined = set(
-            context.cluster.health.quarantined_nodes(context.now)
-        )
-        for node in context.cluster.nodes:
-            if not node.is_up or node.node_id in quarantined:
+        now = context.now
+        quarantined = set(context.cluster.health.quarantined_nodes(now))
+        nodes = context.cluster.nodes
+        # Activity-indexed: only nodes the context flags as active (CPU
+        # jobs, live throttles, or an open telemetry outage) are examined.
+        # A node outside the set could only ever take the no-CPU-jobs fast
+        # path below, whose sole side effect is the observe() freshness
+        # stamp — which the context back-fills on re-activation — so the
+        # skip is decision-invisible.  The default context returns every
+        # node, reproducing the historical full scan.
+        for node_id in context.monitor_active_node_ids():
+            node = nodes[node_id]
+            if not node.is_up or node_id in quarantined:
                 continue
             self._check_node(node, context)
+        context.monitor_note_tick(now)
         self._arm(context)
 
     # ------------------------------------------------------------------ #
 
     def _check_node(self, node: Node, context: SchedulerContext) -> None:
         pressure = node.bandwidth.observe(context.now)
+        sampled = pressure is not None
         if pressure is None:
             # Telemetry dropout.  A reading within the staleness window is
             # still trusted (the monitor's arbitration state has not moved
@@ -160,6 +170,12 @@ class ContentionEliminator:
             # any pressure here is the trainers' own, which Sec. IV-C
             # deems benign.  (The observe() above still ran, so sample
             # freshness bookkeeping is identical to the slow path.)
+            # Deactivation needs a *successful* observe: dropping a node
+            # whose telemetry is down would break the back-fill invariant
+            # ("outside the set implies telemetry up at every skipped
+            # tick") the activity index relies on.
+            if sampled:
+                context.monitor_deactivate_node(node.node_id)
             return
         if pressure < self.config.bandwidth_threshold:
             self._relax_node(node, context)

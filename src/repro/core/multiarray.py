@@ -108,9 +108,18 @@ class MultiArrayScheduler(Scheduler):
         #: Non-borrowing, non-inference CPU jobs: job_id -> home node_id.
         #: Maintained so the CPU-array pass can total per-node usage from
         #: the handful of tracked jobs instead of scanning every resident
-        #: of every node.  Core counts are still read live from the node
-        #: (the eliminator halves cores without telling the scheduler).
+        #: of every node.
         self._cpu_node: Dict[str, int] = {}
+        #: Incrementally maintained CPU-array census (see ``_cpu_census``):
+        #: per-node cores held by tracked jobs, and each tracked job's
+        #: current core count.  Membership moves through ``job_started`` /
+        #: ``_forget``; core counts move through :meth:`cpu_job_resized`
+        #: (the eliminator's halvings, relayed by the runner).  A restore
+        #: marks the maps dirty and the next census rebuilds them from the
+        #: cluster walk.
+        self._cpu_used: Dict[int, int] = {}
+        self._cpu_cores: Dict[str, int] = {}
+        self._census_dirty = False
         #: Static per-cluster placement inputs, filled when the layout is
         #: first built (node totals never change after construction).
         self._biggest_node_cores: int = 0
@@ -222,10 +231,50 @@ class MultiArrayScheduler(Scheduler):
                     job.job_id
                 )
             elif isinstance(job, CpuJob) and not job.is_inference:
-                self._cpu_node[job.job_id] = placements[0][0]
+                node_id = placements[0][0]
+                self._cpu_node[job.job_id] = node_id
+                # While dirty (post-restore) the census maps are stale and
+                # the next _cpu_census rebuilds them wholesale, so
+                # incremental updates are suspended until then.
+                if not self._census_dirty:
+                    self._cpu_cores[job.job_id] = job.cores
+                    self._cpu_used[node_id] = (
+                        self._cpu_used.get(node_id, 0) + job.cores
+                    )
 
     def job_finished(self, job: Job, now: float) -> None:
         self._forget(job.job_id)
+
+    def cpu_job_resized(self, job_id: str, cores: int, now: float) -> None:
+        """The eliminator halved a running CPU job's cores (relayed by the
+        runner): fold the delta into the incremental census."""
+        node_id = self._cpu_node.get(job_id)
+        if node_id is None or self._census_dirty:
+            return
+        old = self._cpu_cores.get(job_id, 0)
+        self._cpu_cores[job_id] = cores
+        self._cpu_used[node_id] = (
+            self._cpu_used.get(node_id, 0) - old + cores
+        )
+
+    def job_failed(self, job: Job, now: float) -> None:
+        """An infrastructure failure killed the job: its share is already
+        gone from the cluster, so drop it from the census tracking before
+        the base class charges the restart budget.  Only the census maps
+        are touched — ledger shares and borrow indexes keep their
+        historical failure semantics (a restart re-keys them)."""
+        self._census_forget(job.job_id)
+        super().job_failed(job, now)
+
+    def _census_forget(self, job_id: str) -> None:
+        node_id = self._cpu_node.pop(job_id, None)
+        if node_id is not None and not self._census_dirty:
+            cores = self._cpu_cores.pop(job_id, 0)
+            left = self._cpu_used.get(node_id, 0) - cores
+            if left > 0:
+                self._cpu_used[node_id] = left
+            else:
+                self._cpu_used.pop(node_id, None)
 
     def job_preempted(self, job: Job, now: float, *, preserve_progress: bool) -> None:
         self._forget(job.job_id)
@@ -251,7 +300,7 @@ class MultiArrayScheduler(Scheduler):
         cpu_footprint = self._cpu_ledger.finish(job_id)
         if cpu_footprint is not None:
             self._push_cpu_tenant(cpu_footprint[0])
-        self._cpu_node.pop(job_id, None)
+        self._census_forget(job_id)
         node_id = self._borrowed_cpu.pop(job_id, None)
         if node_id is not None:
             self._cpu_borrow_index[node_id].discard(job_id)
@@ -693,10 +742,13 @@ class MultiArrayScheduler(Scheduler):
                 if allow_gpu_reclaim
                 else []
             )
-            reclaim_cpus = sum(c for _, c, _ in cpu_borrowers) + sum(
-                c for _, c, _ in gpu_borrowers
-            )
-            reclaim_gpus = sum(g for _, _, g in gpu_borrowers)
+            if cpu_borrowers or gpu_borrowers:
+                reclaim_cpus = sum(c for _, c, _ in cpu_borrowers) + sum(
+                    c for _, c, _ in gpu_borrowers
+                )
+                reclaim_gpus = sum(g for _, _, g in gpu_borrowers)
+            else:  # the common case: nothing to reclaim on this node
+                reclaim_cpus = reclaim_gpus = 0
             if (
                 free_gpus + reclaim_gpus >= gpus_needed
                 and free_cpus + reclaim_cpus >= cores
@@ -846,13 +898,7 @@ class MultiArrayScheduler(Scheduler):
         # tracked-job map rather than every resident of every node; core
         # counts are read live from the node, so the eliminator's
         # core-halvings free capacity immediately.
-        normal_used: Dict[int, int] = {node.node_id: 0 for node in cluster.nodes}
-        for job_id, node_id in self._cpu_node.items():
-            if job_id in preempted:
-                continue
-            node = cluster.node(node_id)
-            if node.holds(job_id):
-                normal_used[node_id] += node.share_of(job_id).cpus
+        normal_used = self._cpu_census(cluster, preempted)
 
         gpu_idle = self.gpu_queue_empty()
         heap = self._heap_cpu if incremental else None
@@ -886,12 +932,59 @@ class MultiArrayScheduler(Scheduler):
             if borrowed:
                 self._pending_borrow_cpu.add(job.job_id)
             else:
-                normal_used[node_id] += job.cores
+                normal_used[node_id] = normal_used.get(node_id, 0) + job.cores
             queue.popleft()
             self._cpu_ledger.start(job.job_id, job.tenant_id, job.cores, 0)
             if heap is not None:
                 self._push_cpu_tenant(job.tenant_id)
             decisions.append(StartDecision(job=job, placements=tuple(placement)))
+
+    def _cpu_census_build(
+        self, cluster: Cluster, preempted: Set[str]
+    ) -> Dict[int, int]:
+        normal_used: Dict[int, int] = {}  # sparse: absent node == 0 used
+        for job_id, node_id in self._cpu_node.items():
+            if job_id in preempted:
+                continue
+            node = cluster.node(node_id)
+            if node.holds(job_id):
+                normal_used[node_id] = (
+                    normal_used.get(node_id, 0) + node.share_of(job_id).cpus
+                )
+        return normal_used
+
+    def _cpu_census(
+        self, cluster: Cluster, preempted: Set[str]
+    ) -> Dict[int, int]:
+        """Per-node cores held by tracked (non-borrowing) CPU jobs.
+
+        Served from the incrementally maintained ``_cpu_used`` map:
+        membership adds ride ``job_started``, removals ride ``_forget``,
+        and core counts move through :meth:`cpu_job_resized` — every
+        mutation a walk over the cluster would see reaches one of those
+        hooks, so the map equals a fresh walk entry-for-entry.  Preempted
+        jobs are borrowers and borrowers are never tracked in
+        ``_cpu_node``; should that invariant ever break, the overlap
+        check below drops to an uncached walk rather than serving a
+        census the incremental path cannot see.
+        """
+        if not self._gate.enabled:
+            return self._cpu_census_build(cluster, preempted)
+        if preempted and not preempted.isdisjoint(self._cpu_node):
+            return self._cpu_census_build(cluster, preempted)
+        if self._census_dirty:
+            # Post-restore: reconstruct both maps from the live cluster
+            # (the walk is authoritative for membership *and* cores).
+            self._cpu_used = self._cpu_census_build(cluster, preempted)
+            self._cpu_cores = {
+                job_id: cluster.node(node_id).share_of(job_id).cpus
+                for job_id, node_id in self._cpu_node.items()
+                if cluster.node(node_id).holds(job_id)
+            }
+            self._census_dirty = False
+        # Callers mutate their census as they commit placements; hand out
+        # a copy so the maintained map stays pristine.
+        return dict(self._cpu_used)
 
     def _place_cpu_normal(
         self,
@@ -907,7 +1000,7 @@ class MultiArrayScheduler(Scheduler):
         capacities = self._cpu_capacity
         for node in cluster.nodes:
             capacity = capacities[node.node_id]
-            headroom = capacity - normal_used[node.node_id]
+            headroom = capacity - normal_used.get(node.node_id, 0)
             free_cpus, _ = free.free_of(node.node_id)
             if headroom < job.cores or free_cpus < job.cores:
                 continue
@@ -973,6 +1066,12 @@ class MultiArrayScheduler(Scheduler):
             job_id: int(node_id)
             for job_id, node_id in state["cpu_node"].items()
         }
+        # The restored tracked-job map invalidates the incremental census;
+        # mark it dirty so the next pass rebuilds both maps from a cluster
+        # walk instead of trusting counters across a restore boundary.
+        self._cpu_used = {}
+        self._cpu_cores = {}
+        self._census_dirty = True
         self._borrowed_cpu = {
             job_id: int(node_id)
             for job_id, node_id in state["borrowed_cpu"].items()

@@ -42,6 +42,7 @@ from repro.perfmodel.catalog import ModelProfile, get_model
 from repro.perfmodel.contention import (
     BANDWIDTH_PRESSURE_THRESHOLD,
     ContentionState,
+    effect_key,
 )
 from repro.perfmodel.pcie import pcie_peak_demand
 from repro.perfmodel.speed import iteration_time
@@ -84,6 +85,28 @@ class _RunningGpu:
     utilization: float
     last_update: float
     completion: EventHandle
+    #: Authoritative completion time.  The armed heap event may lag behind
+    #: (fire earlier) when repricing moved the completion later: the stale
+    #: fire detects ``completion_time > now`` and re-arms (validate-on-pop,
+    #: the ShareHeap idiom).  Invariant: armed time <= completion_time.
+    completion_time: float = 0.0
+    #: Contention-epoch fingerprint of the last full reprice — matching
+    #: epochs prove nothing feeding ``iteration_time`` changed, so speed
+    #: and utilization can be reused verbatim ([[cache]] contract in
+    #: contracts.toml; bit-identical because iteration_time is pure).
+    reprice_memo: Optional[Tuple[Any, ...]] = None
+    #: (cores_per_node, contention effect key) of the last
+    #: ``iteration_time`` call — the fallback memo when epochs moved but
+    #: the values the speed model actually reads (grant ratio, post-knee
+    #: bandwidth/LLC excess, PCIe ratio — see ``contention.effect_key``)
+    #: landed unchanged ([[cache]] contract).
+    state_memo: Optional[Tuple[Any, ...]] = None
+    #: The job's allocation, interconnect, and participating Node objects,
+    #: all fixed for the record's lifetime (a restarted job gets a fresh
+    #: record); cached to keep per-reprice dict lookups off the hot path.
+    allocation: Optional[Allocation] = None
+    interconnect: Any = None
+    nodes: Optional[List[Any]] = None
 
 
 @dataclass
@@ -97,6 +120,14 @@ class _RunningCpu:
     completion: EventHandle
     #: Fault-injected slowdown (1.0 = healthy); multiplies the speed.
     straggle_factor: float = 1.0
+    #: See _RunningGpu.completion_time.
+    completion_time: float = 0.0
+    #: (cores, straggle_factor, bandwidth epoch) of the last reprice —
+    #: the three inputs the CPU speed model reads ([[cache]] contract).
+    reprice_memo: Optional[Tuple[Any, ...]] = None
+    #: The home Node object, fixed for the record's lifetime; pinned so
+    #: repricing skips the per-call cluster lookup.
+    node: Any = None
 
 
 @dataclass
@@ -123,6 +154,11 @@ class RunResult:
     #: Eliminator actions suppressed by the flap cooldown (CODA only;
     #: zero for schedulers without an eliminator).
     flap_suppressions: int = 0
+    #: Lazy completion timers that fired before their job's authoritative
+    #: completion time and were re-armed (zero under
+    #: ``REPRO_EAGER_RESCHEDULE=1``).  ``events_fired`` minus this count
+    #: is comparable across the lazy and eager timer engines.
+    stale_timer_fires: int = 0
 
 
 def _env_auditor() -> Optional["InvariantAuditor"]:
@@ -180,6 +216,21 @@ class SimulationRunner(SchedulerContext):
         #: incarnation) never touch a successor of the record they slowed.
         self._cpu_incarnation: Dict[str, int] = {}
         self._straggle_count = 0
+        #: Escape hatch: re-price and cancel+reschedule completions on
+        #: every node touch and tick every node, the pre-lazy reference
+        #: behaviour.  Read once at construction (parity tests flip the
+        #: env var per runner, never mid-run).
+        self._eager_resched = bool(os.environ.get("REPRO_EAGER_RESCHEDULE"))
+        self._stale_timer_fires = 0
+        #: Nodes the eliminator must tick: hosts of CPU jobs or live
+        #: throttles, plus telemetry-outage nodes until a successful
+        #: observe clears them.  See the "Activity-indexed monitoring"
+        #: section for the skip-soundness invariant.
+        self._monitor_active: Set[int] = set()
+        self._monitor_last_tick: Optional[float] = None
+        #: When each node last became observable (up, unquarantined);
+        #: +inf while it is not.  Missing means observable since t=0.
+        self._observable_since: Dict[int, float] = {}
         active_profiler = profiling.active()
         if active_profiler is not None:
             self.engine.set_profiler(active_profiler)
@@ -245,6 +296,7 @@ class SimulationRunner(SchedulerContext):
                 "flap_suppressions",
                 0,
             ),
+            stale_timer_fires=self._stale_timer_fires,
         )
 
     def _audit(self, event: str, job: Job, **detail: object) -> None:
@@ -357,6 +409,7 @@ class SimulationRunner(SchedulerContext):
         usage = node.bandwidth.usage_of(job_id)
         node.bandwidth.update_demand(job_id, usage.demand * scale)
         self.collector.core_halving_events += 1
+        self.scheduler.cpu_job_resized(job_id, new_cores, self.engine.now)
         self._audit("halved", record.job, cores=new_cores)
         self._refresh_nodes({record.node_id})
         self.request_schedule()
@@ -370,6 +423,66 @@ class SimulationRunner(SchedulerContext):
             )
         )
         self.request_schedule()
+
+    # ------------------------------------------------------------------ #
+    # Activity-indexed monitoring (the eliminator's tick surface)
+    #
+    # The eliminator's per-node work is a no-op unless the node hosts CPU
+    # jobs or live throttles, so its tick iterates an incrementally
+    # maintained active set instead of the whole cluster.  Skip-soundness
+    # invariant: a node outside the set was up, unquarantined,
+    # telemetry-up and CPU-idle at every tick it was skipped for —
+    # membership is granted *before* any of those can stop holding (a CPU
+    # job starts, a telemetry outage begins) and only revoked by the
+    # eliminator itself right after a successful observe found nothing to
+    # do.  The only eager-tick state a skipped node would have gained is
+    # its MBM sample timestamp, which :meth:`_monitor_backfill`
+    # reconstructs whenever the invariant is about to stop holding.
+
+    def monitor_active_node_ids(self) -> Sequence[int]:
+        if self._eager_resched:
+            return range(len(self.cluster.nodes))
+        return sorted(self._monitor_active)
+
+    def monitor_deactivate_node(self, node_id: int) -> None:
+        if not self._eager_resched:
+            self._monitor_active.discard(node_id)
+
+    def monitor_note_tick(self, now: float) -> None:
+        self._monitor_last_tick = now
+
+    def _monitor_backfill(self, node_id: int) -> None:
+        """Reconstruct the MBM sample stamp eager ticks would have left.
+
+        While a node sits outside the active set it is provably
+        telemetry-up at every skipped tick, so an eager monitor would
+        have refreshed its sample time each tick; adopt the last tick
+        time before the skip invariant stops holding.  ``_observable_since``
+        is +inf while the node is down or quarantined, which vetoes the
+        back-fill — eager ticks skip unobservable nodes too, leaving
+        their stamp frozen.
+        """
+        if self._eager_resched or node_id in self._monitor_active:
+            return
+        last_tick = self._monitor_last_tick
+        if last_tick is not None and last_tick >= self._observable_since.get(
+            node_id, 0.0
+        ):
+            self.cluster.node(node_id).bandwidth.sync_sample_time(last_tick)
+
+    def _monitor_activate(self, node_id: int) -> None:
+        """Add a node to the active set (back-filling its sample stamp)."""
+        if self._eager_resched or node_id in self._monitor_active:
+            return
+        self._monitor_backfill(node_id)
+        self._monitor_active.add(node_id)
+
+    def _monitor_node_unobservable(self, node_id: int) -> None:
+        """The node crashed or entered quarantine: freeze its stamp where
+        an eager monitor would have left it and veto back-fills until it
+        is observable again."""
+        self._monitor_backfill(node_id)
+        self._observable_since[node_id] = float("inf")
 
     # ------------------------------------------------------------------ #
     # Scheduling passes
@@ -413,9 +526,10 @@ class SimulationRunner(SchedulerContext):
     # Arrivals and starts
 
     def _on_arrival(self, job: Job) -> None:
-        self.collector.job_submitted(job, self.engine.now)
+        now = self.engine.now
+        self.collector.job_submitted(job, now)
         self._audit("submitted", job)
-        self.scheduler.submit(job, self.engine.now)
+        self.scheduler.submit(job, now)
         self.request_schedule()
 
     def _start_job(
@@ -493,6 +607,7 @@ class SimulationRunner(SchedulerContext):
             completion=None,  # type: ignore[arg-type]
         )
         self._running_cpu[job.job_id] = record
+        self._monitor_activate(share.node_id)
         self._cpu_incarnation[job.job_id] = (
             self._cpu_incarnation.get(job.job_id, 0) + 1
         )
@@ -532,39 +647,133 @@ class SimulationRunner(SchedulerContext):
         record.last_update = now
 
     def _reprice_gpu(self, record: _RunningGpu) -> None:
-        """Re-price a training job's speed and reschedule its completion."""
+        """Re-price a training job's speed and re-aim its completion.
+
+        Two memo layers keep repeated touches cheap without changing a
+        single computed value (``iteration_time`` is a pure function of
+        the fingerprinted state, so reuse is bit-identical):
+
+        * ``reprice_memo`` — the contention epochs of every node the job
+          spans.  Matching epochs prove no grant, LLC occupancy or PCIe
+          demand the job can see has changed, so speed and utilization
+          are reused verbatim; within the same event instant the armed
+          completion target is provably unchanged too and the call
+          returns outright.
+        * ``state_memo`` — epochs moved but the derived
+          :class:`ContentionState` landed on the same value, so the
+          ``iteration_time`` call (and the idempotent utilization
+          re-writes) are skipped.
+        """
         now = self.engine.now
-        self._accrue(record, now)
-        contention = self._gpu_contention(record.job.job_id)
-        allocation = self.cluster.allocation_of(record.job.job_id)
-        breakdown = iteration_time(
-            record.profile,
-            record.job.setup,
-            record.cores_per_node,
-            contention,
-            interconnect=self.cluster.fabric.for_nodes(allocation.node_ids),
-        )
-        record.speed = 1.0 / breakdown.total_s
-        record.utilization = breakdown.utilization
-        for share in allocation.shares:
-            self.cluster.node(share.node_id).set_gpu_utilization(
-                record.job.job_id, record.utilization
+        job_id = record.job.job_id
+        allocation = record.allocation
+        if allocation is None:
+            # First reprice of this record (fresh start or checkpoint
+            # restore): pin the allocation, its interconnect, and the
+            # participating Node objects, all fixed for the record's
+            # lifetime.
+            allocation = record.allocation = self.cluster.allocation_of(job_id)
+            record.interconnect = self.cluster.fabric.for_nodes(
+                allocation.node_ids
             )
+            record.nodes = [
+                self.cluster.node(share.node_id)
+                for share in allocation.shares
+            ]
+        nodes = record.nodes
+        eager = self._eager_resched
+        fingerprint: Optional[Tuple[Any, ...]] = None
+        if not eager:
+            parts: List[Any] = [record.cores_per_node]
+            for node in nodes:
+                parts.append(node.bandwidth.epoch)
+                parts.append(node.contention_epoch)
+            fingerprint = tuple(parts)
+            if fingerprint == record.reprice_memo:
+                if record.last_update == now and record.completion is not None:
+                    return  # same instant, same epochs: armed target holds
+                self._accrue(record, now)
+                self._aim_gpu_completion(record, now)
+                return
+        self._accrue(record, now)
+        # Worst-case contention across the job's nodes (iterations are
+        # paced by the slowest participant), inlined over the pinned
+        # Node list.
+        grant, pressure, llc, pcie = 1.0, 0.0, 0.0, 1.0
+        for node in nodes:
+            bandwidth = node.bandwidth
+            grant = min(grant, bandwidth.grant_ratio(job_id))
+            pressure = max(pressure, bandwidth.pressure)
+            llc = max(llc, node.llc_pressure)
+            pcie = min(pcie, node.pcie.grant_ratio())
+        contention = ContentionState(
+            bw_grant_ratio=max(grant, 1e-6),
+            node_bw_pressure=pressure,
+            llc_pressure=llc,
+            pcie_grant_ratio=pcie,
+        )
+        state_key = (record.cores_per_node,) + effect_key(contention)
+        if eager or state_key != record.state_memo:
+            breakdown = iteration_time(
+                record.profile,
+                record.job.setup,
+                record.cores_per_node,
+                contention,
+                interconnect=record.interconnect,
+            )
+            record.speed = 1.0 / breakdown.total_s
+            record.utilization = breakdown.utilization
+            for node in nodes:
+                node.set_gpu_utilization(job_id, record.utilization)
+            record.state_memo = state_key
+        record.reprice_memo = fingerprint
+        self._aim_gpu_completion(record, now)
+
+    def _aim_gpu_completion(self, record: _RunningGpu, now: float) -> None:
+        job_id = record.job.job_id
         remaining = record.job.total_iterations - record.work_done
-        if record.completion is not None:
-            record.completion.cancel()
-        delay = max(0.0, remaining / record.speed)
-        record.completion = self.engine.schedule_in(
-            delay,
-            lambda job_id=record.job.job_id: self._on_gpu_complete(job_id),
+        target = now + max(0.0, remaining / record.speed)
+        record.completion_time = target
+        completion = record.completion
+        if completion is not None:
+            if not self._eager_resched and target >= completion.time:
+                # Completion moved later (or held): leave the armed timer
+                # alone.  It fires stale, detects that completion_time is
+                # still ahead, and re-arms itself (validate-on-pop) —
+                # cheaper than a cancel+push on every node touch.
+                return
+            completion.cancel()
+        record.completion = self.engine.schedule(
+            target,
+            lambda job_id=job_id: self._on_gpu_complete(job_id),
             priority=EventPriority.COMPLETION,
-            tag=f"gpu-done:{record.job.job_id}",
+            tag=f"gpu-done:{job_id}",
         )
 
     def _reprice_cpu(self, record: _RunningCpu) -> None:
         now = self.engine.now
+        node = record.node
+        if node is None:
+            # First reprice of this record (fresh start or checkpoint
+            # restore): pin the home node, fixed for its lifetime.
+            node = record.node = self.cluster.node(record.node_id)
+        eager = self._eager_resched
+        fingerprint: Optional[Tuple[Any, ...]] = None
+        if not eager:
+            # Everything the speed model reads: core count, fault factor,
+            # and the bandwidth grant (covered by the monitor epoch).
+            fingerprint = (
+                record.cores,
+                record.straggle_factor,
+                node.bandwidth.epoch,
+            )
+            if fingerprint == record.reprice_memo:
+                if record.last_update == now and record.completion is not None:
+                    return
+                self._accrue(record, now)
+                self._aim_cpu_completion(record, now)
+                return
         self._accrue(record, now)
-        node = self.cluster.node(record.node_id)
         core_factor = record.cores / record.job.cores
         # HEAT-like jobs are pure bandwidth streamers and slow in direct
         # proportion to their grant; ordinary CPU jobs are mostly
@@ -577,68 +786,135 @@ class SimulationRunner(SchedulerContext):
         record.speed = max(
             1e-9, core_factor * bw_factor * record.straggle_factor
         )
+        record.reprice_memo = fingerprint
+        self._aim_cpu_completion(record, now)
+
+    def _aim_cpu_completion(self, record: _RunningCpu, now: float) -> None:
+        job_id = record.job.job_id
         remaining = record.job.duration_s - record.work_done
-        if record.completion is not None:
-            record.completion.cancel()
-        delay = max(0.0, remaining / record.speed)
-        record.completion = self.engine.schedule_in(
-            delay,
-            lambda job_id=record.job.job_id: self._on_cpu_complete(job_id),
+        target = now + max(0.0, remaining / record.speed)
+        record.completion_time = target
+        completion = record.completion
+        if completion is not None:
+            if not self._eager_resched and target >= completion.time:
+                return  # later-moving completion: fire stale, re-arm then
+            completion.cancel()
+        record.completion = self.engine.schedule(
+            target,
+            lambda job_id=job_id: self._on_cpu_complete(job_id),
             priority=EventPriority.COMPLETION,
-            tag=f"cpu-done:{record.job.job_id}",
+            tag=f"cpu-done:{job_id}",
         )
 
     def _refresh_nodes(self, node_ids: Set[int]) -> None:
-        """Re-price every job touching the given nodes."""
-        gpu_ids: Set[str] = set()
-        cpu_ids: Set[str] = set()
+        """Re-price every job touching the given nodes.
+
+        Job ids land in lists (the ``seen`` set only guards against a
+        multi-node gang appearing under several of its nodes; CPU jobs
+        are single-node) and each list is sorted once — repricing keeps
+        the sorted-job-id order the decision stream depends on without
+        the build-a-set-then-``sorted()`` double sort this loop used to
+        pay on every event.
+        """
+        gpu_ids: List[str] = []
+        cpu_ids: List[str] = []
+        seen: Set[str] = set()
+        running_gpu = self._running_gpu
+        running_cpu = self._running_cpu
         for node_id in sorted(node_ids):
             for job_id in self.cluster.node(node_id).jobs_here():
-                if job_id in self._running_gpu:
-                    gpu_ids.add(job_id)
-                elif job_id in self._running_cpu:
-                    cpu_ids.add(job_id)
-        for job_id in sorted(gpu_ids):
-            self._reprice_gpu(self._running_gpu[job_id])
-        for job_id in sorted(cpu_ids):
-            self._reprice_cpu(self._running_cpu[job_id])
+                if job_id in running_gpu:
+                    if job_id not in seen:
+                        seen.add(job_id)
+                        gpu_ids.append(job_id)
+                elif job_id in running_cpu:
+                    cpu_ids.append(job_id)
+        gpu_ids.sort()
+        cpu_ids.sort()
+        for job_id in gpu_ids:
+            self._reprice_gpu(running_gpu[job_id])
+        for job_id in cpu_ids:
+            self._reprice_cpu(running_cpu[job_id])
 
     # ------------------------------------------------------------------ #
     # Completions and preemptions
 
+    def _stale_completion_fire(self, record, tag_family: str, rearm) -> bool:
+        """Validate-on-pop for lazy completion timers.
+
+        Repricing that moves a completion *later* leaves the armed event
+        in place (see ``_aim_*_completion``); when that event fires the
+        record's authoritative ``completion_time`` is still ahead, so the
+        fire is stale: re-arm at the authoritative time, count it, and
+        book the (tiny) cost under the ``completion-stale`` profiler
+        category so completion accounting stays honest.  Under the eager
+        hatch armed time always equals ``completion_time`` and this never
+        triggers.
+        """
+        job_id = record.job.job_id
+        if record.completion_time <= self.engine.now:
+            return False
+        record.completion = self.engine.schedule(
+            record.completion_time,
+            rearm,
+            priority=EventPriority.COMPLETION,
+            tag=f"{tag_family}:{job_id}",
+        )
+        self._stale_timer_fires += 1
+        self.engine.recategorize_current_event("completion-stale")
+        profiling.count("completion-stale")
+        return True
+
     def _on_gpu_complete(self, job_id: str) -> None:
-        record = self._running_gpu.pop(job_id)
+        record = self._running_gpu[job_id]
+        if self._stale_completion_fire(
+            record,
+            "gpu-done",
+            lambda job_id=job_id: self._on_gpu_complete(job_id),
+        ):
+            return
+        del self._running_gpu[job_id]
+        now = self.engine.now
         allocation = self.cluster.release(job_id)
-        self.collector.job_finished(job_id, self.engine.now)
+        self.collector.job_finished(job_id, now)
         self._audit(
             "finished",
             record.job,
             cores_per_node=record.cores_per_node,
             queueing_s=self.collector.records[job_id].queueing_time,
         )
-        self.scheduler.job_finished(record.job, self.engine.now)
+        self.scheduler.job_finished(record.job, now)
         self._refresh_nodes(set(allocation.node_ids))
         self.request_schedule()
 
     def _on_cpu_complete(self, job_id: str) -> None:
-        record = self._running_cpu.pop(job_id)
+        record = self._running_cpu[job_id]
+        if self._stale_completion_fire(
+            record,
+            "cpu-done",
+            lambda job_id=job_id: self._on_cpu_complete(job_id),
+        ):
+            return
+        del self._running_cpu[job_id]
+        now = self.engine.now
         self.cluster.release(job_id)
-        self.collector.job_finished(job_id, self.engine.now)
+        self.collector.job_finished(job_id, now)
         self._audit(
             "finished",
             record.job,
             cores=record.cores,
             queueing_s=self.collector.records[job_id].queueing_time,
         )
-        self.scheduler.job_finished(record.job, self.engine.now)
+        self.scheduler.job_finished(record.job, now)
         self._refresh_nodes({record.node_id})
         self.request_schedule()
 
     def _execute_preempt(self, decision: PreemptDecision) -> None:
         job_id = decision.job_id
+        now = self.engine.now
         if job_id in self._running_gpu:
             gpu_record = self._running_gpu.pop(job_id)
-            self._accrue(gpu_record, self.engine.now)
+            self._accrue(gpu_record, now)
             gpu_record.completion.cancel()
             if decision.preserve_progress:
                 self._stashed_progress[job_id] = gpu_record.work_done
@@ -656,16 +932,14 @@ class SimulationRunner(SchedulerContext):
         else:
             raise RuntimeError(f"cannot preempt {job_id}: not running")
         self._preemptions += 1
-        self.collector.job_preempted(job_id, self.engine.now)
+        self.collector.job_preempted(job_id, now)
         self._audit(
             "preempted",
             job,
             reason=decision.reason,
             progress_preserved=preserve,
         )
-        self.scheduler.job_preempted(
-            job, self.engine.now, preserve_progress=preserve
-        )
+        self.scheduler.job_preempted(job, now, preserve_progress=preserve)
         self._refresh_nodes(touched)
 
     # ------------------------------------------------------------------ #
@@ -686,6 +960,7 @@ class SimulationRunner(SchedulerContext):
             return
         for job_id in sorted(node.jobs_here()):
             self._execute_failure(job_id, reason=f"node {node_id} crashed")
+        self._monitor_node_unobservable(node_id)
         node.mark_down()
         self.collector.faults.node_failures += 1
         self.collector.faults.node_down(node_id, self.engine.now)
@@ -698,8 +973,13 @@ class SimulationRunner(SchedulerContext):
         node = self.cluster.node(node_id)
         if node.is_up:
             return
+        now = self.engine.now
         node.mark_up()
-        self.collector.faults.node_up(node_id, self.engine.now)
+        self.collector.faults.node_up(node_id, now)
+        if node_id not in self.health.quarantined_nodes(now):
+            # Observable again from this instant; a node still serving a
+            # quarantine stays vetoed until _on_quarantine_end.
+            self._observable_since[node_id] = now
         self.request_schedule()
 
     def fail_gpu(self, node_id: int, gpu_id: int) -> None:
@@ -725,6 +1005,7 @@ class SimulationRunner(SchedulerContext):
     def begin_telemetry_outage(self, node_id: int, duration_s: float) -> None:
         """Blind a node's MBM for ``duration_s``; the eliminator's
         staleness window decides when that blindness becomes distrust."""
+        self._monitor_activate(node_id)
         self.cluster.node(node_id).bandwidth.begin_outage(
             self.engine.now + duration_s
         )
@@ -782,6 +1063,7 @@ class SimulationRunner(SchedulerContext):
         if not self.health.record_failure(node_id, now, kind=kind):
             return
         self.collector.faults.quarantines += 1
+        self._monitor_node_unobservable(node_id)
         node = self.cluster.node(node_id)
         if node.is_up:
             for job_id in sorted(node.jobs_here()):
@@ -809,6 +1091,10 @@ class SimulationRunner(SchedulerContext):
         capacity return explicitly or the incremental pass gates would
         never see it."""
         self.cluster.note_capacity_freed(node_id)
+        if self.cluster.node(node_id).is_up:
+            # Observable again (a node that also crashed stays vetoed
+            # until recover_node readmits it).
+            self._observable_since[node_id] = self.engine.now
         self.request_schedule()
 
     def _execute_failure(self, job_id: str, *, reason: str) -> None:
@@ -903,6 +1189,7 @@ class SimulationRunner(SchedulerContext):
                     r.speed,
                     r.utilization,
                     r.last_update,
+                    r.completion_time,
                 ]
                 for job_id, r in self._running_gpu.items()
             },
@@ -914,6 +1201,7 @@ class SimulationRunner(SchedulerContext):
                     r.speed,
                     r.last_update,
                     r.straggle_factor,
+                    r.completion_time,
                 ]
                 for job_id, r in self._running_cpu.items()
             },
@@ -923,14 +1211,32 @@ class SimulationRunner(SchedulerContext):
             "sampling": self._sampling,
             "cpu_incarnation": dict(self._cpu_incarnation),
             "straggle_count": self._straggle_count,
+            "stale_timer_fires": self._stale_timer_fires,
+            "monitor_active": sorted(self._monitor_active),
+            "monitor_last_tick": self._monitor_last_tick,
+            # +inf is not valid JSON; carry the unobservable veto as null.
+            "observable_since": [
+                [node_id, None if since == float("inf") else since]
+                for node_id, since in sorted(self._observable_since.items())
+            ],
         }
 
     def restore(self, state: Dict[str, Any], jobs_by_id: Dict[str, Job]) -> None:
         self._running_gpu = {}
         for job_id, fields in state["running_gpu"].items():
-            cores, work_done, speed, utilization, last_update = fields
+            (
+                cores,
+                work_done,
+                speed,
+                utilization,
+                last_update,
+                completion_time,
+            ) = fields
             job = jobs_by_id[job_id]
             assert isinstance(job, GpuJob)
+            # Memos start cold: the first reprice recomputes everything
+            # from restored cluster state, which is bit-identical because
+            # iteration_time is pure.
             self._running_gpu[job_id] = _RunningGpu(
                 job=job,
                 profile=get_model(job.model_name),
@@ -940,10 +1246,19 @@ class SimulationRunner(SchedulerContext):
                 utilization=float(utilization),
                 last_update=float(last_update),
                 completion=None,  # type: ignore[arg-type]
+                completion_time=float(completion_time),
             )
         self._running_cpu = {}
         for job_id, fields in state["running_cpu"].items():
-            node_id, cores, work_done, speed, last_update, straggle = fields
+            (
+                node_id,
+                cores,
+                work_done,
+                speed,
+                last_update,
+                straggle,
+                completion_time,
+            ) = fields
             job = jobs_by_id[job_id]
             assert isinstance(job, CpuJob)
             self._running_cpu[job_id] = _RunningCpu(
@@ -955,6 +1270,7 @@ class SimulationRunner(SchedulerContext):
                 last_update=float(last_update),
                 completion=None,  # type: ignore[arg-type]
                 straggle_factor=float(straggle),
+                completion_time=float(completion_time),
             )
         self._stashed_progress = {
             job_id: float(progress)
@@ -968,6 +1284,14 @@ class SimulationRunner(SchedulerContext):
             for job_id, count in state["cpu_incarnation"].items()
         }
         self._straggle_count = int(state["straggle_count"])
+        self._stale_timer_fires = int(state["stale_timer_fires"])
+        self._monitor_active = {int(n) for n in state["monitor_active"]}
+        raw_tick = state["monitor_last_tick"]
+        self._monitor_last_tick = None if raw_tick is None else float(raw_tick)
+        self._observable_since = {
+            int(n): float("inf") if since is None else float(since)
+            for n, since in state["observable_since"]
+        }
 
     def rearm(self, jobs_by_id: Dict[str, Job]) -> None:
         """Re-claim every runner-owned timer from the engine inventory.

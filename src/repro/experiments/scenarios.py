@@ -15,7 +15,12 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.invariants import InvariantAuditor
 from repro.cluster.cluster import Cluster
-from repro.config import ClusterConfig, paper_cluster, small_cluster
+from repro.config import (
+    ClusterConfig,
+    NodeConfig,
+    paper_cluster,
+    small_cluster,
+)
 from repro.core.coda import CodaConfig, CodaScheduler
 from repro.experiments.runner import RunResult, SimulationRunner
 from repro.faults import FaultConfig, FaultInjector
@@ -101,6 +106,38 @@ def paper_scale_scenario(
     return Scenario(
         cluster_config=paper_cluster(),
         trace_config=trace_config,
+        drain_s=drain_hours * 3600.0,
+    )
+
+
+def week_scale_scenario(
+    *,
+    duration_days: float = 7.0,
+    seed: int = 0,
+    drain_hours: float = 6.0,
+) -> Scenario:
+    """A 200-node / 1,000-GPU cluster under proportionally scaled load.
+
+    2.5x the paper testbed, keeping its 3:1 node-shape mix (150 4-GPU +
+    50 8-GPU servers) and the calibrated occupancy regime.  This is the
+    scale-stress setting for week-long replays: per-event costs that are
+    invisible at 80 nodes (full-cluster monitor ticks, reschedule storms)
+    dominate here.
+    """
+    scale = 200.0 / 80.0
+    return Scenario(
+        cluster_config=ClusterConfig(
+            node_groups=(
+                (150, NodeConfig(gpus=4)),
+                (50, NodeConfig(gpus=8)),
+            )
+        ),
+        trace_config=TraceConfig(
+            duration_days=duration_days,
+            gpu_jobs_per_day=CALIBRATED_GPU_JOBS_PER_DAY * scale,
+            cpu_jobs_per_day=CALIBRATED_CPU_JOBS_PER_DAY * scale,
+            seed=seed,
+        ),
         drain_s=drain_hours * 3600.0,
     )
 

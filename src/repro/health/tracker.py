@@ -85,6 +85,9 @@ class NodeHealthTracker:
         self.version: int = 0
         self._scan_key: Optional[Tuple[float, int]] = None
         self._scan_result: Tuple[List[int], List[int]] = ([], [])
+        #: Cached ``sorted(self._records)``; records are only added, so a
+        #: length match in :meth:`_scan` proves it is current.
+        self._sorted_ids: List[int] = []
 
     # ------------------------------------------------------------------ #
     # Strike intake (runner failure paths only)
@@ -154,7 +157,18 @@ class NodeHealthTracker:
         quarantined: List[int] = []
         deprioritized: List[int] = []
         flagged = (NodeHealthState.SUSPECT, NodeHealthState.PROBATION)
-        for node_id in sorted(self._records):
+        records = self._records
+        if len(self._sorted_ids) != len(records):
+            # Records are only ever added, so a length match proves the
+            # cached ordering is current.
+            self._sorted_ids = sorted(records)
+        for node_id in self._sorted_ids:
+            record = records[node_id]
+            if record.state is NodeHealthState.HEALTHY and not record.strikes:
+                # A healthy record with no strikes has no pending
+                # transition: _advance would be a no-op and state_of would
+                # report HEALTHY, contributing to neither list.
+                continue
             state = self.state_of(node_id, now)
             if state is NodeHealthState.QUARANTINED:
                 quarantined.append(node_id)
@@ -217,6 +231,10 @@ class NodeHealthTracker:
         self.version = int(state["version"])
         self._scan_key = None
         self._scan_result = ([], [])
+        # Restored records may have the same count but different ids;
+        # the length heuristic in _scan cannot see that, so drop the
+        # cached ordering outright.
+        self._sorted_ids = []
 
     # ------------------------------------------------------------------ #
     # Internals

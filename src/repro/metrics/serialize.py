@@ -30,7 +30,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bumped whenever the serialized shape changes; part of the result
 #: cache's code fingerprint, so stale cache entries never deserialize.
-RESULT_SCHEMA_VERSION = 1
+#: v2: RunResult gained ``stale_timer_fires`` (lazy completion timers).
+RESULT_SCHEMA_VERSION = 2
 
 #: JobRecord fields serialized verbatim (everything except the enum).
 _RECORD_FIELDS = (
@@ -87,6 +88,7 @@ _RESULT_FIELDS = (
     "quarantine_s",
     "dead_jobs",
     "flap_suppressions",
+    "stale_timer_fires",
 )
 
 

@@ -61,6 +61,28 @@ def bandwidth_excess(state: ContentionState) -> float:
     return (state.node_bw_pressure - threshold) / (1.0 - threshold)
 
 
+def effect_key(state: ContentionState) -> tuple:
+    """Collapse a contention snapshot to the values the speed model reads.
+
+    :func:`repro.perfmodel.speed.iteration_time` consumes contention only
+    through :func:`cpu_work_slowdown` and the PCIe penalty branch, i.e.
+    through exactly four derived quantities: the grant ratio, the
+    *post-threshold* bandwidth excess, the *post-capacity* LLC excess, and
+    the PCIe grant ratio.  Two snapshots with equal keys therefore price
+    to bit-identical breakdowns even when their raw pressures differ —
+    which is the common case: below the 75 % knee every co-resident
+    arrival/resize wobbles ``node_bw_pressure`` without moving the key.
+    Repricing memos keyed on this tuple stay byte-identical while hitting
+    far more often than ones keyed on the raw snapshot.
+    """
+    return (
+        state.bw_grant_ratio,
+        bandwidth_excess(state),
+        max(0.0, state.llc_pressure - 1.0),
+        state.pcie_grant_ratio,
+    )
+
+
 def cpu_work_slowdown(
     state: ContentionState,
     *,

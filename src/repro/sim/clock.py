@@ -32,21 +32,19 @@ class Clock:
     """Monotonic simulation clock.
 
     The clock only moves forward, and only the :class:`~repro.sim.engine.Engine`
-    advances it.  Components read ``clock.now`` and must never cache it across
-    events.
+    advances it.  ``now`` is a plain attribute — the single hottest read in
+    the simulator (~900k per paper-scale run), so it must not cost a property
+    call — but it is *written* only through :meth:`advance_to`, which keeps
+    the monotonicity guarantee.  Components read ``clock.now`` (or the
+    engine's mirror ``engine.now``) and must never cache it across events.
     """
 
-    __slots__ = ("_now",)
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError(f"clock cannot start at negative time: {start}")
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
+        self.now = float(start)
 
     def advance_to(self, when: float) -> None:
         """Move the clock forward to ``when``.
@@ -57,14 +55,14 @@ class Clock:
                 silently accepting it would invalidate every time-weighted
                 metric, so this is fatal.
         """
-        if when < self._now:
+        if when < self.now:
             raise ValueError(
-                f"time cannot move backwards: now={self._now}, requested={when}"
+                f"time cannot move backwards: now={self.now}, requested={when}"
             )
-        self._now = float(when)
+        self.now = float(when)
 
     def __repr__(self) -> str:
-        return f"Clock(now={self._now:.3f})"
+        return f"Clock(now={self.now:.3f})"
 
 
 def fmt_duration(seconds: float) -> str:

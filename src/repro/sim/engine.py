@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
+from repro.profiling import perf_counter as _perf_counter
 from repro.sim.clock import Clock
 from repro.sim.events import Event, EventHandle, EventPriority
 
@@ -41,6 +42,14 @@ class Engine:
 
     def __init__(self, start: float = 0.0) -> None:
         self.clock = Clock(start)
+        #: Current simulation time (seconds).  A plain attribute mirroring
+        #: ``clock.now``: it is the hottest read in the simulator, and the
+        #: old two-property chain (``Engine.now`` -> ``Clock.now``) cost two
+        #: descriptor calls per read.  Only the engine advances the clock,
+        #: so the mirror is re-synced at the three advance sites (event
+        #: dispatch, the final horizon advance in :meth:`run`, and
+        #: :meth:`begin_restore`) and can never go stale.
+        self.now: float = self.clock.now
         # Heap entries are (time, priority, seq, event) tuples rather than
         # Event records: tuple comparison short-circuits in C, and seq is
         # unique so the Event field is never compared.
@@ -51,18 +60,13 @@ class Engine:
         self._running = False
         self._observers: list[Observer] = []
         self._profiler: Optional["Profiler"] = None
-        # The profiler section of the event currently executing, so the
+        # The profiler category of the event currently executing, so the
         # action can re-attribute itself (see recategorize_current_event).
-        self._current_section: Optional[Any] = None
+        self._current_category: Optional[str] = None
         # Checkpoint-restore bookkeeping: tag -> (time, priority, seq) of
         # snapshotted live events awaiting a rearm() claim.  None outside
         # a begin_restore()/finish_restore() window.
         self._pending_rearm: Optional[Dict[str, Tuple[float, int, int]]] = None
-
-    @property
-    def now(self) -> float:
-        """Current simulation time (seconds)."""
-        return self.clock.now
 
     @property
     def pending(self) -> int:
@@ -95,9 +99,9 @@ class Engine:
         Raises:
             ValueError: when scheduling in the past.
         """
-        if when < self.clock.now:
+        if when < self.now:
             raise ValueError(
-                f"cannot schedule event {tag!r} at {when} (now={self.clock.now})"
+                f"cannot schedule event {tag!r} at {when} (now={self.now})"
             )
         event = Event(
             time=float(when),
@@ -125,7 +129,7 @@ class Engine:
         if delay < 0:
             raise ValueError(f"negative delay for event {tag!r}: {delay}")
         return self.schedule(
-            self.clock.now + delay, action, priority=priority, tag=tag
+            self.now + delay, action, priority=priority, tag=tag
         )
 
     def peek_time(self) -> Optional[float]:
@@ -152,21 +156,27 @@ class Engine:
         self._live -= 1
         event.fired = True
         self.clock.advance_to(event.time)
+        self.now = event.time
         self._fired += 1
         profiler = self._profiler
         if profiler is None:
+            # Zero-cost-when-off, literally: no section object, no host
+            # clock read, nothing but this None check.
             event.action()
         else:
             # Time each event under its tag category ("gpu-done:j17" ->
             # "gpu-done"), giving disjoint per-subsystem wall-time shares.
-            category = event.tag.partition(":")[0] or "untagged"
-            section = profiler.section(category)
-            self._current_section = section
+            # The category string (not a per-event section object — that
+            # allocation showed up in profiles) is the mutable handle
+            # recategorize_current_event renames.
+            self._current_category = event.tag.partition(":")[0] or "untagged"
+            t0 = _perf_counter()
             try:
-                with section:
-                    event.action()
+                event.action()
             finally:
-                self._current_section = None
+                elapsed = _perf_counter() - t0
+                profiler.add_time(self._current_category, elapsed)
+                self._current_category = None
             profiler.count("events")
         if self._observers:
             for observer in tuple(self._observers):
@@ -177,11 +187,12 @@ class Engine:
 
         Called from *inside* an event action when it resolves to a
         distinct fast path (the runner books a skipped scheduling pass
-        under ``schedule-skip`` instead of ``schedule-pass``, keeping the
-        reported time shares honest).  A no-op when profiling is off.
+        under ``schedule-skip`` instead of ``schedule-pass``, and a stale
+        completion timer under ``completion-stale``, keeping the reported
+        time shares honest).  A no-op when profiling is off.
         """
-        if self._current_section is not None:
-            self._current_section.rename(category)
+        if self._current_category is not None:
+            self._current_category = category
 
     def set_profiler(self, profiler: Optional["Profiler"]) -> None:
         """Attach (or with ``None``, detach) a wall-clock profiler.
@@ -245,6 +256,7 @@ class Engine:
             self._running = False
         if until is not None and self.clock.now < until:
             self.clock.advance_to(until)
+            self.now = until
         return self._fired - fired_before
 
     # ------------------------------------------------------------------ #
@@ -289,6 +301,7 @@ class Engine:
         now = float(state["now"])
         if now > self.clock.now:
             self.clock.advance_to(now)
+        self.now = self.clock.now
         pending: Dict[str, Tuple[float, int, int]] = {}
         for time, priority, seq, tag in state["live"]:
             if tag in pending:

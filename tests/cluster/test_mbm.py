@@ -126,3 +126,63 @@ class TestCaps:
         monitor.register("cpu", 10.0, is_cpu_job=True)
         monitor.register("gpu", 10.0, is_cpu_job=False)
         assert set(monitor.cpu_job_usages()) == {"cpu"}
+
+
+class TestUncontendedFastPath:
+    """The fast path must land on the identical grant vector the
+    water-filling rounds produce (bitwise: repricing memos and the
+    decision stream are keyed on these floats)."""
+
+    @staticmethod
+    def _reference_grants(capacity, specs):
+        """The pre-fast-path algorithm, verbatim."""
+        demands = {job: min(d, c) if c is not None else d for job, (d, c) in specs.items()}
+        granted = {job: 0.0 for job in specs}
+        pending = [job for job, d in demands.items() if d > 0]
+        remaining = capacity
+        while pending and remaining > 1e-12:
+            fair_share = remaining / len(pending)
+            satisfied = [j for j in pending if demands[j] <= fair_share]
+            if satisfied:
+                for job in satisfied:
+                    granted[job] = demands[job]
+                    remaining -= demands[job]
+                pending = [j for j in pending if demands[j] > fair_share]
+            else:
+                for job in pending:
+                    granted[job] = fair_share
+                remaining = 0.0
+                pending = []
+        return {job: min(granted[job], demands[job]) for job in specs}
+
+    def _check(self, capacity, specs):
+        monitor = BandwidthMonitor(capacity)
+        for job, (demand, cap) in specs.items():
+            monitor.register(job, demand, is_cpu_job=True)
+            if cap is not None:
+                monitor.set_cap(job, cap)
+        expected = self._reference_grants(capacity, specs)
+        for job in specs:
+            assert monitor.usage_of(job).granted == expected[job], job
+
+    def test_uncontended_grants_equal_demands(self):
+        self._check(100.0, {"a": (10.0, None), "b": (20.5, None), "c": (0.0, None)})
+
+    def test_contended_matches_reference_rounds(self):
+        self._check(100.0, {"a": (60.0, None), "b": (70.0, None), "c": (5.0, None)})
+
+    def test_near_capacity_boundary_matches_reference(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(200):
+            n = rng.randint(1, 6)
+            capacity = rng.uniform(50.0, 150.0)
+            total_scale = rng.choice([0.3, 0.9, 0.999, 1.0, 1.001, 1.5])
+            raw = [rng.uniform(0.0, 1.0) for _ in range(n)]
+            scale = capacity * total_scale / max(sum(raw), 1e-9)
+            specs = {
+                f"j{i}": (raw[i] * scale, rng.choice([None, raw[i] * scale * 0.5]))
+                for i in range(n)
+            }
+            self._check(capacity, specs)

@@ -112,3 +112,70 @@ class TestCpuWorkSlowdown:
             cpu_work_slowdown(
                 UNCONTENDED, bw_bound_fraction=0.5, contention_sensitivity=-1.0
             )
+
+
+class TestEffectKey:
+    """effect_key collapses snapshots to what the speed model reads."""
+
+    def test_subthreshold_pressure_wobble_is_invisible(self):
+        from repro.perfmodel.contention import effect_key
+
+        quiet = ContentionState(node_bw_pressure=0.10)
+        busier = ContentionState(node_bw_pressure=0.74)
+        assert effect_key(quiet) == effect_key(busier)
+
+    def test_past_threshold_pressure_moves_the_key(self):
+        from repro.perfmodel.contention import effect_key
+
+        below = ContentionState(node_bw_pressure=BANDWIDTH_PRESSURE_THRESHOLD)
+        above = ContentionState(node_bw_pressure=0.9)
+        assert effect_key(below) != effect_key(above)
+
+    def test_subcapacity_llc_is_invisible(self):
+        from repro.perfmodel.contention import effect_key
+
+        assert effect_key(ContentionState(llc_pressure=0.2)) == effect_key(
+            ContentionState(llc_pressure=0.99)
+        )
+        assert effect_key(ContentionState(llc_pressure=1.5)) != effect_key(
+            ContentionState(llc_pressure=0.99)
+        )
+
+    def test_equal_keys_price_bit_identically(self):
+        """The soundness claim behind the reprice state memo: any two
+        snapshots with equal effect keys produce byte-identical
+        iteration breakdowns."""
+        from repro.perfmodel.catalog import get_model
+        from repro.perfmodel.contention import effect_key
+        from repro.perfmodel.speed import iteration_time
+        from repro.perfmodel.stages import TrainSetup
+
+        profile = get_model("ResNet50")
+        setup = TrainSetup(num_nodes=1, gpus_per_node=2)
+        pairs = [
+            (
+                ContentionState(bw_grant_ratio=0.8, node_bw_pressure=0.2),
+                ContentionState(bw_grant_ratio=0.8, node_bw_pressure=0.7),
+            ),
+            (
+                ContentionState(llc_pressure=0.1, pcie_grant_ratio=0.5),
+                ContentionState(llc_pressure=0.9, pcie_grant_ratio=0.5),
+            ),
+        ]
+        for first, second in pairs:
+            assert effect_key(first) == effect_key(second)
+            a = iteration_time(profile, setup, 4, first)
+            b = iteration_time(profile, setup, 4, second)
+            assert a.total_s == b.total_s
+            assert a.utilization == b.utilization
+
+    def test_grant_and_pcie_always_move_the_key(self):
+        from repro.perfmodel.contention import effect_key
+
+        base = ContentionState()
+        assert effect_key(base) != effect_key(
+            ContentionState(bw_grant_ratio=0.9)
+        )
+        assert effect_key(base) != effect_key(
+            ContentionState(pcie_grant_ratio=0.9)
+        )

@@ -1,0 +1,76 @@
+"""The benchmark regression gate's retry-on-noise behaviour.
+
+The quick scenario variants finish in tens of milliseconds, so a single
+host-scheduling blip can push one reading below the tolerance floor.
+``check_regressions`` therefore re-measures a below-floor scenario (when
+given a ``rerun`` hook) and only reports a regression when every attempt
+lands below the floor.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_speed import check_regressions  # noqa: E402
+
+COMMITTED = {"current": {"quick": {"s": {"events_per_sec": 100.0}}}}
+
+
+def test_noise_blip_clears_on_retry():
+    calls = []
+
+    def rerun(name):
+        calls.append(name)
+        return {"events_per_sec": 95.0}
+
+    regressed = check_regressions(
+        {"s": {"events_per_sec": 60.0}},
+        COMMITTED,
+        mode="quick",
+        tolerance=0.2,
+        rerun=rerun,
+    )
+    assert regressed == 0
+    assert calls == ["s"]
+
+
+def test_real_regression_fails_every_attempt():
+    calls = []
+
+    def rerun(name):
+        calls.append(name)
+        return {"events_per_sec": 60.0}
+
+    regressed = check_regressions(
+        {"s": {"events_per_sec": 60.0}},
+        COMMITTED,
+        mode="quick",
+        tolerance=0.2,
+        rerun=rerun,
+        retries=2,
+    )
+    assert regressed == 1
+    assert calls == ["s", "s"]
+
+
+def test_single_shot_without_rerun_hook():
+    regressed = check_regressions(
+        {"s": {"events_per_sec": 60.0}},
+        COMMITTED,
+        mode="quick",
+        tolerance=0.2,
+    )
+    assert regressed == 1
+
+
+def test_missing_committed_entry_is_skipped():
+    regressed = check_regressions(
+        {"new_scenario": {"events_per_sec": 1.0}},
+        COMMITTED,
+        mode="quick",
+        tolerance=0.2,
+    )
+    assert regressed == 0

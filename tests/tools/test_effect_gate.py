@@ -7,6 +7,7 @@ function that lost its bump — one EF001 finding, nothing else.  And the
 committed tree must analyze clean.
 """
 
+import dataclasses
 import re
 import shutil
 import time
@@ -84,6 +85,38 @@ def test_deleting_one_bump_blames_exactly_that_function(
     assert all(v.code == "EF001" for v in violations)
     blamed = {v.symbol.split(":")[-1] for v in violations}
     assert blamed == {EXPECTED_BLAME[func_name]}
+
+
+#: The lazy-reprice memos on the runner's running-job records.  EF002
+#: must keep *detecting* them: dropping any one [[cache]] declaration
+#: from the manifest has to surface as findings against runner.py, or
+#: the clean-tree test above proves nothing about these attributes.
+RUNNER_MEMOS = (
+    ("_RunningGpu", "reprice_memo"),
+    ("_RunningGpu", "state_memo"),
+    ("_RunningCpu", "reprice_memo"),
+)
+
+
+@pytest.mark.parametrize(
+    "owner,attr", RUNNER_MEMOS, ids=[f"{o}.{a}" for o, a in RUNNER_MEMOS]
+)
+def test_undeclaring_a_runner_memo_fails_ef002(owner, attr):
+    contracts = load_contracts(MANIFEST)
+    assert contracts.cache_declared(owner, attr)
+    stripped = dataclasses.replace(
+        contracts,
+        caches=tuple(
+            c
+            for c in contracts.caches
+            if not (c.owner == owner and c.attr == attr)
+        ),
+    )
+    violations, _ = analyze_paths([SRC], stripped)
+    assert violations, f"undeclared {owner}.{attr} went undetected"
+    assert all(v.code == "EF002" for v in violations)
+    assert all(f"{owner}.{attr}" in v.message for v in violations)
+    assert all(v.path.endswith("runner.py") for v in violations)
 
 
 def test_full_analysis_is_fast_enough_for_ci():
